@@ -1,0 +1,47 @@
+"""Figure 3: data-set statistics (size, #entities, #features, non-zeros).
+
+The paper's table reports the raw statistics of Forest, DBLife and Citeseer.
+This benchmark regenerates the table for the synthetic stand-ins next to the
+paper's reported values, and benchmarks the corpus generator itself.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.workloads import DATASETS, SparseCorpusGenerator, generate_dataset
+
+#: Scale used when this module is driven by run_all.py (not by the fixtures).
+TABLE_SCALE = 0.4
+
+
+def build_table(datasets: dict | None = None) -> list[dict[str, object]]:
+    """One row per data set: generated statistics next to the paper's."""
+    if datasets is None:
+        datasets = {
+            spec.abbreviation: generate_dataset(name, scale=TABLE_SCALE, seed=1)
+            for name, spec in DATASETS.items()
+        }
+    rows = []
+    for abbrev, dataset in datasets.items():
+        row = dataset.statistics_row()
+        row["abbrev"] = abbrev
+        rows.append(row)
+    return rows
+
+
+def test_fig3_dataset_statistics_table(all_datasets, benchmark):
+    rows = build_table(all_datasets)
+    print()
+    print(format_table(rows, title="Figure 3: data set statistics (generated vs paper)"))
+
+    # Shape checks: sparsity ordering matches the paper's Figure 3
+    # (DBLife sparsest at ~7 non-zeros; Citeseer and Forest around 60 and 54).
+    by_abbrev = {row["abbrev"]: row for row in rows}
+    assert by_abbrev["DB"]["generated_avg_nonzeros"] < by_abbrev["FC"]["generated_avg_nonzeros"]
+    assert by_abbrev["DB"]["generated_avg_nonzeros"] < by_abbrev["CS"]["generated_avg_nonzeros"]
+    assert by_abbrev["CS"]["generated_features"] > by_abbrev["DB"]["generated_features"]
+    assert by_abbrev["FC"]["generated_features"] == 54
+
+    # Benchmark the document generator (cost of producing 200 documents).
+    generator = SparseCorpusGenerator(vocabulary_size=5000, nonzeros_per_document=60, seed=3)
+    benchmark(lambda: generator.generate_list(200))

@@ -1,0 +1,124 @@
+"""Figure 4(A): eager Update throughput across architectures and strategies.
+
+Paper's reported numbers (updates/second, warm model):
+
+    Technique            FC     DB     CS
+    OD  Naive            0.4    2.1    0.2
+    OD  Hazy             2.0    6.8    0.2
+    OD  Hybrid           2.0    6.6    0.2
+    MM  Naive            5.3   33.1    1.8
+    MM  Hazy            49.7  160.5    7.2
+
+The claims this reproduction checks: Hazy beats the naive strategy on the same
+architecture (in maintenance work and, at realistic sizes, in throughput), the
+main-memory architecture beats on-disk, and the hybrid behaves like Hazy-OD
+for updates.  Absolute updates/s differ because the data sets are scaled down
+~100x and costs are simulated (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_maintained_view, run_eager_update_experiment
+from repro.bench.reporting import format_table
+from repro.workloads import update_trace
+
+from benchmarks.conftest import BENCH_UPDATES, BENCH_WARMUP
+
+GRID = [
+    ("ondisk", "naive"),
+    ("ondisk", "hazy"),
+    ("hybrid", "hazy"),
+    ("mainmemory", "naive"),
+    ("mainmemory", "hazy"),
+]
+
+PAPER_UPDATES_PER_SECOND = {
+    ("ondisk", "naive"): {"FC": 0.4, "DB": 2.1, "CS": 0.2},
+    ("ondisk", "hazy"): {"FC": 2.0, "DB": 6.8, "CS": 0.2},
+    ("hybrid", "hazy"): {"FC": 2.0, "DB": 6.6, "CS": 0.2},
+    ("mainmemory", "naive"): {"FC": 5.3, "DB": 33.1, "CS": 1.8},
+    ("mainmemory", "hazy"): {"FC": 49.7, "DB": 160.5, "CS": 7.2},
+}
+
+
+def build_table(datasets, warmup: int = BENCH_WARMUP, timed: int = BENCH_UPDATES):
+    """One row per (architecture, strategy) cell with per-data-set throughput."""
+    rows = []
+    for architecture, strategy in GRID:
+        row: dict[str, object] = {"architecture": architecture, "strategy": strategy}
+        for abbrev, dataset in datasets.items():
+            result = run_eager_update_experiment(
+                dataset, architecture, strategy, warmup=warmup, timed=timed
+            )
+            row[f"{abbrev}_updates_per_s"] = round(result.simulated_ops_per_second, 1)
+            row[f"{abbrev}_paper"] = PAPER_UPDATES_PER_SECOND[(architecture, strategy)][abbrev]
+        rows.append(row)
+    return rows
+
+
+def test_fig4a_table_and_shape(all_datasets, benchmark):
+    figure_rows = benchmark.pedantic(lambda: build_table(all_datasets), rounds=1, iterations=1)
+    print()
+    print(format_table(figure_rows, title="Figure 4(A): eager Update throughput (simulated updates/s vs paper)"))
+    cells = {(row["architecture"], row["strategy"]): row for row in figure_rows}
+    for abbrev in ("FC", "DB", "CS"):
+        column = f"{abbrev}_updates_per_s"
+        # Main-memory is at least as fast as on-disk for the same strategy.
+        assert cells[("mainmemory", "naive")][column] >= cells[("ondisk", "naive")][column] * 0.95
+        # Hazy-MM is never slower than naive-MM, and the fastest cell overall
+        # is a Hazy cell (the paper's headline claim).
+        assert cells[("mainmemory", "hazy")][column] >= cells[("mainmemory", "naive")][column] * 0.95
+        fastest = max(cells, key=lambda key: cells[key][column])
+        assert fastest[1] == "hazy"
+    for abbrev in ("FC", "DB"):
+        column = f"{abbrev}_updates_per_s"
+        # On the converged workloads Hazy beats naive on-disk outright; on the
+        # Citeseer-like workload the paper itself reports a tie (0.2 vs 0.2)
+        # because the model has not converged, so CS is excluded here.
+        assert cells[("ondisk", "hazy")][column] > cells[("ondisk", "naive")][column]
+
+
+def test_fig4a_cold_start_still_favours_hazy(dblife_dataset, benchmark):
+    """Section 4.1.1 also reports speedups when starting from zero examples."""
+
+    def cold_experiments():
+        naive = run_eager_update_experiment(dblife_dataset, "mainmemory", "naive", warmup=0, timed=80)
+        hazy = run_eager_update_experiment(dblife_dataset, "mainmemory", "hazy", warmup=0, timed=80)
+        return naive, hazy
+
+    naive, hazy = benchmark.pedantic(cold_experiments, rounds=1, iterations=1)
+    assert hazy.detail["tuples_reclassified"] < naive.detail["tuples_reclassified"]
+
+
+def test_fig4a_benchmark_single_hazy_update(dblife_dataset, benchmark):
+    """pytest-benchmark target: one warm Hazy-MM update (train + maintain)."""
+    trace = update_trace(dblife_dataset, warmup=BENCH_WARMUP, timed=2000, seed=5)
+    view = build_maintained_view(
+        dblife_dataset, "mainmemory", "hazy", "eager", warm_examples=trace.warm_examples()
+    )
+    timed = list(trace.timed_examples())
+    state = {"cursor": 0}
+
+    def one_update():
+        view.absorb(timed[state["cursor"] % len(timed)])
+        state["cursor"] += 1
+
+    benchmark(one_update)
+
+
+def test_fig4a_benchmark_single_naive_update(dblife_dataset, benchmark):
+    """pytest-benchmark target: one warm naive-MM update, for comparison."""
+    trace = update_trace(dblife_dataset, warmup=BENCH_WARMUP, timed=2000, seed=5)
+    view = build_maintained_view(
+        dblife_dataset, "mainmemory", "naive", "eager", warm_examples=trace.warm_examples()
+    )
+    timed = list(trace.timed_examples())
+    state = {"cursor": 0}
+
+    def one_update():
+        view.absorb(timed[state["cursor"] % len(timed)])
+        state["cursor"] += 1
+
+    benchmark(one_update)

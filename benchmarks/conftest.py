@@ -1,0 +1,42 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark works on scaled-down versions of the paper's data sets (see
+``repro.workloads.datasets``); the scales below keep the whole suite runnable
+in a few minutes on a laptop while preserving the qualitative shape of each
+figure.  Each ``bench_figXX_*.py`` module also exposes a ``build_table()``
+function so ``benchmarks/run_all.py`` can regenerate the EXPERIMENTS.md
+numbers outside of pytest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import citeseer_like, dblife_like, forest_like
+
+#: Scale factors applied to the default (already laptop-sized) data sets.
+BENCH_SCALE = {"forest": 0.5, "dblife": 0.8, "citeseer": 0.4}
+#: Warm-up examples before timing, per data set (the paper warms with 12k).
+BENCH_WARMUP = 600
+#: Timed updates per experiment (the paper times 3k).
+BENCH_UPDATES = 150
+
+
+@pytest.fixture(scope="session")
+def forest_dataset():
+    return forest_like(scale=BENCH_SCALE["forest"], seed=1)
+
+
+@pytest.fixture(scope="session")
+def dblife_dataset():
+    return dblife_like(scale=BENCH_SCALE["dblife"], seed=1)
+
+
+@pytest.fixture(scope="session")
+def citeseer_dataset():
+    return citeseer_like(scale=BENCH_SCALE["citeseer"], seed=1)
+
+
+@pytest.fixture(scope="session")
+def all_datasets(forest_dataset, dblife_dataset, citeseer_dataset):
+    return {"FC": forest_dataset, "DB": dblife_dataset, "CS": citeseer_dataset}

@@ -1,0 +1,79 @@
+"""Regenerate every figure/table of the evaluation outside of pytest.
+
+Usage::
+
+    python benchmarks/run_all.py            # all figures
+    python benchmarks/run_all.py fig4a fig13  # a subset
+
+The output is the set of tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.bench.reporting import format_table  # noqa: E402
+from repro.workloads import citeseer_like, dblife_like, forest_like  # noqa: E402
+
+from benchmarks import (  # noqa: E402
+    bench_ablation_skiing,
+    bench_fig3_dataset_stats,
+    bench_fig4a_eager_update,
+    bench_fig4b_lazy_all_members,
+    bench_fig5_single_entity,
+    bench_fig6a_hybrid_memory,
+    bench_fig6b_buffer_sweep,
+    bench_fig10_learning_overhead,
+    bench_fig11a_scalability,
+    bench_fig11b_scaleup_threads,
+    bench_fig12a_feature_sensitivity,
+    bench_fig12b_multiclass,
+    bench_fig13_waterband,
+)
+from benchmarks.conftest import BENCH_SCALE  # noqa: E402
+
+
+def _datasets():
+    return {
+        "FC": forest_like(scale=BENCH_SCALE["forest"], seed=1),
+        "DB": dblife_like(scale=BENCH_SCALE["dblife"], seed=1),
+        "CS": citeseer_like(scale=BENCH_SCALE["citeseer"], seed=1),
+    }
+
+
+def main(selected: list[str]) -> None:
+    datasets = _datasets()
+    dblife = datasets["DB"]
+    citeseer = datasets["CS"]
+    figures = {
+        "fig3": ("Figure 3: data set statistics", lambda: bench_fig3_dataset_stats.build_table(datasets)),
+        "fig4a": ("Figure 4(A): eager update throughput", lambda: bench_fig4a_eager_update.build_table(datasets)),
+        "fig4b": ("Figure 4(B): lazy All Members throughput", lambda: bench_fig4b_lazy_all_members.build_table(datasets)),
+        "fig5": ("Figure 5: Single Entity reads", lambda: bench_fig5_single_entity.build_table(datasets)),
+        "fig6a": ("Figure 6(A): hybrid memory usage", lambda: bench_fig6a_hybrid_memory.build_table(datasets)),
+        "fig6b": ("Figure 6(B): buffer-size sweep", lambda: bench_fig6b_buffer_sweep.build_table(citeseer)),
+        "fig10": ("Figure 10: learning overhead", bench_fig10_learning_overhead.build_table),
+        "fig11a": ("Figure 11(A): scalability", bench_fig11a_scalability.build_table),
+        "fig11b": ("Figure 11(B): thread scale-up", lambda: bench_fig11b_scaleup_threads.build_table(dblife)),
+        "fig12a": ("Figure 12(A): feature-length sensitivity", bench_fig12a_feature_sensitivity.build_table),
+        "fig12b": ("Figure 12(B): multiclass updates", bench_fig12b_multiclass.build_table),
+        "fig13": ("Figure 13: water-band size", lambda: bench_fig13_waterband.build_table(datasets)),
+        "ablation_alpha": ("Ablation: alpha sensitivity", lambda: bench_ablation_skiing.build_alpha_table(dblife)),
+        "ablation_skiing": ("Ablation: Skiing vs optimal schedule", lambda: bench_ablation_skiing.build_ratio_table(dblife)),
+    }
+    names = selected or list(figures)
+    for name in names:
+        title, builder = figures[name]
+        start = time.perf_counter()
+        rows = builder()
+        elapsed = time.perf_counter() - start
+        print()
+        print(format_table(rows, title=f"{title}   [{elapsed:.1f}s]"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

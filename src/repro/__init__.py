@@ -1,0 +1,80 @@
+"""Hazy: incrementally maintained classification views inside an RDBMS.
+
+A from-scratch reproduction of Koc & Ré, "Incrementally Maintaining
+Classification using an RDBMS" (PVLDB 4(5), 2011).
+
+The public API is organized as:
+
+* :mod:`repro.db` — the relational substrate (tables, buffer pool, B+-tree,
+  triggers, SQL including ``CREATE CLASSIFICATION VIEW``);
+* :mod:`repro.learn` — linear models and incremental trainers;
+* :mod:`repro.features` — feature functions (tf, tf-idf, TF-ICF, dense);
+* :mod:`repro.core` — the incremental view-maintenance machinery: water-band
+  bounds, the Skiing strategy, the three architectures and four maintenance
+  strategies, and the :class:`~repro.core.engine.HazyEngine`;
+* :mod:`repro.workloads` — synthetic stand-ins for the paper's data sets;
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+
+Quickstart::
+
+    from repro import Database, HazyEngine
+
+    db = Database()
+    db.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
+    db.execute("CREATE TABLE paper_area (label text PRIMARY KEY)")
+    db.execute("CREATE TABLE example_papers (id integer PRIMARY KEY, label text)")
+    engine = HazyEngine(db)
+    db.execute("INSERT INTO paper_area (label) VALUES ('database')")
+    # ... insert papers ...
+    db.execute(
+        "CREATE CLASSIFICATION VIEW labeled_papers KEY id "
+        "ENTITIES FROM papers KEY id "
+        "LABELS FROM paper_area LABEL label "
+        "EXAMPLES FROM example_papers KEY id LABEL label "
+        "FEATURE FUNCTION tf_bag_of_words USING SVM"
+    )
+    db.execute("INSERT INTO example_papers (id, label) VALUES (1, 'database')")
+    db.execute("SELECT COUNT(*) FROM labeled_papers WHERE class = 'database'")
+"""
+
+from repro.core import (
+    ClassificationViewDefinition,
+    HazyEagerMaintainer,
+    HazyEngine,
+    HazyLazyMaintainer,
+    HybridEntityStore,
+    InMemoryEntityStore,
+    MulticlassClassificationView,
+    NaiveEagerMaintainer,
+    NaiveLazyMaintainer,
+    OnDiskEntityStore,
+    SkiingStrategy,
+)
+from repro.db import CostModel, Database
+from repro.exceptions import HazyError
+from repro.learn import LinearModel, SGDTrainer, TrainingExample
+from repro.linalg import SparseVector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "HazyError",
+    "Database",
+    "CostModel",
+    "SparseVector",
+    "LinearModel",
+    "SGDTrainer",
+    "TrainingExample",
+    "HazyEngine",
+    "ClassificationViewDefinition",
+    "SkiingStrategy",
+    "InMemoryEntityStore",
+    "OnDiskEntityStore",
+    "HybridEntityStore",
+    "NaiveEagerMaintainer",
+    "NaiveLazyMaintainer",
+    "HazyEagerMaintainer",
+    "HazyLazyMaintainer",
+    "MulticlassClassificationView",
+]

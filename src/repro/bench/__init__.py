@@ -1,0 +1,29 @@
+"""The experiment harness behind ``benchmarks/``.
+
+:mod:`repro.bench.harness` builds (store, maintainer, trainer) bundles for any
+point in the paper's experimental grid and replays update/read traces against
+them, reporting both wall-clock and simulated throughput.
+:mod:`repro.bench.reporting` renders the per-figure tables that the benchmark
+modules print (paper-reported values next to the reproduction's values).
+"""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    MaintainedView,
+    build_maintained_view,
+    run_eager_update_experiment,
+    run_lazy_all_members_experiment,
+    run_single_entity_experiment,
+)
+from repro.bench.reporting import format_table, speedup
+
+__all__ = [
+    "MaintainedView",
+    "ExperimentResult",
+    "build_maintained_view",
+    "run_eager_update_experiment",
+    "run_lazy_all_members_experiment",
+    "run_single_entity_experiment",
+    "format_table",
+    "speedup",
+]

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for the benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "speedup", "format_bytes"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str | None = None) -> str:
+    """Render a list of row dictionaries as an aligned plain-text table.
+
+    Column order follows the keys of the first row; missing values render as
+    empty cells.  Used by every benchmark module to print the paper-vs-measured
+    comparison tables.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered_rows = [[_render(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(rendered, widths)))
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def speedup(baseline_seconds: float, improved_seconds: float) -> float:
+    """``baseline / improved`` with a graceful answer when the improved cost is ~0."""
+    if improved_seconds <= 0:
+        return float("inf")
+    return baseline_seconds / improved_seconds
+
+
+def format_bytes(size: float) -> str:
+    """Human-readable byte counts (KB/MB/GB) for the memory-usage tables."""
+    size = float(size)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if size < 1024.0 or unit == "TB":
+            return f"{size:.1f}{unit}"
+        size /= 1024.0
+    return f"{size:.1f}TB"  # pragma: no cover - unreachable

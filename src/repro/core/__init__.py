@@ -1,0 +1,61 @@
+"""Hazy's core: incrementally maintained classification views.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.bounds` — the Hölder-inequality low/high-water band of
+  Lemma 3.1 and Equation 2.
+* :mod:`repro.core.skiing` — the Skiing reorganization strategy (ski-rental
+  style) and the offline-optimal schedule used to validate Theorem 3.3.
+* :mod:`repro.core.stores` — the three physical architectures: on-disk,
+  main-memory (Hazy-MM), and the hybrid ε-map + buffer design (§3.5).
+* :mod:`repro.core.maintainers` — the four maintenance strategies: naive and
+  Hazy variants of the eager and lazy approaches (§2.2, §3.2, §3.4).
+* :mod:`repro.core.engine` — the user-facing engine that wires a
+  :class:`~repro.db.database.Database`, feature functions, an incremental
+  trainer and a maintainer behind ``CREATE CLASSIFICATION VIEW``.
+"""
+
+from repro.core.bounds import WaterBand, WaterBandTracker, holder_pair_for_norm
+from repro.core.engine import ClassificationView, HazyEngine
+from repro.core.kernel_view import KernelHazyEagerMaintainer, KernelNaiveEagerMaintainer
+from repro.core.maintainers import (
+    HazyEagerMaintainer,
+    HazyLazyMaintainer,
+    NaiveEagerMaintainer,
+    NaiveLazyMaintainer,
+)
+from repro.core.multiclass_view import MulticlassClassificationView
+from repro.core.skiing import OfflineOptimalScheduler, SkiingStrategy
+from repro.core.stats import MaintenanceStatistics
+from repro.core.stores import (
+    EntityRecord,
+    EntityStore,
+    HybridEntityStore,
+    InMemoryEntityStore,
+    OnDiskEntityStore,
+)
+from repro.core.view import ClassificationViewDefinition
+
+__all__ = [
+    "WaterBand",
+    "WaterBandTracker",
+    "holder_pair_for_norm",
+    "SkiingStrategy",
+    "OfflineOptimalScheduler",
+    "MaintenanceStatistics",
+    "ClassificationViewDefinition",
+    "EntityRecord",
+    "EntityStore",
+    "InMemoryEntityStore",
+    "OnDiskEntityStore",
+    "HybridEntityStore",
+    "NaiveEagerMaintainer",
+    "NaiveLazyMaintainer",
+    "HazyEagerMaintainer",
+    "HazyLazyMaintainer",
+    "HazyEngine",
+    "ClassificationView",
+    "MulticlassClassificationView",
+    "KernelHazyEagerMaintainer",
+    "KernelNaiveEagerMaintainer",
+]

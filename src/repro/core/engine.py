@@ -1,0 +1,385 @@
+"""The Hazy engine: classification views behind an RDBMS facade.
+
+:class:`HazyEngine` attaches to a :class:`~repro.db.database.Database` and
+handles the ``CREATE CLASSIFICATION VIEW`` statement: it resolves the entity
+and example tables, instantiates the declared feature function, trains the
+initial model, bulk-loads a maintainer over the chosen architecture, and wires
+triggers so that ordinary SQL ``INSERT`` statements against the entity and
+example tables keep the view maintained — exactly the developer experience the
+paper describes in §2.1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+
+from repro.core.maintainers import (
+    HazyEagerMaintainer,
+    HazyLazyMaintainer,
+    NaiveEagerMaintainer,
+    NaiveLazyMaintainer,
+    ViewMaintainer,
+)
+from repro.core.stores import (
+    EntityStore,
+    HybridEntityStore,
+    InMemoryEntityStore,
+    OnDiskEntityStore,
+)
+from repro.core.view import ClassificationViewDefinition
+from repro.db.database import Database
+from repro.db.sql.ast import CreateClassificationView
+from repro.db.triggers import Trigger, TriggerEvent
+from repro.exceptions import ConfigurationError, ViewDefinitionError
+from repro.features import FeatureFunction, FeatureFunctionRegistry, default_registry
+from repro.learn.sgd import SGDTrainer, TrainingExample
+from repro.linalg import SparseVector
+
+__all__ = ["HazyEngine", "ClassificationView"]
+
+#: Valid architecture names for the engine and their store classes.
+ARCHITECTURES = ("mainmemory", "ondisk", "hybrid")
+#: Valid strategy names.
+STRATEGIES = ("hazy", "naive")
+#: Valid approaches.
+APPROACHES = ("eager", "lazy")
+
+
+class ClassificationView:
+    """One maintained classification view: feature function + trainer + maintainer."""
+
+    def __init__(
+        self,
+        definition: ClassificationViewDefinition,
+        database: Database,
+        feature_function: FeatureFunction,
+        maintainer: ViewMaintainer,
+        trainer: SGDTrainer,
+        positive_label: object | None = None,
+    ):
+        self.definition = definition
+        self.database = database
+        self.feature_function = feature_function
+        self.maintainer = maintainer
+        self.trainer = trainer
+        self.positive_label = positive_label
+        self._examples: list[TrainingExample] = []
+        self._initialize()
+
+    # -- initialization -------------------------------------------------------------------
+
+    def _initialize(self) -> None:
+        entities_table = self.database.table(self.definition.entities_table)
+        examples_table = self.database.table(self.definition.examples_table)
+        if not entities_table.schema.has_column(self.definition.entities_key):
+            raise ViewDefinitionError(
+                f"entities table {entities_table.name!r} has no column "
+                f"{self.definition.entities_key!r}"
+            )
+        self._resolve_positive_label()
+
+        # Pass 1: corpus statistics for the feature function.
+        self.feature_function.compute_stats(entities_table.scan())
+
+        # Absorb any pre-existing training examples before the bulk load so the
+        # initial clustering reflects the warm model.
+        entity_features: dict[object, SparseVector] = {}
+        for row in entities_table.scan():
+            entity_id = row[self.definition.entities_key]
+            entity_features[entity_id] = self.feature_function.compute_feature(row)
+        for row in examples_table.scan():
+            example = self._example_from_row(row, entity_features)
+            if example is not None:
+                self._examples.append(example)
+                self.trainer.absorb(example)
+
+        self.maintainer.bulk_load(entity_features.items(), self.trainer.model.copy())
+        self._attach_triggers(entities_table, examples_table)
+
+    def _resolve_positive_label(self) -> None:
+        if self.positive_label is not None:
+            return
+        if self.definition.labels_table and self.database.catalog.has_table(
+            self.definition.labels_table
+        ):
+            labels_table = self.database.table(self.definition.labels_table)
+            column = self.definition.labels_column or labels_table.schema.column_names()[0]
+            for row in labels_table.scan():
+                self.positive_label = row.get(column)
+                break
+
+    def _attach_triggers(self, entities_table, examples_table) -> None:
+        entities_table.add_trigger(
+            Trigger(
+                name=f"hazy_{self.definition.view_name}_entities",
+                event=TriggerEvent.AFTER_INSERT,
+                callback=lambda _table, new_row, _old: self._on_entity_insert(new_row),
+            )
+        )
+        examples_table.add_trigger(
+            Trigger(
+                name=f"hazy_{self.definition.view_name}_examples",
+                event=TriggerEvent.AFTER_INSERT,
+                callback=lambda _table, new_row, _old: self._on_example_insert(new_row),
+            )
+        )
+        examples_table.add_trigger(
+            Trigger(
+                name=f"hazy_{self.definition.view_name}_examples_delete",
+                event=TriggerEvent.AFTER_DELETE,
+                callback=lambda _table, _new, old_row: self._on_example_delete(old_row),
+            )
+        )
+
+    # -- label conversion ----------------------------------------------------------------------
+
+    def to_binary_label(self, label_value: object) -> int:
+        """Convert a user-facing label value to the internal {-1, +1} encoding."""
+        if isinstance(label_value, bool):
+            return 1 if label_value else -1
+        if isinstance(label_value, (int, float)) and label_value in (-1, 1):
+            return int(label_value)
+        if self.positive_label is not None:
+            return 1 if label_value == self.positive_label else -1
+        raise ConfigurationError(
+            f"cannot interpret label {label_value!r}: declare a LABELS table or use -1/+1"
+        )
+
+    def from_binary_label(self, label: int) -> object:
+        """Convert the internal label back to the user-facing value when one is known."""
+        if self.positive_label is None:
+            return label
+        if label == 1:
+            return self.positive_label
+        return f"not_{self.positive_label}"
+
+    # -- trigger bodies --------------------------------------------------------------------------
+
+    def _example_from_row(
+        self, row: Mapping[str, object], feature_lookup: Mapping[object, SparseVector] | None = None
+    ) -> TrainingExample | None:
+        entity_id = row[self.definition.examples_key]
+        label = self.to_binary_label(row[self.definition.examples_label])
+        if feature_lookup is not None and entity_id in feature_lookup:
+            features = feature_lookup[entity_id]
+        else:
+            try:
+                features = self.maintainer.store.get(entity_id).features
+            except Exception:
+                return None
+        return TrainingExample(entity_id=entity_id, features=features, label=label)
+
+    def _on_entity_insert(self, row: Mapping[str, object] | None) -> None:
+        if row is None:
+            return
+        self.feature_function.compute_stats_incremental(row)
+        entity_id = row[self.definition.entities_key]
+        features = self.feature_function.compute_feature(row)
+        self.maintainer.add_entity(entity_id, features)
+
+    def _on_example_insert(self, row: Mapping[str, object] | None) -> None:
+        if row is None:
+            return
+        example = self._example_from_row(row)
+        if example is None:
+            raise ViewDefinitionError(
+                f"training example references unknown entity {row[self.definition.examples_key]!r}"
+            )
+        self._examples.append(example)
+        model = self.trainer.absorb(example)
+        self.maintainer.apply_model(model)
+
+    def _on_example_delete(self, row: Mapping[str, object] | None) -> None:
+        """Deletion of an example retrains the model from scratch (paper footnote 2)."""
+        if row is None:
+            return
+        deleted_id = row[self.definition.examples_key]
+        deleted_label = self.to_binary_label(row[self.definition.examples_label])
+        for index, example in enumerate(self._examples):
+            if example.entity_id == deleted_id and example.label == deleted_label:
+                del self._examples[index]
+                break
+        self.retrain()
+
+    # -- public operations ------------------------------------------------------------------------
+
+    def retrain(self) -> None:
+        """Retrain the model from the retained examples and rebuild the view."""
+        self.trainer.reset()
+        for example in self._examples:
+            self.trainer.absorb(example)
+        self.maintainer.current_model = self.trainer.model.copy()
+        self.maintainer.apply_model(self.trainer.model.copy())
+
+    def insert_example(self, entity_id: object, label_value: object) -> None:
+        """Insert a training example through the examples table (fires the trigger)."""
+        table = self.database.table(self.definition.examples_table)
+        table.insert(
+            {
+                self.definition.examples_key: entity_id,
+                self.definition.examples_label: label_value,
+            }
+        )
+
+    def label_of(self, entity_id: object) -> int:
+        """Single Entity read: the entity's label in {-1, +1}."""
+        return self.maintainer.read_single(entity_id)
+
+    def members(self, label: int = 1) -> list[object]:
+        """All Members read: ids of every entity with the given binary label."""
+        return self.maintainer.read_all_members(label)
+
+    def count_members(self, label: int = 1) -> int:
+        """Number of entities in the class."""
+        return len(self.members(label))
+
+    def rows(self) -> Iterator[dict[str, object]]:
+        """The view's rows for SQL access: (key, class) per entity."""
+        key_column = self.definition.view_key
+        for record in self.maintainer.store.scan_all():
+            yield {
+                key_column: record.entity_id,
+                "class": self.from_binary_label(self.maintainer.read_single(record.entity_id)),
+            }
+
+    @property
+    def model(self):
+        """The current model ``(w, b)``."""
+        return self.trainer.model
+
+    @property
+    def name(self) -> str:
+        """The view's name."""
+        return self.definition.view_name
+
+
+class HazyEngine:
+    """Factory and registry of classification views over one database.
+
+    Parameters
+    ----------
+    database:
+        The relational substrate holding the entity / example tables.
+    architecture:
+        ``"mainmemory"`` (Hazy-MM), ``"ondisk"`` (Hazy-OD) or ``"hybrid"``.
+    strategy:
+        ``"hazy"`` (incremental, water band + Skiing) or ``"naive"``.
+    approach:
+        ``"eager"`` or ``"lazy"``.
+    alpha:
+        The Skiing threshold multiplier (ignored by naive strategies).
+    buffer_fraction:
+        Hybrid-only: fraction of entities kept in the hot buffer.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        registry: FeatureFunctionRegistry | None = None,
+        architecture: str = "mainmemory",
+        strategy: str = "hazy",
+        approach: str = "eager",
+        alpha: float = 1.0,
+        buffer_fraction: float = 0.01,
+        trainer_factory: Callable[[str], SGDTrainer] | None = None,
+    ):
+        if architecture not in ARCHITECTURES:
+            raise ConfigurationError(f"architecture must be one of {ARCHITECTURES}")
+        if strategy not in STRATEGIES:
+            raise ConfigurationError(f"strategy must be one of {STRATEGIES}")
+        if approach not in APPROACHES:
+            raise ConfigurationError(f"approach must be one of {APPROACHES}")
+        self.database = database
+        self.registry = registry if registry is not None else default_registry()
+        self.architecture = architecture
+        self.strategy = strategy
+        self.approach = approach
+        self.alpha = alpha
+        self.buffer_fraction = buffer_fraction
+        self._trainer_factory = trainer_factory
+        self.views: dict[str, ClassificationView] = {}
+        database.executor.set_classification_view_handler(self._handle_create_statement)
+        database.executor.set_classification_view_reader(self._read_view_rows)
+
+    # -- factories ----------------------------------------------------------------------------
+
+    def _build_store(self, feature_norm_q: float) -> EntityStore:
+        if self.architecture == "mainmemory":
+            return InMemoryEntityStore(feature_norm_q=feature_norm_q)
+        if self.architecture == "ondisk":
+            return OnDiskEntityStore(pool=self.database.pool, feature_norm_q=feature_norm_q)
+        return HybridEntityStore(
+            pool=self.database.pool,
+            feature_norm_q=feature_norm_q,
+            buffer_fraction=self.buffer_fraction,
+        )
+
+    def _build_maintainer(self, store: EntityStore) -> ViewMaintainer:
+        if self.strategy == "naive":
+            if self.approach == "eager":
+                return NaiveEagerMaintainer(store)
+            return NaiveLazyMaintainer(store)
+        if self.approach == "eager":
+            return HazyEagerMaintainer(store, alpha=self.alpha)
+        return HazyLazyMaintainer(store, alpha=self.alpha)
+
+    def _build_trainer(self, definition: ClassificationViewDefinition) -> SGDTrainer:
+        loss = definition.loss_name() or "svm"
+        if self._trainer_factory is not None:
+            return self._trainer_factory(loss)
+        return SGDTrainer(loss=loss)
+
+    # -- view management ---------------------------------------------------------------------------
+
+    def create_view(
+        self,
+        definition: ClassificationViewDefinition,
+        positive_label: object | None = None,
+    ) -> ClassificationView:
+        """Create and register a classification view from its definition."""
+        if definition.view_name.lower() in self.views:
+            raise ViewDefinitionError(f"view {definition.view_name!r} already exists")
+        feature_function = self.registry.create(definition.feature_function)
+        store = self._build_store(feature_function.norm_q)
+        maintainer = self._build_maintainer(store)
+        trainer = self._build_trainer(definition)
+        view = ClassificationView(
+            definition=definition,
+            database=self.database,
+            feature_function=feature_function,
+            maintainer=maintainer,
+            trainer=trainer,
+            positive_label=positive_label,
+        )
+        self.views[definition.view_name.lower()] = view
+        self.database.catalog.register_classification_view(definition.view_name, view)
+        return view
+
+    def view(self, name: str) -> ClassificationView:
+        """Look up a registered view by name."""
+        view = self.views.get(name.lower())
+        if view is None:
+            raise ViewDefinitionError(f"no classification view named {name!r}")
+        return view
+
+    # -- SQL integration ------------------------------------------------------------------------------
+
+    def _handle_create_statement(self, statement: CreateClassificationView) -> None:
+        definition = ClassificationViewDefinition(
+            view_name=statement.view_name,
+            view_key=statement.view_key,
+            entities_table=statement.entities_table,
+            entities_key=statement.entities_key,
+            examples_table=statement.examples_table,
+            examples_key=statement.examples_key,
+            examples_label=statement.examples_label,
+            feature_function=statement.feature_function,
+            labels_table=statement.labels_table,
+            labels_column=statement.labels_column,
+            method=statement.method,
+            options=dict(statement.options),
+        )
+        self.create_view(definition)
+
+    def _read_view_rows(self, name: str) -> Iterator[Mapping[str, object]]:
+        return self.view(name).rows()

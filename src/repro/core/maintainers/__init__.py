@@ -1,0 +1,28 @@
+"""Maintenance strategies for classification views.
+
+Four strategies, matching the paper's experimental grid:
+
+* :class:`NaiveEagerMaintainer` — on every model update, rescan and relabel
+  every entity (the state-of-the-art baseline the paper compares against).
+* :class:`HazyEagerMaintainer` — reclassify only the water band, with the
+  Skiing strategy deciding when to recluster (§3.2).
+* :class:`NaiveLazyMaintainer` — updates are free; every read reclassifies
+  whatever it touches with the current model.
+* :class:`HazyLazyMaintainer` — lazy reads pruned by the water band, with the
+  §3.4 waste accounting driving reorganizations.
+
+Any strategy can run over any :class:`~repro.core.stores.base.EntityStore`
+architecture (on-disk, main-memory, hybrid).
+"""
+
+from repro.core.maintainers.base import ViewMaintainer
+from repro.core.maintainers.hazy import HazyEagerMaintainer, HazyLazyMaintainer
+from repro.core.maintainers.naive import NaiveEagerMaintainer, NaiveLazyMaintainer
+
+__all__ = [
+    "ViewMaintainer",
+    "NaiveEagerMaintainer",
+    "NaiveLazyMaintainer",
+    "HazyEagerMaintainer",
+    "HazyLazyMaintainer",
+]

@@ -1,0 +1,89 @@
+"""The maintainer interface: the three operations of §2.2.
+
+Every maintainer supports the paper's three operations — Single Entity read,
+All Members read, and Update (a new model produced by incremental training) —
+plus the initial bulk load.  The cost of each operation is measured in the
+store's simulated seconds so that the Skiing strategy and the benchmarks see
+the same ledger.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+from repro.core.stats import MaintenanceStatistics
+from repro.core.stores.base import EntityStore
+from repro.exceptions import MaintenanceError
+from repro.learn.model import LinearModel
+from repro.linalg import SparseVector
+
+__all__ = ["ViewMaintainer"]
+
+
+class ViewMaintainer(ABC):
+    """Maintains ``V(id, class)`` as the model evolves."""
+
+    #: Human-readable strategy name used by benchmark tables ("naive", "hazy").
+    strategy_name: str = "maintainer"
+    #: "eager" or "lazy".
+    approach: str = "eager"
+
+    def __init__(self, store: EntityStore):
+        self.store = store
+        self.stats = MaintenanceStatistics()
+        self.current_model = LinearModel()
+        self._loaded = False
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    @abstractmethod
+    def bulk_load(
+        self, entities: Iterable[tuple[object, SparseVector]], model: LinearModel
+    ) -> None:
+        """Populate the view from scratch under ``model``."""
+
+    @abstractmethod
+    def apply_model(self, model: LinearModel) -> None:
+        """The Update operation: a new training example produced ``model``."""
+
+    @abstractmethod
+    def add_entity(self, entity_id: object, features: SparseVector) -> int:
+        """A new entity arrived; classify and store it.  Returns its label."""
+
+    # -- reads ----------------------------------------------------------------------------
+
+    @abstractmethod
+    def read_single(self, entity_id: object) -> int:
+        """Single Entity read: the label of one entity under the current model."""
+
+    @abstractmethod
+    def read_all_members(self, label: int = 1) -> list[object]:
+        """All Members read: ids of every entity carrying ``label``."""
+
+    def count_members(self, label: int = 1) -> int:
+        """Number of entities in the class (executes an All Members read)."""
+        return len(self.read_all_members(label))
+
+    # -- helpers ------------------------------------------------------------------------------
+
+    def contents(self) -> dict[object, int]:
+        """The full view ``{id: label}`` under the current model.
+
+        Default implementation answers through :meth:`read_single` for each
+        stored entity, which is correct for every strategy (if slow); used by
+        the consistency tests.
+        """
+        return {record.entity_id: self.read_single(record.entity_id) for record in self.store.scan_all()}
+
+    def _require_loaded(self) -> None:
+        if not self._loaded:
+            raise MaintenanceError(
+                f"{type(self).__name__}: bulk_load must be called before this operation"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(entities={self.store.count()}, "
+            f"updates={self.stats.updates}, reorgs={self.stats.reorganizations})"
+        )

@@ -1,0 +1,228 @@
+"""Hazy's incremental maintenance strategies (paper §3.2 and §3.4).
+
+Both strategies share the same machinery: a
+:class:`~repro.core.bounds.WaterBandTracker` maintaining the cumulative
+low/high-water band since the last reorganization, and a
+:class:`~repro.core.skiing.SkiingStrategy` deciding when reorganizing the
+scratch table is worth its cost.
+
+* The **eager** variant reclassifies only the tuples inside the band on every
+  model update, so updates touch a small fraction of the table.
+* The **lazy** variant never reclassifies on update; All Members reads scan
+  only the tuples that could possibly be in the class (everything above the
+  low water for the positive class), and the wasted fraction of each scan is
+  the cost fed to the Skiing strategy (§3.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.bounds import WaterBandTracker, holder_pair_for_norm
+from repro.core.maintainers.base import ViewMaintainer
+from repro.core.skiing import SkiingStrategy
+from repro.core.stores.base import EntityStore
+from repro.exceptions import MaintenanceError
+from repro.learn.model import LinearModel, sign
+from repro.linalg import SparseVector
+
+__all__ = ["HazyEagerMaintainer", "HazyLazyMaintainer"]
+
+
+class _HazyMaintainerBase(ViewMaintainer):
+    """State shared by the eager and lazy Hazy strategies."""
+
+    strategy_name = "hazy"
+
+    def __init__(self, store: EntityStore, alpha: float = 1.0, holder_p: float | None = None):
+        super().__init__(store)
+        if holder_p is None:
+            holder_p, _ = holder_pair_for_norm(store.feature_norm_q)
+        self.holder_p = holder_p
+        self.skiing = SkiingStrategy(alpha=alpha)
+        self.tracker: WaterBandTracker | None = None
+
+    def _require_tracker(self) -> WaterBandTracker:
+        if self.tracker is None:
+            raise MaintenanceError("bulk_load must run before maintenance operations")
+        return self.tracker
+
+    def bulk_load(
+        self, entities: Iterable[tuple[object, SparseVector]], model: LinearModel
+    ) -> None:
+        """Load and cluster under ``model``; the load cost seeds the estimate of S."""
+        self.current_model = model.copy()
+        load_cost = self.store.bulk_load(entities, model)
+        self.tracker = WaterBandTracker(self.holder_p, self.store.max_feature_norm)
+        self.tracker.reset(model)
+        self.skiing.reorganization_cost = load_cost
+        self._loaded = True
+
+    def add_entity(self, entity_id: object, features: SparseVector) -> int:
+        """Store a new entity: eps under the *stored* model, label under the current one."""
+        self._require_loaded()
+        tracker = self._require_tracker()
+        self.store.charge_dot_product(features)
+        eps = tracker.stored_model.margin(features)
+        self.store.charge_dot_product(features)
+        label = sign(self.current_model.margin(features))
+        self.store.insert(entity_id, features, eps, label)
+        # Keep M = max ||f||_q correct so future bounds stay sound for this entity.
+        tracker.observe_max_feature_norm(features.norm(self.store.feature_norm_q))
+        return label
+
+    def _reorganize(self) -> None:
+        """Recluster under the current model and reset the band and waste."""
+        tracker = self._require_tracker()
+        cost = self.store.reorganize(self.current_model)
+        tracker.max_feature_norm = self.store.max_feature_norm
+        tracker.reset(self.current_model)
+        self.skiing.record_reorganization(cost)
+        self.stats.record_reorganization(cost)
+
+    def band_tuple_count(self) -> int:
+        """Number of tuples currently inside the water band (Figure 13's metric)."""
+        band = self._require_tracker().band()
+        return self.store.count_eps_in_range(band.low, band.high)
+
+
+class HazyEagerMaintainer(_HazyMaintainerBase):
+    """Eager maintenance that only reclassifies the water band on each update."""
+
+    approach = "eager"
+
+    def apply_model(self, model: LinearModel) -> None:
+        """One round of Figure 7: reorganize if the waste justifies it, else incremental step."""
+        self._require_loaded()
+        tracker = self._require_tracker()
+        self.current_model = model.copy()
+        if self.skiing.should_reorganize():
+            self._reorganize()
+            # The round still counts as an Update; its cost is recorded as a
+            # reorganization rather than an incremental step.
+            self.stats.record_update(0, 0, 0.0)
+            self.stats.record_band(0, 0.0)
+            return
+        start = self.store.cost_snapshot()
+        self.store.charge_bound_update(model.weights.nnz())
+        band = tracker.advance(model)
+        touched = 0
+        changed = 0
+        relabels: list[tuple[object, int]] = []
+        for record in self.store.scan_eps_range(band.low, band.high):
+            touched += 1
+            self.store.charge_dot_product(record.features)
+            label = sign(model.margin(record.features))
+            if label != record.label:
+                relabels.append((record.entity_id, label))
+                changed += 1
+        for entity_id, label in relabels:
+            self.store.update_label(entity_id, label)
+        cost = self.store.cost_snapshot() - start
+        self.skiing.record_incremental_step(cost)
+        self.stats.record_update(touched, changed, cost)
+        self.stats.record_band(touched, band.width())
+
+    def read_single(self, entity_id: object) -> int:
+        """Stored labels are current; the ε-map (hybrid) short-circuits out-of-band reads."""
+        self._require_loaded()
+        tracker = self._require_tracker()
+        start = self.store.cost_snapshot()
+        self.store.charge_statement_overhead()
+        band = tracker.band()
+        hint = self.store.eps_hint(entity_id)
+        if hint is not None:
+            if band.certain_positive(hint):
+                self.stats.epsmap_hits += 1
+                self.stats.record_single_read(self.store.cost_snapshot() - start)
+                return 1
+            if band.certain_negative(hint):
+                self.stats.epsmap_hits += 1
+                self.stats.record_single_read(self.store.cost_snapshot() - start)
+                return -1
+        label = self.store.get(entity_id).label
+        self.stats.record_single_read(self.store.cost_snapshot() - start)
+        return label
+
+    def read_all_members(self, label: int = 1) -> list[object]:
+        """Stored labels are current, so a plain scan + filter answers the query."""
+        self._require_loaded()
+        start = self.store.cost_snapshot()
+        members = [record.entity_id for record in self.store.scan_all() if record.label == label]
+        self.stats.record_all_members(self.store.count(), self.store.cost_snapshot() - start)
+        return members
+
+
+class HazyLazyMaintainer(_HazyMaintainerBase):
+    """Lazy maintenance with water-band pruned reads and §3.4 waste accounting."""
+
+    approach = "lazy"
+
+    def apply_model(self, model: LinearModel) -> None:
+        """A lazy update is just a model swap plus a constant-time band update."""
+        self._require_loaded()
+        tracker = self._require_tracker()
+        self.current_model = model.copy()
+        start = self.store.cost_snapshot()
+        self.store.charge_bound_update(model.weights.nnz())
+        band = tracker.advance(model)
+        self.stats.record_update(0, 0, self.store.cost_snapshot() - start)
+        self.stats.record_band(-1, band.width())  # -1: size not measured on the lazy path
+
+    def read_single(self, entity_id: object) -> int:
+        """Figure 8: ε-map / band first, then buffer or disk plus one dot product."""
+        self._require_loaded()
+        tracker = self._require_tracker()
+        start = self.store.cost_snapshot()
+        self.store.charge_statement_overhead()
+        band = tracker.band()
+        hint = self.store.eps_hint(entity_id)
+        if hint is not None:
+            if band.certain_positive(hint):
+                self.stats.epsmap_hits += 1
+                self.stats.record_single_read(self.store.cost_snapshot() - start)
+                return 1
+            if band.certain_negative(hint):
+                self.stats.epsmap_hits += 1
+                self.stats.record_single_read(self.store.cost_snapshot() - start)
+                return -1
+        record = self.store.get(entity_id)
+        if band.certain_positive(record.eps):
+            label = 1
+        elif band.certain_negative(record.eps):
+            label = -1
+        else:
+            self.store.charge_dot_product(record.features)
+            label = sign(self.current_model.margin(record.features))
+        self.stats.record_single_read(self.store.cost_snapshot() - start)
+        return label
+
+    def read_all_members(self, label: int = 1) -> list[object]:
+        """Scan only the tuples that could be in the class; charge the wasted fraction."""
+        self._require_loaded()
+        tracker = self._require_tracker()
+        if self.skiing.should_reorganize():
+            self._reorganize()
+        band = tracker.band()
+        start = self.store.cost_snapshot()
+        members: list[object] = []
+        touched = 0
+        if label == 1:
+            candidates = self.store.scan_eps_at_least(band.low)
+        else:
+            candidates = self.store.scan_eps_at_most(band.high)
+        for record in candidates:
+            touched += 1
+            if label == 1 and band.certain_positive(record.eps):
+                members.append(record.entity_id)
+                continue
+            if label == -1 and band.certain_negative(record.eps):
+                members.append(record.entity_id)
+                continue
+            self.store.charge_dot_product(record.features)
+            if sign(self.current_model.margin(record.features)) == label:
+                members.append(record.entity_id)
+        scan_cost = self.store.cost_snapshot() - start
+        self.skiing.record_lazy_waste(touched, len(members), scan_cost)
+        self.stats.record_all_members(touched, scan_cost)
+        return members

@@ -1,0 +1,162 @@
+"""The entity-store interface shared by the on-disk, in-memory and hybrid architectures."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.db.buffer_pool import IOStatistics
+from repro.db.costmodel import CostModel
+from repro.learn.model import LinearModel
+from repro.linalg import SparseVector
+
+__all__ = ["EntityRecord", "EntityStore"]
+
+
+@dataclass
+class EntityRecord:
+    """One entity as the scratch table ``H`` sees it.
+
+    ``eps`` is the margin under the *stored* model (the model the store was
+    last organized under), not the current one; ``label`` is the entity's
+    label in the maintained view.
+    """
+
+    entity_id: object
+    features: SparseVector
+    eps: float
+    label: int
+
+
+class EntityStore(ABC):
+    """Physical storage of ``H(id, f, eps, label)`` clustered on ``eps``.
+
+    Every store charges its work to an :class:`~repro.db.buffer_pool.IOStatistics`
+    ledger priced by a :class:`~repro.db.costmodel.CostModel`; maintainers
+    measure the cost of a step as the difference of ``stats.simulated_seconds``
+    around it, which is what feeds the Skiing strategy.
+    """
+
+    def __init__(self, cost_model: CostModel, stats: IOStatistics, feature_norm_q: float = 1.0):
+        self.cost_model = cost_model
+        self.stats = stats
+        self.feature_norm_q = float(feature_norm_q)
+        self._max_feature_norm = 0.0
+
+    # -- cost helpers -----------------------------------------------------------------
+
+    def charge_dot_product(self, features: SparseVector) -> None:
+        """Charge the CPU cost of one ``w · f`` against this store's ledger."""
+        self.stats.dot_products += 1
+        self.stats.charge(self.cost_model.dot_product_cost(features.nnz()), "dot_product")
+
+    def charge_statement_overhead(self) -> None:
+        """Charge the per-statement RDBMS overhead (point-query dispatch)."""
+        self.stats.charge(self.cost_model.statement_overhead, "statement")
+
+    def charge_model_update(self) -> None:
+        """Charge the cost of one incremental training step (paper §2.2, ~100 µs)."""
+        self.stats.charge(self.cost_model.model_update, "model_update")
+
+    def charge_bound_update(self, nonzeros: int) -> None:
+        """Charge the water-band bound computation (a norm over the weight delta)."""
+        self.stats.charge(self.cost_model.dot_product_cost(nonzeros), "bound_update")
+
+    def cost_snapshot(self) -> float:
+        """Current accumulated simulated seconds (for before/after measurement)."""
+        return self.stats.simulated_seconds
+
+    # -- feature norm (the constant M of Lemma 3.1) --------------------------------------
+
+    @property
+    def max_feature_norm(self) -> float:
+        """``M = max_t ||f(t)||_q`` over every entity ever inserted."""
+        return self._max_feature_norm
+
+    def _observe_features(self, features: SparseVector) -> None:
+        norm = features.norm(self.feature_norm_q)
+        if norm > self._max_feature_norm:
+            self._max_feature_norm = norm
+
+    # -- lifecycle -------------------------------------------------------------------------
+
+    @abstractmethod
+    def bulk_load(
+        self, entities: Iterable[tuple[object, SparseVector]], model: LinearModel
+    ) -> float:
+        """Populate the store from scratch, clustered under ``model``.
+
+        Returns the simulated cost of the load (used as the initial estimate
+        of the reorganization cost ``S``).
+        """
+
+    @abstractmethod
+    def insert(self, entity_id: object, features: SparseVector, eps: float, label: int) -> None:
+        """Add one new entity with a precomputed ``eps`` (stored model) and label."""
+
+    @abstractmethod
+    def reorganize(self, model: LinearModel) -> float:
+        """Recompute every ``eps`` under ``model``, recluster, return the measured cost."""
+
+    # -- reads --------------------------------------------------------------------------------
+
+    @abstractmethod
+    def get(self, entity_id: object) -> EntityRecord:
+        """Point lookup by entity id."""
+
+    def eps_hint(self, entity_id: object) -> float | None:
+        """Return the stored ``eps`` without touching disk, if the architecture can.
+
+        Only the hybrid architecture (with its ε-map) returns a value here;
+        other stores return None and callers fall back to :meth:`get`.
+        """
+        return None
+
+    @abstractmethod
+    def scan_all(self) -> Iterator[EntityRecord]:
+        """Sequential scan of every entity in clustering order."""
+
+    @abstractmethod
+    def scan_eps_range(self, low: float, high: float) -> Iterator[EntityRecord]:
+        """Entities with ``low <= eps <= high`` (the water band), in eps order."""
+
+    @abstractmethod
+    def scan_eps_at_least(self, low: float) -> Iterator[EntityRecord]:
+        """Entities with ``eps >= low``, in eps order (lazy All Members path)."""
+
+    @abstractmethod
+    def scan_eps_at_most(self, high: float) -> Iterator[EntityRecord]:
+        """Entities with ``eps <= high``, in eps order (negative-class queries)."""
+
+    # -- writes ---------------------------------------------------------------------------------
+
+    @abstractmethod
+    def update_label(self, entity_id: object, label: int) -> None:
+        """Overwrite an entity's label in place."""
+
+    # -- statistics -------------------------------------------------------------------------------
+
+    @abstractmethod
+    def count(self) -> int:
+        """Number of entities stored."""
+
+    @abstractmethod
+    def count_label(self, label: int) -> int:
+        """Number of entities currently carrying ``label``."""
+
+    @abstractmethod
+    def memory_usage(self) -> dict[str, int]:
+        """Approximate RAM footprint by component, in bytes."""
+
+    def count_eps_in_range(self, low: float, high: float) -> int:
+        """Number of entities whose stored eps lies inside ``[low, high]``."""
+        return sum(1 for _ in self.scan_eps_range(low, high))
+
+    def scan_cost_estimate(self) -> float:
+        """Estimated simulated cost of one full sequential scan (the ``sigma * S`` of §3.3)."""
+        return self.cost_model.scan_cost(page_count=self._page_estimate(), tuple_count=self.count())
+
+    def _page_estimate(self) -> int:
+        """How many pages a full scan would touch (0 for pure in-memory stores)."""
+        return 0

@@ -1,0 +1,177 @@
+"""The main-memory architecture, Hazy-MM (paper §3.5.1).
+
+The classification view is a pure function of the entities and training
+examples, so it never needs to be written back to disk — Hazy keeps the whole
+structure in RAM.  The data is still *clustered* on ``eps`` (a sorted array)
+because sequential access to the water band is what makes the incremental step
+cheap even in memory; the Skiing strategy still decides when to re-sort.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Iterator
+
+from repro.core.stores.base import EntityRecord, EntityStore
+from repro.db.buffer_pool import IOStatistics
+from repro.db.costmodel import CostModel
+from repro.exceptions import DuplicateKeyError, KeyNotFoundError
+from repro.learn.model import LinearModel
+from repro.linalg import SparseVector
+
+__all__ = ["InMemoryEntityStore"]
+
+
+class InMemoryEntityStore(EntityStore):
+    """All entities in RAM, kept sorted by the stored-model ``eps``."""
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        stats: IOStatistics | None = None,
+        feature_norm_q: float = 1.0,
+    ):
+        cost_model = cost_model if cost_model is not None else CostModel.main_memory()
+        stats = stats if stats is not None else IOStatistics()
+        super().__init__(cost_model, stats, feature_norm_q)
+        self._records: dict[object, EntityRecord] = {}
+        # Sorted list of (eps, entity_id) pairs defining the clustering order,
+        # with a parallel eps-only list for O(log n) binary searches.
+        self._order: list[tuple[float, object]] = []
+        self._order_eps: list[float] = []
+        self._label_counts: dict[int, int] = {1: 0, -1: 0}
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    def bulk_load(
+        self, entities: Iterable[tuple[object, SparseVector]], model: LinearModel
+    ) -> float:
+        """Load every entity, computing eps and label under ``model``."""
+        start = self.cost_snapshot()
+        self._records.clear()
+        self._order.clear()
+        self._label_counts = {1: 0, -1: 0}
+        for entity_id, features in entities:
+            self._observe_features(features)
+            self.charge_dot_product(features)
+            eps = model.margin(features)
+            label = 1 if eps >= 0 else -1
+            record = EntityRecord(entity_id, features, eps, label)
+            if entity_id in self._records:
+                raise DuplicateKeyError(f"duplicate entity id {entity_id!r}")
+            self._records[entity_id] = record
+            self._label_counts[label] += 1
+            self.stats.tuples_written += 1
+            self.stats.charge(self.cost_model.tuple_cpu, "tuple_write")
+        self._rebuild_order()
+        return self.cost_snapshot() - start
+
+    def insert(self, entity_id: object, features: SparseVector, eps: float, label: int) -> None:
+        """Insert one entity at its sorted position."""
+        if entity_id in self._records:
+            raise DuplicateKeyError(f"duplicate entity id {entity_id!r}")
+        self._observe_features(features)
+        record = EntityRecord(entity_id, features, eps, label)
+        self._records[entity_id] = record
+        index = bisect.bisect_left(self._order_eps, eps)
+        self._order.insert(index, (eps, entity_id))
+        self._order_eps.insert(index, eps)
+        self._label_counts[label] = self._label_counts.get(label, 0) + 1
+        self.stats.tuples_written += 1
+        self.stats.charge(self.cost_model.tuple_cpu, "tuple_write")
+
+    def reorganize(self, model: LinearModel) -> float:
+        """Recompute every eps under ``model`` and re-sort (an in-memory sort)."""
+        start = self.cost_snapshot()
+        self._label_counts = {1: 0, -1: 0}
+        for record in self._records.values():
+            self.charge_dot_product(record.features)
+            record.eps = model.margin(record.features)
+            record.label = 1 if record.eps >= 0 else -1
+            self._label_counts[record.label] += 1
+            self.stats.tuples_written += 1
+            self.stats.charge(self.cost_model.tuple_cpu, "tuple_write")
+        self._rebuild_order()
+        self.stats.charge(self.cost_model.sort_cost(len(self._records)), "sort")
+        return self.cost_snapshot() - start
+
+    def _rebuild_order(self) -> None:
+        self._order = sorted(
+            ((record.eps, entity_id) for entity_id, record in self._records.items()),
+            key=lambda pair: pair[0],
+        )
+        self._order_eps = [pair[0] for pair in self._order]
+
+    # -- reads -------------------------------------------------------------------------------
+
+    def get(self, entity_id: object) -> EntityRecord:
+        """O(1) dictionary lookup."""
+        record = self._records.get(entity_id)
+        if record is None:
+            raise KeyNotFoundError(f"no entity with id {entity_id!r}")
+        self.stats.tuples_read += 1
+        self.stats.charge(self.cost_model.tuple_cpu, "tuple_read")
+        return record
+
+    def scan_all(self) -> Iterator[EntityRecord]:
+        """Every record in eps order."""
+        for _, entity_id in self._order:
+            self.stats.tuples_read += 1
+            self.stats.charge(self.cost_model.tuple_cpu, "tuple_read")
+            yield self._records[entity_id]
+
+    def _scan_slice(self, start_index: int, stop_index: int) -> Iterator[EntityRecord]:
+        for position in range(start_index, stop_index):
+            _, entity_id = self._order[position]
+            self.stats.tuples_read += 1
+            self.stats.charge(self.cost_model.tuple_cpu, "tuple_read")
+            yield self._records[entity_id]
+
+    def scan_eps_range(self, low: float, high: float) -> Iterator[EntityRecord]:
+        """Binary search both ends of the band, then walk the slice."""
+        start = bisect.bisect_left(self._order_eps, low)
+        stop = bisect.bisect_right(self._order_eps, high)
+        return self._scan_slice(start, stop)
+
+    def scan_eps_at_least(self, low: float) -> Iterator[EntityRecord]:
+        start = bisect.bisect_left(self._order_eps, low)
+        return self._scan_slice(start, len(self._order))
+
+    def scan_eps_at_most(self, high: float) -> Iterator[EntityRecord]:
+        stop = bisect.bisect_right(self._order_eps, high)
+        return self._scan_slice(0, stop)
+
+    # -- writes ---------------------------------------------------------------------------------
+
+    def update_label(self, entity_id: object, label: int) -> None:
+        """In-place label update (RAM write, CPU cost only)."""
+        record = self._records.get(entity_id)
+        if record is None:
+            raise KeyNotFoundError(f"no entity with id {entity_id!r}")
+        if record.label != label:
+            self._label_counts[record.label] -= 1
+            self._label_counts[label] = self._label_counts.get(label, 0) + 1
+            record.label = label
+        self.stats.tuples_written += 1
+        self.stats.charge(self.cost_model.tuple_cpu, "tuple_write")
+
+    # -- statistics --------------------------------------------------------------------------------
+
+    def count(self) -> int:
+        return len(self._records)
+
+    def count_label(self, label: int) -> int:
+        return self._label_counts.get(label, 0)
+
+    def memory_usage(self) -> dict[str, int]:
+        """Feature vectors dominate; the clustering array adds 16 bytes per entity."""
+        features_bytes = sum(record.features.approx_size_bytes() for record in self._records.values())
+        order_bytes = 16 * len(self._order)
+        record_overhead = 64 * len(self._records)
+        total = features_bytes + order_bytes + record_overhead
+        return {
+            "features": features_bytes,
+            "clustering": order_bytes,
+            "records": record_overhead,
+            "total": total,
+        }

@@ -1,0 +1,199 @@
+"""The on-disk architecture, Hazy-OD (paper §3.2).
+
+The scratch table ``H(id, f, eps, label)`` lives in a heap file behind the
+database's buffer pool.  At each reorganization the heap is rewritten in
+``eps`` order (that is the clustering the paper maintains) and a clustered
+B+-tree over ``eps`` is rebuilt, so scans of the water band touch only the few
+contiguous pages that hold it.  A hash index on the entity id serves Single
+Entity reads.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core.stores.base import EntityRecord, EntityStore
+from repro.db.btree import BPlusTree
+from repro.db.buffer_pool import BufferPool, IOStatistics
+from repro.db.costmodel import CostModel
+from repro.db.hash_index import HashIndex
+from repro.db.heap import HeapFile
+from repro.db.page import RecordId
+from repro.db.types import estimate_value_size
+from repro.exceptions import DuplicateKeyError, KeyNotFoundError
+from repro.learn.model import LinearModel
+from repro.linalg import SparseVector
+
+__all__ = ["OnDiskEntityStore"]
+
+
+def _row_size(row: dict[str, object]) -> int:
+    """Approximate serialized size of an H-row."""
+    return sum(estimate_value_size(value) for value in row.values()) + 8
+
+
+class OnDiskEntityStore(EntityStore):
+    """Heap file + clustered B+-tree on eps + hash index on id.
+
+    Parameters
+    ----------
+    pool:
+        The buffer pool to allocate pages from.  Supplying a pool with a small
+        ``capacity_pages`` models a memory-starved system; an unbounded pool
+        still pays the cold-read and write-back costs that dominate on-disk
+        behaviour right after a reorganization.
+    """
+
+    def __init__(
+        self,
+        pool: BufferPool | None = None,
+        cost_model: CostModel | None = None,
+        stats: IOStatistics | None = None,
+        feature_norm_q: float = 1.0,
+        btree_order: int = 64,
+    ):
+        if pool is None:
+            cost_model = cost_model if cost_model is not None else CostModel()
+            stats = stats if stats is not None else IOStatistics()
+            pool = BufferPool(cost_model, capacity_pages=None, statistics=stats)
+        super().__init__(pool.cost_model, pool.stats, feature_norm_q)
+        self.pool = pool
+        self.heap = HeapFile(pool, sizer=_row_size)
+        self.id_index = HashIndex("id")
+        self.eps_index = BPlusTree(order=btree_order)
+        self._label_counts: dict[int, int] = {1: 0, -1: 0}
+        self._btree_order = btree_order
+
+    # -- lifecycle ------------------------------------------------------------------------
+
+    def bulk_load(
+        self, entities: Iterable[tuple[object, SparseVector]], model: LinearModel
+    ) -> float:
+        """Classify every entity under ``model`` and write the heap in eps order."""
+        start = self.cost_snapshot()
+        staged: list[tuple[object, SparseVector, float, int]] = []
+        for entity_id, features in entities:
+            self._observe_features(features)
+            self.charge_dot_product(features)
+            eps = model.margin(features)
+            staged.append((entity_id, features, eps, 1 if eps >= 0 else -1))
+        self._write_clustered(staged)
+        self.stats.charge(self.cost_model.sort_cost(len(staged)), "sort")
+        return self.cost_snapshot() - start
+
+    def _write_clustered(self, staged: list[tuple[object, SparseVector, float, int]]) -> None:
+        """Rewrite the heap in eps order and rebuild both indexes."""
+        staged.sort(key=lambda item: item[2])
+        self.heap.truncate()
+        self.id_index.clear()
+        self.eps_index = BPlusTree(order=self._btree_order)
+        self._label_counts = {1: 0, -1: 0}
+        seen: set[object] = set()
+        for entity_id, features, eps, label in staged:
+            if entity_id in seen:
+                raise DuplicateKeyError(f"duplicate entity id {entity_id!r}")
+            seen.add(entity_id)
+            rid = self.heap.insert(
+                {"id": entity_id, "eps": eps, "label": label, "features": features}
+            )
+            self.id_index.insert(entity_id, rid)
+            self.eps_index.insert(eps, rid)
+            self._label_counts[label] = self._label_counts.get(label, 0) + 1
+        self.pool.flush_all()
+
+    def insert(self, entity_id: object, features: SparseVector, eps: float, label: int) -> None:
+        """Append one entity (unclustered until the next reorganization)."""
+        if self.id_index.get(entity_id) is not None:
+            raise DuplicateKeyError(f"duplicate entity id {entity_id!r}")
+        self._observe_features(features)
+        rid = self.heap.insert({"id": entity_id, "eps": eps, "label": label, "features": features})
+        self.id_index.insert(entity_id, rid)
+        self.eps_index.insert(eps, rid)
+        self._label_counts[label] = self._label_counts.get(label, 0) + 1
+
+    def reorganize(self, model: LinearModel) -> float:
+        """Recompute eps under ``model``, sort, rewrite the heap, rebuild indexes."""
+        start = self.cost_snapshot()
+        staged: list[tuple[object, SparseVector, float, int]] = []
+        for _, row in self.heap.scan():
+            features = row["features"]
+            self.charge_dot_product(features)
+            eps = model.margin(features)
+            staged.append((row["id"], features, eps, 1 if eps >= 0 else -1))
+        self.stats.charge(self.cost_model.sort_cost(len(staged)), "sort")
+        self._write_clustered(staged)
+        return self.cost_snapshot() - start
+
+    # -- reads -----------------------------------------------------------------------------------
+
+    def _record_from_row(self, row: dict[str, object]) -> EntityRecord:
+        return EntityRecord(row["id"], row["features"], row["eps"], row["label"])
+
+    def get(self, entity_id: object) -> EntityRecord:
+        """Point lookup through the hash index (random page access)."""
+        rid = self.id_index.get(entity_id)
+        if rid is None:
+            raise KeyNotFoundError(f"no entity with id {entity_id!r}")
+        return self._record_from_row(self.heap.read(rid, sequential=False))
+
+    def scan_all(self) -> Iterator[EntityRecord]:
+        """Full sequential scan in physical (clustered) order."""
+        for _, row in self.heap.scan():
+            yield self._record_from_row(row)
+
+    def _scan_rids(self, rids: Iterable[RecordId]) -> Iterator[EntityRecord]:
+        """Read a set of record ids page-by-page so each page is fetched once."""
+        by_page: dict[int, list[RecordId]] = {}
+        for rid in rids:
+            by_page.setdefault(rid.page_id, []).append(rid)
+        for page_id in sorted(by_page):
+            for rid in sorted(by_page[page_id], key=lambda r: r.slot):
+                yield self._record_from_row(self.heap.read(rid, sequential=True))
+
+    def scan_eps_range(self, low: float, high: float) -> Iterator[EntityRecord]:
+        """Water-band scan through the clustered B+-tree."""
+        rids = [rid for _, rid in self.eps_index.range_scan(low, high)]
+        return self._scan_rids(rids)
+
+    def scan_eps_at_least(self, low: float) -> Iterator[EntityRecord]:
+        rids = [rid for _, rid in self.eps_index.range_scan(low, None)]
+        return self._scan_rids(rids)
+
+    def scan_eps_at_most(self, high: float) -> Iterator[EntityRecord]:
+        rids = [rid for _, rid in self.eps_index.range_scan(None, high)]
+        return self._scan_rids(rids)
+
+    # -- writes -------------------------------------------------------------------------------------
+
+    def update_label(self, entity_id: object, label: int) -> None:
+        """In-place page update of the label column (the paper's in-place-write UDF)."""
+        rid = self.id_index.get(entity_id)
+        if rid is None:
+            raise KeyNotFoundError(f"no entity with id {entity_id!r}")
+        row = dict(self.heap.read(rid, sequential=True))
+        if row["label"] != label:
+            self._label_counts[row["label"]] -= 1
+            self._label_counts[label] = self._label_counts.get(label, 0) + 1
+            row["label"] = label
+            self.heap.update(rid, row, sequential=True)
+
+    # -- statistics -----------------------------------------------------------------------------------
+
+    def count(self) -> int:
+        return self.heap.row_count()
+
+    def count_label(self, label: int) -> int:
+        return self._label_counts.get(label, 0)
+
+    def memory_usage(self) -> dict[str, int]:
+        """RAM used: only the indexes (heap pages are 'disk')."""
+        id_index_bytes = 32 * len(self.id_index)
+        eps_index_bytes = 40 * len(self.eps_index)
+        return {
+            "id_index": id_index_bytes,
+            "eps_index": eps_index_bytes,
+            "total": id_index_bytes + eps_index_bytes,
+        }
+
+    def _page_estimate(self) -> int:
+        return self.heap.page_count()

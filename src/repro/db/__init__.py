@@ -1,0 +1,41 @@
+"""A small relational substrate standing in for PostgreSQL.
+
+The Hazy paper runs inside PostgreSQL 8.4; this package provides the pieces of
+an RDBMS that the view-maintenance algorithms actually exercise:
+
+* slotted pages, heap files and an LRU buffer pool with an explicit,
+  deterministic I/O **cost model** (:mod:`repro.db.costmodel`) so that on-disk
+  vs. in-memory comparisons are meaningful without real disks;
+* a clustered B+-tree (:mod:`repro.db.btree`) used to index the scratch table
+  ``H`` on ``eps``, and a hash index for primary-key lookups;
+* tables with schemas, a catalog, and triggers — the mechanism Hazy uses to
+  watch the training-example table for inserts;
+* a small SQL dialect (:mod:`repro.db.sql`) including the
+  ``CREATE CLASSIFICATION VIEW`` statement of the paper's Example 2.1.
+
+Everything lives in process memory; "disk" is simulated by the buffer pool's
+cost accounting, which the benchmarks report alongside wall-clock time.
+"""
+
+from repro.db.buffer_pool import BufferPool, IOStatistics
+from repro.db.catalog import Catalog
+from repro.db.costmodel import CostModel
+from repro.db.database import Database
+from repro.db.schema import Column, TableSchema
+from repro.db.table import Table
+from repro.db.triggers import Trigger, TriggerEvent
+from repro.db.types import DataType
+
+__all__ = [
+    "DataType",
+    "Column",
+    "TableSchema",
+    "Table",
+    "Catalog",
+    "Trigger",
+    "TriggerEvent",
+    "BufferPool",
+    "IOStatistics",
+    "CostModel",
+    "Database",
+]

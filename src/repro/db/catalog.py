@@ -1,0 +1,110 @@
+"""The system catalog: named tables, views, and classification views."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator, Mapping
+
+from repro.db.table import Table
+from repro.exceptions import CatalogError
+
+__all__ = ["Catalog"]
+
+#: A logical (non-materialized) view: a callable producing rows on demand.
+ViewFunction = Callable[[], Iterator[Mapping[str, object]]]
+
+
+class Catalog:
+    """Name -> object mapping for tables, logical views and classification views.
+
+    Names are case-insensitive, as in PostgreSQL's default folding.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, ViewFunction] = {}
+        self._classification_views: dict[str, object] = {}
+
+    # -- tables ---------------------------------------------------------------------
+
+    def register_table(self, table: Table) -> None:
+        """Add a table; duplicate names are an error."""
+        key = table.name.lower()
+        if key in self._tables or key in self._views or key in self._classification_views:
+            raise CatalogError(f"object {table.name!r} already exists")
+        self._tables[key] = table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise CatalogError(f"no table named {name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name.lower() in self._tables
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table from the catalog."""
+        if name.lower() not in self._tables:
+            raise CatalogError(f"no table named {name!r}")
+        del self._tables[name.lower()]
+
+    def table_names(self) -> list[str]:
+        """Sorted table names."""
+        return sorted(table.name for table in self._tables.values())
+
+    # -- logical views -----------------------------------------------------------------
+
+    def register_view(self, name: str, producer: ViewFunction) -> None:
+        """Add a logical view backed by a row-producing callable."""
+        key = name.lower()
+        if key in self._tables or key in self._views or key in self._classification_views:
+            raise CatalogError(f"object {name!r} already exists")
+        self._views[key] = producer
+
+    def view(self, name: str) -> ViewFunction:
+        """Look up a logical view by name."""
+        producer = self._views.get(name.lower())
+        if producer is None:
+            raise CatalogError(f"no view named {name!r}")
+        return producer
+
+    def has_view(self, name: str) -> bool:
+        """Whether a logical view with this name exists."""
+        return name.lower() in self._views
+
+    # -- classification views -------------------------------------------------------------
+
+    def register_classification_view(self, name: str, view: object) -> None:
+        """Add a classification view (maintained by the Hazy engine)."""
+        key = name.lower()
+        if key in self._tables or key in self._views or key in self._classification_views:
+            raise CatalogError(f"object {name!r} already exists")
+        self._classification_views[key] = view
+
+    def classification_view(self, name: str) -> object:
+        """Look up a classification view by name."""
+        view = self._classification_views.get(name.lower())
+        if view is None:
+            raise CatalogError(f"no classification view named {name!r}")
+        return view
+
+    def has_classification_view(self, name: str) -> bool:
+        """Whether a classification view with this name exists."""
+        return name.lower() in self._classification_views
+
+    def classification_view_names(self) -> list[str]:
+        """Sorted classification view names."""
+        return sorted(self._classification_views)
+
+    def resolve(self, name: str) -> object:
+        """Return whichever catalog object (table/view/classification view) matches."""
+        key = name.lower()
+        if key in self._tables:
+            return self._tables[key]
+        if key in self._views:
+            return self._views[key]
+        if key in self._classification_views:
+            return self._classification_views[key]
+        raise CatalogError(f"no catalog object named {name!r}")

@@ -1,0 +1,123 @@
+"""The Database facade: catalog + buffer pool + SQL front-end."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.db.buffer_pool import BufferPool, IOStatistics
+from repro.db.catalog import Catalog
+from repro.db.costmodel import CostModel
+from repro.db.schema import Column, TableSchema
+from repro.db.sql.executor import ResultSet, SQLExecutor
+from repro.db.sql.parser import parse
+from repro.db.table import Table
+from repro.db.types import DataType
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An embedded relational database with simulated I/O accounting.
+
+    Parameters
+    ----------
+    cost_model:
+        Prices for the simulated storage operations; default models an
+        on-disk system.  Use :meth:`repro.db.costmodel.CostModel.main_memory`
+        for an in-memory database.
+    buffer_pool_pages:
+        How many pages the buffer pool may cache (None = unbounded).
+
+    Examples
+    --------
+    >>> db = Database()
+    >>> db.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
+    >>> db.execute("INSERT INTO papers (id, title) VALUES (1, 'Hazy')").rowcount
+    1
+    >>> db.execute("SELECT COUNT(*) FROM papers").scalar()
+    1
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        buffer_pool_pages: int | None = None,
+    ):
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.stats = IOStatistics()
+        self.pool = BufferPool(self.cost_model, buffer_pool_pages, self.stats)
+        self.catalog = Catalog()
+        self.executor = SQLExecutor(self)
+
+    # -- schema management ---------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create a table from a schema object and register it in the catalog."""
+        table = Table(schema, self.pool)
+        self.catalog.register_table(table)
+        return table
+
+    def create_table_from_columns(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, DataType | str]],
+        primary_key: str | None = None,
+    ) -> Table:
+        """Convenience: create a table from ``(name, type)`` pairs."""
+        schema_columns = [
+            Column(
+                column_name,
+                data_type if isinstance(data_type, DataType) else DataType.from_name(data_type),
+            )
+            for column_name, data_type in columns
+        ]
+        return self.create_table(TableSchema(name, schema_columns, primary_key=primary_key))
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and release its pages."""
+        table = self.catalog.table(name)
+        table.truncate()
+        self.catalog.drop_table(name)
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        return self.catalog.table(name)
+
+    # -- SQL -------------------------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: tuple | list | None = None) -> ResultSet:
+        """Parse and execute one SQL statement."""
+        return self.executor.execute(parse(sql), parameters)
+
+    def executemany(self, sql: str, parameter_rows: Sequence[Sequence[object]]) -> int:
+        """Execute a prepared statement once per parameter row; returns total rowcount."""
+        statement = parse(sql)
+        total = 0
+        for parameters in parameter_rows:
+            total += self.executor.execute(statement, parameters).rowcount
+        return total
+
+    # -- convenience ------------------------------------------------------------------------
+
+    def insert_row(self, table_name: str, row: Mapping[str, object]) -> None:
+        """Insert a row dict directly (bypasses SQL parsing, keeps triggers/costs)."""
+        self.catalog.table(table_name).insert(row)
+
+    def io_snapshot(self) -> IOStatistics:
+        """Copy of the database-wide I/O statistics."""
+        return self.stats.snapshot()
+
+    def reset_statistics(self) -> None:
+        """Zero the I/O ledger (used between benchmark phases)."""
+        fresh = IOStatistics()
+        self.stats.page_reads = fresh.page_reads
+        self.stats.page_writes = fresh.page_writes
+        self.stats.sequential_reads = fresh.sequential_reads
+        self.stats.random_reads = fresh.random_reads
+        self.stats.buffer_hits = fresh.buffer_hits
+        self.stats.buffer_misses = fresh.buffer_misses
+        self.stats.tuples_read = fresh.tuples_read
+        self.stats.tuples_written = fresh.tuples_written
+        self.stats.dot_products = fresh.dot_products
+        self.stats.simulated_seconds = 0.0
+        self.stats.detail.clear()

@@ -1,0 +1,64 @@
+"""Hash index on a single column (the paper's primary-key lookup path).
+
+Both the eager and lazy architectures "maintain a hash index to efficiently
+locate the tuple corresponding to the single entity" — that index is this
+class: an equality-only map from key value to record id.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.db.page import RecordId
+from repro.exceptions import DuplicateKeyError, KeyNotFoundError
+
+__all__ = ["HashIndex"]
+
+
+class HashIndex:
+    """Unique hash index: key value -> :class:`~repro.db.page.RecordId`."""
+
+    def __init__(self, column: str):
+        self.column = column
+        self._entries: dict[object, RecordId] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def insert(self, key: object, rid: RecordId) -> None:
+        """Register ``key`` -> ``rid``; duplicate keys are an error."""
+        if key in self._entries:
+            raise DuplicateKeyError(f"duplicate key {key!r} on column {self.column!r}")
+        self._entries[key] = rid
+
+    def lookup(self, key: object) -> RecordId:
+        """Return the record id for ``key`` or raise :class:`KeyNotFoundError`."""
+        rid = self._entries.get(key)
+        if rid is None:
+            raise KeyNotFoundError(f"no row with {self.column} = {key!r}")
+        return rid
+
+    def get(self, key: object) -> RecordId | None:
+        """Return the record id for ``key`` or None."""
+        return self._entries.get(key)
+
+    def update(self, key: object, rid: RecordId) -> None:
+        """Repoint an existing key at a new record id (used after heap rewrites)."""
+        if key not in self._entries:
+            raise KeyNotFoundError(f"no row with {self.column} = {key!r}")
+        self._entries[key] = rid
+
+    def delete(self, key: object) -> None:
+        """Remove ``key`` from the index (no-op if absent)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._entries.clear()
+
+    def keys(self) -> Iterator[object]:
+        """Iterate over the indexed key values."""
+        return iter(self._entries)

@@ -1,0 +1,47 @@
+"""A small SQL dialect for the relational substrate.
+
+The dialect covers what the paper's examples and experiments need:
+
+* ``CREATE TABLE`` / ``DROP TABLE``
+* ``INSERT INTO ... VALUES`` (with ``?`` placeholders for prepared statements)
+* ``SELECT`` with ``*``, column lists or ``COUNT(*)``, ``WHERE`` conjunctions
+  of simple comparisons, ``ORDER BY`` and ``LIMIT``
+* ``UPDATE ... SET ... WHERE`` and ``DELETE FROM ... WHERE``
+* ``CREATE CLASSIFICATION VIEW`` — the model-based view DDL of Example 2.1
+
+Parsing produces plain dataclass AST nodes (:mod:`repro.db.sql.ast`); the
+executor (:mod:`repro.db.sql.executor`) evaluates them against a
+:class:`~repro.db.database.Database`.
+"""
+
+from repro.db.sql.ast import (
+    ColumnDefinition,
+    Comparison,
+    CreateClassificationView,
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Select,
+    Update,
+)
+from repro.db.sql.lexer import Token, TokenType, tokenize
+from repro.db.sql.parser import parse
+from repro.db.sql.executor import SQLExecutor
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "parse",
+    "SQLExecutor",
+    "CreateTable",
+    "DropTable",
+    "ColumnDefinition",
+    "Insert",
+    "Select",
+    "Update",
+    "Delete",
+    "Comparison",
+    "CreateClassificationView",
+]

@@ -1,0 +1,131 @@
+"""AST node dataclasses for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Statement",
+    "ColumnDefinition",
+    "CreateTable",
+    "DropTable",
+    "Insert",
+    "Comparison",
+    "Select",
+    "Update",
+    "Delete",
+    "CreateClassificationView",
+]
+
+
+class Statement:
+    """Marker base class for parsed statements."""
+
+
+@dataclass(frozen=True)
+class ColumnDefinition:
+    """One column in a ``CREATE TABLE``: name, SQL type name, constraints."""
+
+    name: str
+    type_name: str
+    nullable: bool = True
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    """``CREATE TABLE name (columns...)``."""
+
+    table: str
+    columns: tuple[ColumnDefinition, ...]
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    """``DROP TABLE name``."""
+
+    table: str
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """``INSERT INTO table (columns) VALUES (...), (...)``.
+
+    Values may contain the sentinel :data:`PLACEHOLDER` for prepared-statement
+    parameters bound at execution time.
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+
+
+#: Sentinel used in Insert/Comparison values for ``?`` placeholders.
+PLACEHOLDER = object()
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A simple predicate ``column op literal`` (op in =, !=, <, <=, >, >=)."""
+
+    column: str
+    operator: str
+    value: object
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """``SELECT columns FROM table [WHERE ...] [ORDER BY ...] [LIMIT n]``."""
+
+    table: str
+    columns: tuple[str, ...]  # ("*",) or explicit column names
+    where: tuple[Comparison, ...] = ()
+    order_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+    count: bool = False  # True for SELECT COUNT(*)
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    """``UPDATE table SET col = value, ... [WHERE ...]``."""
+
+    table: str
+    assignments: tuple[tuple[str, object], ...]
+    where: tuple[Comparison, ...] = ()
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    """``DELETE FROM table [WHERE ...]``."""
+
+    table: str
+    where: tuple[Comparison, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateClassificationView(Statement):
+    """The model-based view DDL of the paper's Example 2.1.
+
+    ::
+
+        CREATE CLASSIFICATION VIEW Labeled_Papers KEY id
+        ENTITIES FROM Papers KEY id
+        LABELS FROM Paper_Area LABEL l
+        EXAMPLES FROM Example_Papers KEY id LABEL l
+        FEATURE FUNCTION tf_bag_of_words
+        USING SVM
+    """
+
+    view_name: str
+    view_key: str
+    entities_table: str
+    entities_key: str
+    labels_table: str | None
+    labels_column: str | None
+    examples_table: str
+    examples_key: str
+    examples_label: str
+    feature_function: str
+    method: str | None = None
+    options: dict[str, str] = field(default_factory=dict)

@@ -1,0 +1,274 @@
+"""Execution of parsed SQL statements against a Database."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.db.schema import Column, TableSchema
+from repro.db.sql.ast import (
+    PLACEHOLDER,
+    Comparison,
+    CreateClassificationView,
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Select,
+    Statement,
+    Update,
+)
+from repro.db.types import DataType
+from repro.exceptions import SQLExecutionError
+
+__all__ = ["ResultSet", "SQLExecutor"]
+
+
+@dataclass
+class ResultSet:
+    """The result of executing one SQL statement.
+
+    ``rows`` holds the result rows for SELECT (a single ``{"count": n}`` row
+    for COUNT queries); ``rowcount`` is the number of rows affected for DML
+    and the number of rows returned for queries.
+    """
+
+    rows: list[dict[str, object]] = field(default_factory=list)
+    rowcount: int = 0
+    statement_type: str = ""
+
+    def scalar(self) -> object:
+        """First column of the first row (e.g. the COUNT(*) value)."""
+        if not self.rows:
+            raise SQLExecutionError("result set is empty")
+        first = self.rows[0]
+        return next(iter(first.values()))
+
+
+#: Handler invoked for CREATE CLASSIFICATION VIEW; installed by the Hazy engine.
+ClassificationViewHandler = Callable[[CreateClassificationView], None]
+#: Row provider for SELECTs against a classification view (installed by the engine).
+ClassificationViewReader = Callable[[str], Iterable[Mapping[str, object]]]
+
+
+class SQLExecutor:
+    """Evaluates AST statements against a :class:`~repro.db.database.Database`."""
+
+    def __init__(self, database) -> None:  # Database; untyped to avoid an import cycle
+        self._database = database
+        self._classification_view_handler: ClassificationViewHandler | None = None
+        self._classification_view_reader: ClassificationViewReader | None = None
+
+    # -- extension hooks (the Hazy engine registers these) -----------------------------
+
+    def set_classification_view_handler(self, handler: ClassificationViewHandler) -> None:
+        """Install the callback that materializes ``CREATE CLASSIFICATION VIEW``."""
+        self._classification_view_handler = handler
+
+    def set_classification_view_reader(self, reader: ClassificationViewReader) -> None:
+        """Install the callback that produces rows for classification views."""
+        self._classification_view_reader = reader
+
+    # -- entry point ---------------------------------------------------------------------
+
+    def execute(self, statement: Statement, parameters: tuple | list | None = None) -> ResultSet:
+        """Execute one parsed statement, binding ``?`` placeholders from ``parameters``."""
+        parameters = list(parameters or [])
+        if isinstance(statement, CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, DropTable):
+            return self._execute_drop_table(statement)
+        if isinstance(statement, CreateClassificationView):
+            return self._execute_create_classification_view(statement)
+        if isinstance(statement, Insert):
+            return self._execute_insert(statement, parameters)
+        if isinstance(statement, Select):
+            return self._execute_select(statement, parameters)
+        if isinstance(statement, Update):
+            return self._execute_update(statement, parameters)
+        if isinstance(statement, Delete):
+            return self._execute_delete(statement, parameters)
+        raise SQLExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    # -- DDL ----------------------------------------------------------------------------
+
+    def _execute_create_table(self, statement: CreateTable) -> ResultSet:
+        columns = [
+            Column(defn.name, DataType.from_name(defn.type_name), nullable=defn.nullable)
+            for defn in statement.columns
+        ]
+        primary_keys = [defn.name for defn in statement.columns if defn.primary_key]
+        if len(primary_keys) > 1:
+            raise SQLExecutionError("composite primary keys are not supported")
+        schema = TableSchema(
+            statement.table, columns, primary_key=primary_keys[0] if primary_keys else None
+        )
+        self._database.create_table(schema)
+        return ResultSet(statement_type="CREATE TABLE")
+
+    def _execute_drop_table(self, statement: DropTable) -> ResultSet:
+        self._database.drop_table(statement.table)
+        return ResultSet(statement_type="DROP TABLE")
+
+    def _execute_create_classification_view(
+        self, statement: CreateClassificationView
+    ) -> ResultSet:
+        if self._classification_view_handler is None:
+            raise SQLExecutionError(
+                "CREATE CLASSIFICATION VIEW requires a Hazy engine; "
+                "construct repro.core.HazyEngine over this database first"
+            )
+        self._classification_view_handler(statement)
+        return ResultSet(statement_type="CREATE CLASSIFICATION VIEW")
+
+    # -- DML ----------------------------------------------------------------------------
+
+    def _execute_insert(self, statement: Insert, parameters: list) -> ResultSet:
+        table = self._database.catalog.table(statement.table)
+        columns = list(statement.columns) or table.schema.column_names()
+        inserted = 0
+        cursor = 0
+        for literal_row in statement.rows:
+            if len(literal_row) != len(columns):
+                raise SQLExecutionError(
+                    f"INSERT expects {len(columns)} values per row, got {len(literal_row)}"
+                )
+            bound_row: dict[str, object] = {}
+            for column, literal in zip(columns, literal_row):
+                value = literal
+                if literal is PLACEHOLDER:
+                    if cursor >= len(parameters):
+                        raise SQLExecutionError("not enough parameters for placeholders")
+                    value = parameters[cursor]
+                    cursor += 1
+                bound_row[column] = value
+            table.insert(bound_row)
+            inserted += 1
+        return ResultSet(rowcount=inserted, statement_type="INSERT")
+
+    def _bind_where(
+        self, where: tuple[Comparison, ...], parameters: list, cursor: int
+    ) -> tuple[list[Comparison], int]:
+        bound: list[Comparison] = []
+        for comparison in where:
+            value = comparison.value
+            if value is PLACEHOLDER:
+                if cursor >= len(parameters):
+                    raise SQLExecutionError("not enough parameters for placeholders")
+                value = parameters[cursor]
+                cursor += 1
+            bound.append(Comparison(comparison.column, comparison.operator, value))
+        return bound, cursor
+
+    @staticmethod
+    def _matches(row: Mapping[str, object], comparisons: Iterable[Comparison]) -> bool:
+        for comparison in comparisons:
+            matched_key = next(
+                (key for key in row if key.lower() == comparison.column.lower()), None
+            )
+            if matched_key is None:
+                raise SQLExecutionError(f"unknown column {comparison.column!r} in WHERE clause")
+            actual = row[matched_key]
+            expected = comparison.value
+            op = comparison.operator
+            if op == "=":
+                ok = actual == expected
+            elif op == "!=":
+                ok = actual != expected
+            else:
+                if actual is None or expected is None:
+                    ok = False
+                elif op == "<":
+                    ok = actual < expected
+                elif op == "<=":
+                    ok = actual <= expected
+                elif op == ">":
+                    ok = actual > expected
+                elif op == ">=":
+                    ok = actual >= expected
+                else:  # pragma: no cover - parser restricts operators
+                    raise SQLExecutionError(f"unsupported operator {op!r}")
+            if not ok:
+                return False
+        return True
+
+    def _rows_for(self, table_name: str) -> Iterable[Mapping[str, object]]:
+        catalog = self._database.catalog
+        if catalog.has_table(table_name):
+            return catalog.table(table_name).scan()
+        if catalog.has_classification_view(table_name):
+            if self._classification_view_reader is None:
+                raise SQLExecutionError(
+                    f"classification view {table_name!r} exists but no engine is attached"
+                )
+            return self._classification_view_reader(table_name)
+        if catalog.has_view(table_name):
+            return catalog.view(table_name)()
+        raise SQLExecutionError(f"no table or view named {table_name!r}")
+
+    def _execute_select(self, statement: Select, parameters: list) -> ResultSet:
+        where, _ = self._bind_where(statement.where, parameters, 0)
+        matching = [dict(row) for row in self._rows_for(statement.table) if self._matches(row, where)]
+        if statement.order_by is not None:
+            column = statement.order_by
+
+            def sort_key(row: dict[str, object]):
+                matched = next((key for key in row if key.lower() == column.lower()), None)
+                if matched is None:
+                    raise SQLExecutionError(f"unknown ORDER BY column {column!r}")
+                value = row[matched]
+                return (value is None, value)
+
+            matching.sort(key=sort_key, reverse=statement.descending)
+        if statement.limit is not None:
+            matching = matching[: statement.limit]
+        if statement.count:
+            return ResultSet(
+                rows=[{"count": len(matching)}], rowcount=1, statement_type="SELECT"
+            )
+        if statement.columns != ("*",):
+            projected = []
+            for row in matching:
+                out: dict[str, object] = {}
+                for wanted in statement.columns:
+                    matched = next((key for key in row if key.lower() == wanted.lower()), None)
+                    if matched is None:
+                        raise SQLExecutionError(f"unknown column {wanted!r} in SELECT list")
+                    out[matched] = row[matched]
+                projected.append(out)
+            matching = projected
+        return ResultSet(rows=matching, rowcount=len(matching), statement_type="SELECT")
+
+    def _execute_update(self, statement: Update, parameters: list) -> ResultSet:
+        table = self._database.catalog.table(statement.table)
+        cursor = 0
+        assignments: list[tuple[str, object]] = []
+        for column, literal in statement.assignments:
+            value = literal
+            if literal is PLACEHOLDER:
+                if cursor >= len(parameters):
+                    raise SQLExecutionError("not enough parameters for placeholders")
+                value = parameters[cursor]
+                cursor += 1
+            assignments.append((column, value))
+        where, cursor = self._bind_where(statement.where, parameters, cursor)
+        if table.schema.primary_key is None:
+            raise SQLExecutionError(f"UPDATE requires a primary key on {statement.table!r}")
+        pk = table.schema.primary_key
+        keys_to_update = [
+            row[pk] for row in table.scan() if self._matches(row, where)
+        ]
+        for key in keys_to_update:
+            table.update_by_key(key, dict(assignments))
+        return ResultSet(rowcount=len(keys_to_update), statement_type="UPDATE")
+
+    def _execute_delete(self, statement: Delete, parameters: list) -> ResultSet:
+        table = self._database.catalog.table(statement.table)
+        where, _ = self._bind_where(statement.where, parameters, 0)
+        if table.schema.primary_key is None:
+            raise SQLExecutionError(f"DELETE requires a primary key on {statement.table!r}")
+        pk = table.schema.primary_key
+        keys_to_delete = [row[pk] for row in table.scan() if self._matches(row, where)]
+        for key in keys_to_delete:
+            table.delete_by_key(key)
+        return ResultSet(rowcount=len(keys_to_delete), statement_type="DELETE")

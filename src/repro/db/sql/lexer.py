@@ -1,0 +1,124 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import SQLSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :func:`tokenize`."""
+
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    PLACEHOLDER = "placeholder"
+    END = "end"
+
+
+#: Words treated as keywords (case-insensitive). Everything else is an identifier.
+KEYWORDS = frozenset(
+    {
+        "create", "table", "drop", "insert", "into", "values", "select", "from",
+        "where", "and", "or", "not", "null", "primary", "key", "update", "set",
+        "delete", "order", "by", "asc", "desc", "limit", "count", "classification",
+        "view", "entities", "labels", "label", "examples", "feature", "function",
+        "using", "as", "true", "false",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+_PUNCTUATION = "(),;*."
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: its type, normalized text, and position in the input."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        """True when this token is one of the given keywords (case-insensitive)."""
+        return self.type is TokenType.KEYWORD and self.value.lower() in {
+            k.lower() for k in keywords
+        }
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SQLSyntaxError` on unknown characters."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "-" and index + 1 < length and sql[index + 1] == "-":
+            # SQL comment: skip to end of line.
+            newline = sql.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+        if char == "?":
+            tokens.append(Token(TokenType.PLACEHOLDER, "?", index))
+            index += 1
+            continue
+        if char in ("'", '"'):
+            end = index + 1
+            pieces: list[str] = []
+            while end < length:
+                if sql[end] == char:
+                    if end + 1 < length and sql[end + 1] == char:
+                        pieces.append(char)
+                        end += 2
+                        continue
+                    break
+                pieces.append(sql[end])
+                end += 1
+            if end >= length:
+                raise SQLSyntaxError(f"unterminated string literal at position {index}")
+            tokens.append(Token(TokenType.STRING, "".join(pieces), index))
+            index = end + 1
+            continue
+        matched_operator = next((op for op in _OPERATORS if sql.startswith(op, index)), None)
+        if matched_operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, index))
+            index += len(matched_operator)
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, char, index))
+            index += 1
+            continue
+        if char.isdigit() or (
+            char in "+-" and index + 1 < length and (sql[index + 1].isdigit() or sql[index + 1] == ".")
+        ):
+            end = index + 1
+            while end < length and (sql[end].isdigit() or sql[end] in ".eE+-"):
+                # Stop a numeric token when +/- is not part of an exponent.
+                if sql[end] in "+-" and sql[end - 1] not in "eE":
+                    break
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, sql[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index + 1
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[index:end]
+            token_type = TokenType.KEYWORD if word.lower() in KEYWORDS else TokenType.IDENTIFIER
+            tokens.append(Token(token_type, word, index))
+            index = end
+            continue
+        raise SQLSyntaxError(f"unexpected character {char!r} at position {index}")
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,334 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from repro.db.sql.ast import (
+    PLACEHOLDER,
+    ColumnDefinition,
+    Comparison,
+    CreateClassificationView,
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    Select,
+    Statement,
+    Update,
+)
+from repro.db.sql.lexer import Token, TokenType, tokenize
+from repro.exceptions import SQLSyntaxError
+
+__all__ = ["parse"]
+
+
+def parse(sql: str) -> Statement:
+    """Parse a single SQL statement into an AST node."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+class _Parser:
+    """A hand-written recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token utilities ----------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.type is not TokenType.END:
+            self._position += 1
+        return token
+
+    def _expect_keyword(self, *keywords: str) -> Token:
+        token = self._advance()
+        if not token.matches_keyword(*keywords):
+            raise SQLSyntaxError(
+                f"expected {' or '.join(k.upper() for k in keywords)} "
+                f"but found {token.value!r} at position {token.position}"
+            )
+        return token
+
+    def _expect_punctuation(self, symbol: str) -> Token:
+        token = self._advance()
+        if token.type is not TokenType.PUNCTUATION or token.value != symbol:
+            raise SQLSyntaxError(
+                f"expected {symbol!r} but found {token.value!r} at position {token.position}"
+            )
+        return token
+
+    def _expect_identifier(self) -> str:
+        token = self._advance()
+        if token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
+            raise SQLSyntaxError(
+                f"expected an identifier but found {token.value!r} at position {token.position}"
+            )
+        return token.value
+
+    def _accept_keyword(self, *keywords: str) -> bool:
+        if self._peek().matches_keyword(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _accept_punctuation(self, symbol: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.value == symbol:
+            self._advance()
+            return True
+        return False
+
+    def _at_end(self) -> bool:
+        token = self._peek()
+        return token.type is TokenType.END or (
+            token.type is TokenType.PUNCTUATION and token.value == ";"
+        )
+
+    # -- literals -----------------------------------------------------------------------
+
+    def _parse_literal(self) -> object:
+        token = self._advance()
+        if token.type is TokenType.PLACEHOLDER:
+            return PLACEHOLDER
+        if token.type is TokenType.NUMBER:
+            text = token.value
+            if any(c in text for c in ".eE"):
+                return float(text)
+            return int(text)
+        if token.type is TokenType.STRING:
+            return token.value
+        if token.matches_keyword("null"):
+            return None
+        if token.matches_keyword("true"):
+            return True
+        if token.matches_keyword("false"):
+            return False
+        raise SQLSyntaxError(f"expected a literal but found {token.value!r} at {token.position}")
+
+    # -- statements ------------------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        """Parse exactly one statement and ensure nothing trails it."""
+        token = self._peek()
+        if token.matches_keyword("create"):
+            statement = self._parse_create()
+        elif token.matches_keyword("drop"):
+            statement = self._parse_drop()
+        elif token.matches_keyword("insert"):
+            statement = self._parse_insert()
+        elif token.matches_keyword("select"):
+            statement = self._parse_select()
+        elif token.matches_keyword("update"):
+            statement = self._parse_update()
+        elif token.matches_keyword("delete"):
+            statement = self._parse_delete()
+        else:
+            raise SQLSyntaxError(f"unsupported statement starting with {token.value!r}")
+        self._accept_punctuation(";")
+        trailing = self._peek()
+        if trailing.type is not TokenType.END:
+            raise SQLSyntaxError(
+                f"unexpected trailing input {trailing.value!r} at position {trailing.position}"
+            )
+        return statement
+
+    def _parse_create(self) -> Statement:
+        self._expect_keyword("create")
+        if self._peek().matches_keyword("classification"):
+            return self._parse_create_classification_view()
+        self._expect_keyword("table")
+        table = self._expect_identifier()
+        self._expect_punctuation("(")
+        columns: list[ColumnDefinition] = []
+        while True:
+            name = self._expect_identifier()
+            type_name = self._expect_identifier()
+            nullable = True
+            primary_key = False
+            while True:
+                if self._accept_keyword("not"):
+                    self._expect_keyword("null")
+                    nullable = False
+                elif self._accept_keyword("primary"):
+                    self._expect_keyword("key")
+                    primary_key = True
+                    nullable = False
+                else:
+                    break
+            columns.append(ColumnDefinition(name, type_name, nullable, primary_key))
+            if not self._accept_punctuation(","):
+                break
+        self._expect_punctuation(")")
+        return CreateTable(table=table, columns=tuple(columns))
+
+    def _parse_create_classification_view(self) -> CreateClassificationView:
+        self._expect_keyword("classification")
+        self._expect_keyword("view")
+        view_name = self._expect_identifier()
+        self._expect_keyword("key")
+        view_key = self._expect_identifier()
+
+        self._expect_keyword("entities")
+        self._expect_keyword("from")
+        entities_table = self._expect_identifier()
+        self._expect_keyword("key")
+        entities_key = self._expect_identifier()
+
+        labels_table: str | None = None
+        labels_column: str | None = None
+        if self._accept_keyword("labels"):
+            self._expect_keyword("from")
+            labels_table = self._expect_identifier()
+            self._expect_keyword("label")
+            labels_column = self._expect_identifier()
+
+        self._expect_keyword("examples")
+        self._expect_keyword("from")
+        examples_table = self._expect_identifier()
+        self._expect_keyword("key")
+        examples_key = self._expect_identifier()
+        self._expect_keyword("label")
+        examples_label = self._expect_identifier()
+
+        self._expect_keyword("feature")
+        self._expect_keyword("function")
+        feature_function = self._expect_identifier()
+
+        method: str | None = None
+        if self._accept_keyword("using"):
+            method = self._expect_identifier()
+
+        return CreateClassificationView(
+            view_name=view_name,
+            view_key=view_key,
+            entities_table=entities_table,
+            entities_key=entities_key,
+            labels_table=labels_table,
+            labels_column=labels_column,
+            examples_table=examples_table,
+            examples_key=examples_key,
+            examples_label=examples_label,
+            feature_function=feature_function,
+            method=method,
+        )
+
+    def _parse_drop(self) -> DropTable:
+        self._expect_keyword("drop")
+        self._expect_keyword("table")
+        return DropTable(table=self._expect_identifier())
+
+    def _parse_insert(self) -> Insert:
+        self._expect_keyword("insert")
+        self._expect_keyword("into")
+        table = self._expect_identifier()
+        columns: list[str] = []
+        if self._accept_punctuation("("):
+            while True:
+                columns.append(self._expect_identifier())
+                if not self._accept_punctuation(","):
+                    break
+            self._expect_punctuation(")")
+        self._expect_keyword("values")
+        rows: list[tuple[object, ...]] = []
+        while True:
+            self._expect_punctuation("(")
+            values: list[object] = []
+            while True:
+                values.append(self._parse_literal())
+                if not self._accept_punctuation(","):
+                    break
+            self._expect_punctuation(")")
+            rows.append(tuple(values))
+            if not self._accept_punctuation(","):
+                break
+        return Insert(table=table, columns=tuple(columns), rows=tuple(rows))
+
+    def _parse_where(self) -> tuple[Comparison, ...]:
+        if not self._accept_keyword("where"):
+            return ()
+        comparisons: list[Comparison] = []
+        while True:
+            column = self._expect_identifier()
+            operator_token = self._advance()
+            if operator_token.type is not TokenType.OPERATOR:
+                raise SQLSyntaxError(
+                    f"expected a comparison operator at position {operator_token.position}"
+                )
+            operator = "!=" if operator_token.value == "<>" else operator_token.value
+            value = self._parse_literal()
+            comparisons.append(Comparison(column=column, operator=operator, value=value))
+            if not self._accept_keyword("and"):
+                break
+        return tuple(comparisons)
+
+    def _parse_select(self) -> Select:
+        self._expect_keyword("select")
+        count = False
+        columns: list[str] = []
+        if self._peek().matches_keyword("count"):
+            self._advance()
+            self._expect_punctuation("(")
+            self._expect_punctuation("*")
+            self._expect_punctuation(")")
+            count = True
+        elif self._accept_punctuation("*"):
+            columns = ["*"]
+        else:
+            while True:
+                columns.append(self._expect_identifier())
+                if not self._accept_punctuation(","):
+                    break
+        self._expect_keyword("from")
+        table = self._expect_identifier()
+        where = self._parse_where()
+        order_by: str | None = None
+        descending = False
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by = self._expect_identifier()
+            if self._accept_keyword("desc"):
+                descending = True
+            else:
+                self._accept_keyword("asc")
+        limit: int | None = None
+        if self._accept_keyword("limit"):
+            literal = self._parse_literal()
+            if not isinstance(literal, int):
+                raise SQLSyntaxError("LIMIT expects an integer literal")
+            limit = literal
+        return Select(
+            table=table,
+            columns=tuple(columns) if columns else ("*",),
+            where=where,
+            order_by=order_by,
+            descending=descending,
+            limit=limit,
+            count=count,
+        )
+
+    def _parse_update(self) -> Update:
+        self._expect_keyword("update")
+        table = self._expect_identifier()
+        self._expect_keyword("set")
+        assignments: list[tuple[str, object]] = []
+        while True:
+            column = self._expect_identifier()
+            operator = self._advance()
+            if operator.type is not TokenType.OPERATOR or operator.value != "=":
+                raise SQLSyntaxError(f"expected '=' in SET clause at {operator.position}")
+            assignments.append((column, self._parse_literal()))
+            if not self._accept_punctuation(","):
+                break
+        where = self._parse_where()
+        return Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _parse_delete(self) -> Delete:
+        self._expect_keyword("delete")
+        self._expect_keyword("from")
+        table = self._expect_identifier()
+        where = self._parse_where()
+        return Delete(table=table, where=where)

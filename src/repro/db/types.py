@@ -1,0 +1,113 @@
+"""Column data types and value coercion for the relational substrate."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import SchemaError
+from repro.linalg import SparseVector
+
+__all__ = ["DataType", "coerce_value", "estimate_value_size"]
+
+
+class DataType(enum.Enum):
+    """The column types the substrate supports.
+
+    ``VECTOR`` holds a sparse feature vector — PostgreSQL-Hazy stores these as
+    a user-defined type; here they are first-class column values.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    VECTOR = "vector"
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        """Resolve a SQL type name (``int``, ``double``, ``varchar`` ...)."""
+        key = name.strip().lower()
+        aliases = {
+            "int": cls.INTEGER,
+            "integer": cls.INTEGER,
+            "bigint": cls.INTEGER,
+            "serial": cls.INTEGER,
+            "float": cls.FLOAT,
+            "double": cls.FLOAT,
+            "real": cls.FLOAT,
+            "numeric": cls.FLOAT,
+            "text": cls.TEXT,
+            "varchar": cls.TEXT,
+            "char": cls.TEXT,
+            "string": cls.TEXT,
+            "bool": cls.BOOLEAN,
+            "boolean": cls.BOOLEAN,
+            "vector": cls.VECTOR,
+            "feature_vector": cls.VECTOR,
+        }
+        if key not in aliases:
+            raise SchemaError(f"unknown SQL type {name!r}")
+        return aliases[key]
+
+
+def coerce_value(value: object, data_type: DataType, column_name: str = "?") -> object:
+    """Coerce ``value`` to the python representation of ``data_type``.
+
+    ``None`` passes through for every type (NULL).  Raises
+    :class:`~repro.exceptions.SchemaError` when the value cannot represent the
+    declared type.
+    """
+    if value is None:
+        return None
+    try:
+        if data_type is DataType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, float) and not value.is_integer():
+                raise SchemaError(
+                    f"column {column_name!r}: cannot store non-integral {value!r} as INTEGER"
+                )
+            return int(value)
+        if data_type is DataType.FLOAT:
+            return float(value)
+        if data_type is DataType.TEXT:
+            return str(value)
+        if data_type is DataType.BOOLEAN:
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "t", "1"):
+                    return True
+                if lowered in ("false", "f", "0"):
+                    return False
+                raise SchemaError(f"column {column_name!r}: invalid boolean literal {value!r}")
+            return bool(value)
+        if data_type is DataType.VECTOR:
+            if isinstance(value, SparseVector):
+                return value
+            if isinstance(value, dict):
+                return SparseVector(value)
+            raise SchemaError(
+                f"column {column_name!r}: expected a SparseVector, got {type(value).__name__}"
+            )
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(
+            f"column {column_name!r}: cannot coerce {value!r} to {data_type.value}"
+        ) from exc
+    raise SchemaError(f"unhandled data type {data_type!r}")  # pragma: no cover
+
+
+def estimate_value_size(value: object) -> int:
+    """Approximate on-disk size in bytes, used for page capacity accounting."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value.encode("utf-8", errors="replace")) + 4
+    if isinstance(value, SparseVector):
+        return value.approx_size_bytes()
+    return 16

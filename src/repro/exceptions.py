@@ -1,0 +1,92 @@
+"""Exception hierarchy shared by all of the Hazy reproduction packages.
+
+Every error raised by this library derives from :class:`HazyError`, so callers
+can catch one base class when they want to treat "anything Hazy did wrong" as a
+single failure mode while still being able to distinguish the database
+substrate, the learning substrate, and the view-maintenance core.
+"""
+
+from __future__ import annotations
+
+
+class HazyError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(HazyError):
+    """An invalid option or parameter was supplied to a public API."""
+
+
+# ---------------------------------------------------------------------------
+# Database substrate
+# ---------------------------------------------------------------------------
+
+
+class DatabaseError(HazyError):
+    """Base class for errors raised by the relational substrate ``repro.db``."""
+
+
+class SchemaError(DatabaseError):
+    """A table/column definition is invalid or a value violates the schema."""
+
+
+class CatalogError(DatabaseError):
+    """A named object (table, view, index, trigger) is missing or duplicated."""
+
+
+class DuplicateKeyError(DatabaseError):
+    """An insert or index update violated a primary-key/unique constraint."""
+
+
+class KeyNotFoundError(DatabaseError):
+    """A lookup by primary key found no matching tuple."""
+
+
+class PageError(DatabaseError):
+    """Low-level page/heap file corruption or capacity violation."""
+
+
+class SQLError(DatabaseError):
+    """Base class for SQL front-end problems."""
+
+
+class SQLSyntaxError(SQLError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class SQLExecutionError(SQLError):
+    """The SQL statement parsed but could not be executed."""
+
+
+# ---------------------------------------------------------------------------
+# Learning substrate
+# ---------------------------------------------------------------------------
+
+
+class LearningError(HazyError):
+    """Base class for errors raised by ``repro.learn``."""
+
+
+class NotFittedError(LearningError):
+    """A model was used for prediction before it was trained."""
+
+
+class FeatureError(HazyError):
+    """A feature function was misused (e.g. stats not computed first)."""
+
+
+# ---------------------------------------------------------------------------
+# View maintenance core
+# ---------------------------------------------------------------------------
+
+
+class ViewError(HazyError):
+    """Base class for errors raised by the classification-view core."""
+
+
+class ViewDefinitionError(ViewError):
+    """A ``CREATE CLASSIFICATION VIEW`` definition is invalid."""
+
+
+class MaintenanceError(ViewError):
+    """The incremental maintenance machinery reached an inconsistent state."""

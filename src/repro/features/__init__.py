@@ -1,0 +1,34 @@
+"""Feature functions (paper §2.1 and Appendix A.2).
+
+A feature function maps an entity tuple to a feature vector.  Following the
+paper, a feature function is a triple of operations:
+
+* ``compute_stats`` — scan the whole corpus once and record any global
+  statistics (e.g. document frequencies for tf-idf);
+* ``compute_stats_incremental`` — fold one new tuple into those statistics;
+* ``compute_feature`` — turn one tuple into a :class:`~repro.linalg.SparseVector`
+  using the recorded statistics.
+
+Feature functions are registered by name in a :class:`FeatureFunctionRegistry`
+so that ``CREATE CLASSIFICATION VIEW ... FEATURE FUNCTION tf_bag_of_words``
+can resolve them, exactly as Hazy's catalog does.
+"""
+
+from repro.features.bag_of_words import TfBagOfWords
+from repro.features.base import FeatureFunction
+from repro.features.dense import DenseColumnsFeature
+from repro.features.registry import FeatureFunctionRegistry, default_registry
+from repro.features.text import tokenize
+from repro.features.tfidf import TfIdfBagOfWords
+from repro.features.tficf import TfIcfBagOfWords
+
+__all__ = [
+    "FeatureFunction",
+    "TfBagOfWords",
+    "TfIdfBagOfWords",
+    "TfIcfBagOfWords",
+    "DenseColumnsFeature",
+    "FeatureFunctionRegistry",
+    "default_registry",
+    "tokenize",
+]

@@ -1,0 +1,59 @@
+"""``tf_bag_of_words`` — term-frequency bag of words (paper §2.1).
+
+No corpus statistics are needed: each tuple is treated as a document and the
+vector of term frequencies, l1-normalized, is the feature vector.  This is the
+feature function used by the DBLife and Citeseer workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.features.base import EntityRow, FeatureFunction
+from repro.features.text import Vocabulary, tokenize
+from repro.linalg import SparseVector
+
+__all__ = ["TfBagOfWords"]
+
+
+class TfBagOfWords(FeatureFunction):
+    """Term-frequency bag of words over one or more text columns.
+
+    Parameters
+    ----------
+    text_columns:
+        Which columns of the entity tuple hold text; they are concatenated.
+    normalize:
+        l1-normalize the resulting vector (the paper's default for text, which
+        compensates for documents of different lengths).
+    """
+
+    name = "tf_bag_of_words"
+    norm_q = 1.0
+
+    def __init__(self, text_columns: tuple[str, ...] = ("text",), normalize: bool = True):
+        self.text_columns = tuple(text_columns)
+        self.normalize = bool(normalize)
+        self.vocabulary = Vocabulary()
+
+    def _tokens(self, row: EntityRow) -> list[str]:
+        pieces = [str(row.get(column, "") or "") for column in self.text_columns]
+        return tokenize(" ".join(pieces))
+
+    def compute_stats_incremental(self, row: EntityRow) -> None:
+        """Register any new tokens so indices stay stable across the corpus."""
+        self.vocabulary.add_all(self._tokens(row))
+
+    def compute_feature(self, row: EntityRow) -> SparseVector:
+        """Term-frequency vector of the row's text, l1-normalized if configured."""
+        counts = Counter(self._tokens(row))
+        vector = SparseVector(
+            {self.vocabulary.get_or_add(token): float(count) for token, count in counts.items()}
+        )
+        if self.normalize:
+            vector = vector.normalized(p=1.0)
+        return vector
+
+    def dimension(self) -> int | None:
+        """Current vocabulary size (grows as new documents arrive)."""
+        return len(self.vocabulary)

@@ -1,0 +1,55 @@
+"""The feature-function protocol (computeStats / computeStatsInc / computeFeature)."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Mapping
+
+from repro.linalg import SparseVector
+
+__all__ = ["FeatureFunction"]
+
+#: An entity tuple as seen by a feature function: a mapping from column name to value.
+EntityRow = Mapping[str, object]
+
+
+class FeatureFunction(ABC):
+    """Maps entity tuples to feature vectors, optionally using corpus statistics.
+
+    Subclasses override :meth:`compute_feature` and, when they need global
+    information, :meth:`compute_stats` / :meth:`compute_stats_incremental`.
+    ``norm_q`` advertises which q-norm bound the feature vectors obey — the
+    Hazy core uses it to pick the Hölder conjugate pair (see
+    :mod:`repro.core.bounds`).
+    """
+
+    #: Registry name; subclasses must override.
+    name: str = "feature_function"
+
+    #: The q of the `q`-norm that the produced vectors are normalized under.
+    #: Text features are l1-normalized (q = 1, so p = inf); dense numeric
+    #: features are l2-normalized (q = 2, p = 2).
+    norm_q: float = 1.0
+
+    def compute_stats(self, rows: Iterable[EntityRow]) -> None:
+        """Scan the corpus once and record any global statistics.
+
+        The default implementation simply folds every row through
+        :meth:`compute_stats_incremental`.
+        """
+        for row in rows:
+            self.compute_stats_incremental(row)
+
+    def compute_stats_incremental(self, row: EntityRow) -> None:
+        """Fold a single new tuple into the corpus statistics (no-op by default)."""
+
+    @abstractmethod
+    def compute_feature(self, row: EntityRow) -> SparseVector:
+        """Turn one entity tuple into a feature vector."""
+
+    def dimension(self) -> int | None:
+        """Dimensionality of the feature space, if known (None if unbounded)."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

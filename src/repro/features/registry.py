@@ -1,0 +1,58 @@
+"""Registration of feature functions, mirroring Hazy's catalog (Appendix A.2)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import FeatureError
+from repro.features.bag_of_words import TfBagOfWords
+from repro.features.base import FeatureFunction
+from repro.features.dense import DenseColumnsFeature
+from repro.features.tfidf import TfIdfBagOfWords
+from repro.features.tficf import TfIcfBagOfWords
+
+__all__ = ["FeatureFunctionRegistry", "default_registry"]
+
+FeatureFactory = Callable[[], FeatureFunction]
+
+
+class FeatureFunctionRegistry:
+    """Name -> factory mapping used to resolve ``FEATURE FUNCTION <name>``."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, FeatureFactory] = {}
+
+    def register(self, name: str, factory: FeatureFactory, replace: bool = False) -> None:
+        """Register a feature-function factory under ``name``."""
+        key = name.strip().lower()
+        if key in self._factories and not replace:
+            raise FeatureError(f"feature function {name!r} is already registered")
+        self._factories[key] = factory
+
+    def create(self, name: str) -> FeatureFunction:
+        """Instantiate the feature function registered under ``name``."""
+        key = name.strip().lower()
+        if key not in self._factories:
+            raise FeatureError(
+                f"unknown feature function {name!r}; registered: {sorted(self._factories)}"
+            )
+        return self._factories[key]()
+
+    def names(self) -> list[str]:
+        """Sorted list of registered names."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name.strip().lower() in self._factories
+
+
+def default_registry() -> FeatureFunctionRegistry:
+    """The registry an administrator would ship with Hazy: the paper's examples."""
+    registry = FeatureFunctionRegistry()
+    registry.register("tf_bag_of_words", TfBagOfWords)
+    registry.register("tf_idf_bag_of_words", TfIdfBagOfWords)
+    registry.register("tf_icf_bag_of_words", TfIcfBagOfWords)
+    registry.register(
+        "dense_columns", lambda: DenseColumnsFeature(columns=("f0",), rescale=False)
+    )
+    return registry

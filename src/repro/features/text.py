@@ -1,0 +1,50 @@
+"""Tokenization and vocabulary helpers for the text feature functions."""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+__all__ = ["tokenize", "Vocabulary"]
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lower-case and split ``text`` into alphanumeric tokens."""
+    return _TOKEN_PATTERN.findall(text.lower())
+
+
+class Vocabulary:
+    """A growable token -> integer-index mapping shared by text feature functions."""
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    def get(self, token: str) -> int | None:
+        """Index for ``token`` or None if unseen."""
+        return self._index.get(token)
+
+    def get_or_add(self, token: str) -> int:
+        """Index for ``token``, allocating a new one for unseen tokens."""
+        index = self._index.get(token)
+        if index is None:
+            index = len(self._index)
+            self._index[token] = index
+        return index
+
+    def add_all(self, tokens: Iterable[str]) -> None:
+        """Register every token in ``tokens``."""
+        for token in tokens:
+            self.get_or_add(token)
+
+    def tokens(self) -> list[str]:
+        """All known tokens in index order."""
+        ordered = sorted(self._index.items(), key=lambda item: item[1])
+        return [token for token, _ in ordered]

@@ -1,0 +1,121 @@
+"""Kernel classifiers built from support vectors (Appendix B.5.2).
+
+A kernel classifier scores a point as ``c(x) = sum_i c_i * K(s_i, x)`` where
+the ``s_i`` are support vectors.  The same incremental-maintenance intuition as
+for linear models applies: the model lives in the (weight) space of support
+vector coefficients, and the difference between two models bounds how much any
+point's score can move (the paper notes ``K(s_i, x) in [0, 1]`` for its
+kernels, so the l1 norm of the coefficient delta is the bound).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import NotFittedError
+from repro.learn.kernels import Kernel, LinearKernel
+from repro.learn.model import sign
+from repro.learn.sgd import TrainingExample
+from repro.linalg import SparseVector
+
+__all__ = ["SupportVector", "KernelClassifier", "KernelPerceptronTrainer"]
+
+
+@dataclass(frozen=True)
+class SupportVector:
+    """A stored training point with its coefficient in the kernel expansion."""
+
+    features: SparseVector
+    coefficient: float
+
+
+@dataclass
+class KernelClassifier:
+    """A kernel expansion ``c(x) = sum_i coeff_i * K(s_i, x) + bias``."""
+
+    kernel: Kernel = field(default_factory=LinearKernel)
+    support_vectors: list[SupportVector] = field(default_factory=list)
+    bias: float = 0.0
+    version: int = 0
+
+    def score(self, features: SparseVector) -> float:
+        """Raw decision value for ``features``."""
+        total = self.bias
+        for sv in self.support_vectors:
+            total += sv.coefficient * self.kernel(sv.features, features)
+        return total
+
+    def predict(self, features: SparseVector) -> int:
+        """Label in ``{-1, +1}``."""
+        return sign(self.score(features))
+
+    def coefficient_l1_delta(self, other: "KernelClassifier") -> float:
+        """l1 distance between the coefficient vectors of two expansions.
+
+        The two expansions are aligned by support-vector position; the shorter
+        model is padded with zero coefficients, matching the paper's remark
+        that a new training example simply introduces a new support vector with
+        prior weight zero.
+        """
+        longest = max(len(self.support_vectors), len(other.support_vectors))
+        total = abs(self.bias - other.bias)
+        for i in range(longest):
+            mine = self.support_vectors[i].coefficient if i < len(self.support_vectors) else 0.0
+            theirs = other.support_vectors[i].coefficient if i < len(other.support_vectors) else 0.0
+            total += abs(mine - theirs)
+        return total
+
+    def copy(self) -> "KernelClassifier":
+        """Snapshot the classifier (support vectors are shared, coefficients copied)."""
+        return KernelClassifier(
+            kernel=self.kernel,
+            support_vectors=list(self.support_vectors),
+            bias=self.bias,
+            version=self.version,
+        )
+
+
+class KernelPerceptronTrainer:
+    """Incremental kernel perceptron: each mistake adds a support vector."""
+
+    def __init__(self, kernel: Kernel | None = None, learning_rate: float = 1.0):
+        self.kernel = kernel if kernel is not None else LinearKernel()
+        self.learning_rate = float(learning_rate)
+        self.model = KernelClassifier(kernel=self.kernel)
+        self._steps = 0
+
+    def absorb(self, example: TrainingExample) -> KernelClassifier:
+        """Absorb one example; mistakes append a new support vector."""
+        prediction = self.model.predict(example.features)
+        if prediction != example.label:
+            self.model.support_vectors.append(
+                SupportVector(
+                    features=example.features.copy(),
+                    coefficient=self.learning_rate * example.label,
+                )
+            )
+            self.model.bias += self.learning_rate * example.label
+        self._steps += 1
+        self.model.version = self._steps
+        return self.model.copy()
+
+    def absorb_many(self, examples: Iterable[TrainingExample]) -> KernelClassifier:
+        """Absorb a stream of examples; returns the final model snapshot."""
+        snapshot = self.model.copy()
+        for example in examples:
+            snapshot = self.absorb(example)
+        return snapshot
+
+    def fit(self, examples: Sequence[TrainingExample], epochs: int = 3) -> KernelClassifier:
+        """Multiple passes over a training set."""
+        snapshot = self.model.copy()
+        for _ in range(epochs):
+            snapshot = self.absorb_many(examples)
+        return snapshot
+
+    def predict(self, features: SparseVector) -> int:
+        """Label a feature vector with the current kernel model."""
+        if not self.model.support_vectors and self.model.bias == 0.0 and self._steps == 0:
+            raise NotFittedError("kernel perceptron has absorbed no examples")
+        return self.model.predict(features)

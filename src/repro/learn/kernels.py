@@ -1,0 +1,148 @@
+"""Kernel functions (Appendix B.5.2).
+
+A kernel ``K : R^d x R^d -> R`` is a positive semi-definite function.  The
+Gaussian and Laplacian kernels are *shift invariant* which makes them eligible
+for the Rahimi–Recht random-feature linearization in
+:mod:`repro.learn.random_features`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.exceptions import ConfigurationError
+from repro.linalg import SparseVector
+
+__all__ = [
+    "Kernel",
+    "LinearKernel",
+    "PolynomialKernel",
+    "GaussianKernel",
+    "LaplacianKernel",
+    "get_kernel",
+    "KERNELS",
+]
+
+
+class Kernel(ABC):
+    """A positive semi-definite similarity function between feature vectors."""
+
+    name = "kernel"
+    #: Whether ``K(x, y)`` only depends on ``x - y`` (enables random features).
+    shift_invariant = False
+
+    @abstractmethod
+    def __call__(self, left: SparseVector, right: SparseVector) -> float:
+        """Evaluate ``K(left, right)``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class LinearKernel(Kernel):
+    """The trivial kernel ``K(x, y) = x · y``."""
+
+    name = "linear"
+
+    def __call__(self, left: SparseVector, right: SparseVector) -> float:
+        return left.dot(right)
+
+
+class PolynomialKernel(Kernel):
+    """``K(x, y) = (gamma * x·y + coef0)^degree``."""
+
+    name = "polynomial"
+
+    def __init__(self, degree: int = 2, gamma: float = 1.0, coef0: float = 1.0):
+        if degree < 1:
+            raise ConfigurationError("polynomial degree must be >= 1")
+        self.degree = int(degree)
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def __call__(self, left: SparseVector, right: SparseVector) -> float:
+        return (self.gamma * left.dot(right) + self.coef0) ** self.degree
+
+    def __repr__(self) -> str:
+        return f"PolynomialKernel(degree={self.degree}, gamma={self.gamma}, coef0={self.coef0})"
+
+
+def _squared_distance(left: SparseVector, right: SparseVector) -> float:
+    """``||left - right||_2^2`` without materializing the difference twice."""
+    total = 0.0
+    for index, value in left.items():
+        diff = value - right[index]
+        total += diff * diff
+    for index, value in right.items():
+        if index not in left:
+            total += value * value
+    return total
+
+
+def _l1_distance(left: SparseVector, right: SparseVector) -> float:
+    """``||left - right||_1``."""
+    total = 0.0
+    for index, value in left.items():
+        total += abs(value - right[index])
+    for index, value in right.items():
+        if index not in left:
+            total += abs(value)
+    return total
+
+
+class GaussianKernel(Kernel):
+    """RBF kernel ``K(x, y) = exp(-gamma * ||x - y||_2^2)``."""
+
+    name = "gaussian"
+    shift_invariant = True
+
+    def __init__(self, gamma: float = 1.0):
+        if gamma <= 0:
+            raise ConfigurationError("gamma must be positive")
+        self.gamma = float(gamma)
+
+    def __call__(self, left: SparseVector, right: SparseVector) -> float:
+        return math.exp(-self.gamma * _squared_distance(left, right))
+
+    def __repr__(self) -> str:
+        return f"GaussianKernel(gamma={self.gamma})"
+
+
+class LaplacianKernel(Kernel):
+    """``K(x, y) = exp(-gamma * ||x - y||_1)`` — also shift invariant."""
+
+    name = "laplacian"
+    shift_invariant = True
+
+    def __init__(self, gamma: float = 1.0):
+        if gamma <= 0:
+            raise ConfigurationError("gamma must be positive")
+        self.gamma = float(gamma)
+
+    def __call__(self, left: SparseVector, right: SparseVector) -> float:
+        return math.exp(-self.gamma * _l1_distance(left, right))
+
+    def __repr__(self) -> str:
+        return f"LaplacianKernel(gamma={self.gamma})"
+
+
+#: Registry of kernels selectable by name in view declarations.
+KERNELS: dict[str, type[Kernel]] = {
+    "linear": LinearKernel,
+    "polynomial": PolynomialKernel,
+    "poly": PolynomialKernel,
+    "gaussian": GaussianKernel,
+    "rbf": GaussianKernel,
+    "laplacian": LaplacianKernel,
+}
+
+
+def get_kernel(name: str | Kernel, **kwargs) -> Kernel:
+    """Resolve ``name`` (or pass through an instance) to a :class:`Kernel`."""
+    if isinstance(name, Kernel):
+        return name
+    key = name.strip().lower()
+    if key not in KERNELS:
+        raise ConfigurationError(f"unknown kernel {name!r}; available: {sorted(set(KERNELS))}")
+    return KERNELS[key](**kwargs)

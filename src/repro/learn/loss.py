@@ -1,0 +1,103 @@
+"""Convex loss functions for linear classification (paper Figure 9a).
+
+Each loss ``L(z, y)`` takes the raw margin score ``z = w·x - b`` and the label
+``y in {-1, +1}`` and exposes the (sub)derivative with respect to ``z`` that
+the SGD trainer needs.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Loss", "HingeLoss", "SquaredLoss", "LogisticLoss", "get_loss", "LOSSES"]
+
+
+class Loss(ABC):
+    """A convex loss ``L(z, y)`` with sub-derivative ``dL/dz``."""
+
+    name: str = "loss"
+
+    @abstractmethod
+    def value(self, z: float, y: float) -> float:
+        """Return ``L(z, y)``."""
+
+    @abstractmethod
+    def derivative(self, z: float, y: float) -> float:
+        """Return a sub-derivative of ``L`` with respect to ``z``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class HingeLoss(Loss):
+    """SVM hinge loss ``max(1 - z*y, 0)``."""
+
+    name = "hinge"
+
+    def value(self, z: float, y: float) -> float:
+        return max(1.0 - z * y, 0.0)
+
+    def derivative(self, z: float, y: float) -> float:
+        return -y if z * y < 1.0 else 0.0
+
+
+class SquaredLoss(Loss):
+    """Ridge / least-squares loss ``(z - y)^2``."""
+
+    name = "squared"
+
+    def value(self, z: float, y: float) -> float:
+        return (z - y) ** 2
+
+    def derivative(self, z: float, y: float) -> float:
+        return 2.0 * (z - y)
+
+
+class LogisticLoss(Loss):
+    """Logistic-regression loss ``log(1 + exp(-y*z))``."""
+
+    name = "logistic"
+
+    def value(self, z: float, y: float) -> float:
+        margin = -y * z
+        # Numerically stable log(1 + exp(margin)).
+        if margin > 35.0:
+            return margin
+        return math.log1p(math.exp(margin))
+
+    def derivative(self, z: float, y: float) -> float:
+        margin = -y * z
+        if margin > 35.0:
+            sigma = 1.0
+        elif margin < -35.0:
+            sigma = 0.0
+        else:
+            sigma = 1.0 / (1.0 + math.exp(-margin))
+        return -y * sigma
+
+
+#: Registry of loss functions selectable by name (``USING SVM`` and friends).
+LOSSES: dict[str, type[Loss]] = {
+    "hinge": HingeLoss,
+    "svm": HingeLoss,
+    "squared": SquaredLoss,
+    "ridge": SquaredLoss,
+    "least_squares": SquaredLoss,
+    "logistic": LogisticLoss,
+    "logistic_regression": LogisticLoss,
+}
+
+
+def get_loss(name: str | Loss) -> Loss:
+    """Resolve ``name`` (or pass through an instance) to a :class:`Loss`."""
+    if isinstance(name, Loss):
+        return name
+    key = name.strip().lower()
+    if key not in LOSSES:
+        raise ConfigurationError(
+            f"unknown loss {name!r}; available: {sorted(set(LOSSES))}"
+        )
+    return LOSSES[key]()

@@ -1,0 +1,70 @@
+"""Classification quality metrics (precision / recall, as in Figure 10)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["ConfusionCounts", "confusion_counts", "accuracy", "precision_recall", "f1_score"]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix counts for labels in {-1, +1}."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        return self.true_positive + self.false_positive + self.true_negative + self.false_negative
+
+
+def confusion_counts(predicted: Sequence[int], actual: Sequence[int]) -> ConfusionCounts:
+    """Count TP/FP/TN/FN for predicted vs actual labels in {-1, +1}."""
+    if len(predicted) != len(actual):
+        raise ValueError("predicted and actual label sequences differ in length")
+    tp = fp = tn = fn = 0
+    for p, a in zip(predicted, actual):
+        if p == 1 and a == 1:
+            tp += 1
+        elif p == 1 and a == -1:
+            fp += 1
+        elif p == -1 and a == -1:
+            tn += 1
+        else:
+            fn += 1
+    return ConfusionCounts(tp, fp, tn, fn)
+
+
+def accuracy(predicted: Sequence[int], actual: Sequence[int]) -> float:
+    """Fraction of correct predictions (1.0 on empty input)."""
+    counts = confusion_counts(predicted, actual)
+    if counts.total == 0:
+        return 1.0
+    return (counts.true_positive + counts.true_negative) / counts.total
+
+
+def precision_recall(predicted: Sequence[int], actual: Sequence[int]) -> tuple[float, float]:
+    """Return ``(precision, recall)`` for the positive class.
+
+    Both default to 1.0 when their denominator is zero (no positive
+    predictions / no positive examples), which keeps the Figure 10 table well
+    defined on degenerate splits.
+    """
+    counts = confusion_counts(predicted, actual)
+    predicted_positive = counts.true_positive + counts.false_positive
+    actual_positive = counts.true_positive + counts.false_negative
+    precision = counts.true_positive / predicted_positive if predicted_positive else 1.0
+    recall = counts.true_positive / actual_positive if actual_positive else 1.0
+    return precision, recall
+
+
+def f1_score(predicted: Sequence[int], actual: Sequence[int]) -> float:
+    """Harmonic mean of precision and recall (0.0 when both are zero)."""
+    precision, recall = precision_recall(predicted, actual)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)

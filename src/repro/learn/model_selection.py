@@ -1,0 +1,103 @@
+"""Leave-one-out based model selection.
+
+When a ``CREATE CLASSIFICATION VIEW`` declaration does not specify a method
+(``USING SVM`` etc.), Hazy "chooses a method automatically (using a simple
+model selection algorithm based on leave-one-out estimators)".  This module
+implements that selector: it estimates the leave-one-out error of each
+candidate method on the training examples and picks the smallest.
+
+For more than ``max_exact`` examples the estimator switches to K-fold
+cross-validation, which approximates leave-one-out at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.learn.sgd import SGDTrainer, TrainingExample
+
+__all__ = ["leave_one_out_error", "cross_validation_error", "select_method", "DEFAULT_CANDIDATES"]
+
+TrainerFactory = Callable[[], SGDTrainer]
+
+#: The predefined classification methods a view may select from.
+DEFAULT_CANDIDATES: dict[str, TrainerFactory] = {
+    "svm": lambda: SGDTrainer(loss="svm"),
+    "logistic_regression": lambda: SGDTrainer(loss="logistic"),
+    "ridge_regression": lambda: SGDTrainer(loss="ridge"),
+}
+
+
+def leave_one_out_error(
+    factory: TrainerFactory,
+    examples: Sequence[TrainingExample],
+    epochs: int = 3,
+) -> float:
+    """Exact leave-one-out error estimate for the trainer built by ``factory``.
+
+    For each example, a fresh trainer is fit on every *other* example and
+    evaluated on the held-out one.  Returns the fraction of mistakes.
+    """
+    if len(examples) < 2:
+        raise ConfigurationError("leave-one-out needs at least 2 examples")
+    mistakes = 0
+    for hold_out_index, held_out in enumerate(examples):
+        trainer = factory()
+        rest = [ex for i, ex in enumerate(examples) if i != hold_out_index]
+        trainer.fit(rest, epochs=epochs)
+        if trainer.predict(held_out.features) != held_out.label:
+            mistakes += 1
+    return mistakes / len(examples)
+
+
+def cross_validation_error(
+    factory: TrainerFactory,
+    examples: Sequence[TrainingExample],
+    folds: int = 5,
+    epochs: int = 3,
+    seed: int = 0,
+) -> float:
+    """K-fold cross-validation error — the scalable surrogate for leave-one-out."""
+    if len(examples) < folds:
+        raise ConfigurationError("need at least as many examples as folds")
+    order = list(examples)
+    random.Random(seed).shuffle(order)
+    mistakes = 0
+    for fold in range(folds):
+        held_out = order[fold::folds]
+        training = [ex for i, ex in enumerate(order) if i % folds != fold]
+        trainer = factory()
+        trainer.fit(training, epochs=epochs)
+        mistakes += sum(1 for ex in held_out if trainer.predict(ex.features) != ex.label)
+    return mistakes / len(order)
+
+
+def select_method(
+    examples: Sequence[TrainingExample],
+    candidates: dict[str, TrainerFactory] | None = None,
+    max_exact: int = 50,
+    epochs: int = 3,
+    seed: int = 0,
+) -> tuple[str, float]:
+    """Pick the candidate method with the lowest estimated generalization error.
+
+    Returns ``(method_name, estimated_error)``.  Ties break toward the order of
+    ``candidates`` (SVM first by default, matching Hazy's default).
+    """
+    if candidates is None:
+        candidates = DEFAULT_CANDIDATES
+    if not candidates:
+        raise ConfigurationError("no candidate methods supplied")
+    best_name: str | None = None
+    best_error = float("inf")
+    for name, factory in candidates.items():
+        if len(examples) <= max_exact:
+            error = leave_one_out_error(factory, examples, epochs=epochs)
+        else:
+            error = cross_validation_error(factory, examples, epochs=epochs, seed=seed)
+        if error < best_error:
+            best_name, best_error = name, error
+    assert best_name is not None
+    return best_name, best_error

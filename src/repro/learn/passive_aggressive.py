@@ -1,0 +1,72 @@
+"""Online passive-aggressive learner (Crammer et al., cited as [9] by the paper).
+
+PA is one of the incremental learning algorithms Hazy can plug in as the
+training subroutine.  The PA-I variant used here caps the per-step update at
+``aggressiveness`` which makes it robust to label noise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.learn.model import LinearModel
+from repro.learn.sgd import TrainingExample
+from repro.linalg import SparseVector
+
+__all__ = ["PassiveAggressiveTrainer"]
+
+
+class PassiveAggressiveTrainer:
+    """PA-I online learner for linear classification.
+
+    On each example the update solves a tiny constrained optimization in closed
+    form: move the model just enough to achieve a margin of 1 on the incoming
+    example, but never by a step larger than ``aggressiveness``.
+    """
+
+    def __init__(self, aggressiveness: float = 1.0, fit_bias: bool = True):
+        if aggressiveness <= 0:
+            raise ConfigurationError("aggressiveness must be positive")
+        self.aggressiveness = float(aggressiveness)
+        self.fit_bias = bool(fit_bias)
+        self.model = LinearModel()
+        self._steps = 0
+
+    def reset(self) -> None:
+        """Forget the current model."""
+        self.model = LinearModel()
+        self._steps = 0
+
+    def absorb(self, example: TrainingExample) -> LinearModel:
+        """Absorb one example and return a snapshot of the updated model."""
+        margin = self.model.margin(example.features)
+        loss = max(0.0, 1.0 - example.label * margin)
+        if loss > 0.0:
+            # The bias is folded into the feature space as a constant 1 feature,
+            # hence the +1 in the squared norm when fit_bias is on.
+            squared = example.features.norm(2) ** 2 + (1.0 if self.fit_bias else 0.0)
+            if squared > 0.0:
+                tau = min(self.aggressiveness, loss / squared)
+                self.model.weights.add_inplace(example.features, tau * example.label)
+                if self.fit_bias:
+                    self.model.bias -= tau * example.label
+        self._steps += 1
+        self.model.version = self._steps
+        return self.model.copy()
+
+    def absorb_many(self, examples: Iterable[TrainingExample]) -> LinearModel:
+        """Absorb a stream of examples; returns the final model snapshot."""
+        snapshot = self.model.copy()
+        for example in examples:
+            snapshot = self.absorb(example)
+        return snapshot
+
+    def predict(self, features: SparseVector) -> int:
+        """Label a single feature vector with the current model."""
+        return self.model.predict(features)
+
+    @property
+    def steps(self) -> int:
+        """Number of examples absorbed so far."""
+        return self._steps

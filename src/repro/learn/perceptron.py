@@ -1,0 +1,85 @@
+"""Classic (averaged) perceptron learner.
+
+The perceptron is the simplest incremental linear learner and serves both as a
+baseline in tests and as another drop-in training subroutine for Hazy views
+(the weighted-majority/online-learning lineage the paper cites as [21]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import ConfigurationError
+from repro.learn.model import LinearModel
+from repro.learn.sgd import TrainingExample
+from repro.linalg import SparseVector
+
+__all__ = ["PerceptronTrainer"]
+
+
+class PerceptronTrainer:
+    """Online perceptron with optional weight averaging.
+
+    Averaging keeps a running sum of every intermediate weight vector and uses
+    the mean for prediction, which substantially improves generalization on
+    noisy data while keeping the update itself incremental.
+    """
+
+    def __init__(self, learning_rate: float = 1.0, averaged: bool = False):
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self.averaged = bool(averaged)
+        self.model = LinearModel()
+        self._sum_weights = SparseVector()
+        self._sum_bias = 0.0
+        self._steps = 0
+
+    def reset(self) -> None:
+        """Forget the current model and averaging state."""
+        self.model = LinearModel()
+        self._sum_weights = SparseVector()
+        self._sum_bias = 0.0
+        self._steps = 0
+
+    def absorb(self, example: TrainingExample) -> LinearModel:
+        """Absorb one example (mistake-driven update) and return a snapshot."""
+        prediction = self.model.predict(example.features)
+        if prediction != example.label:
+            self.model.weights.add_inplace(
+                example.features, self.learning_rate * example.label
+            )
+            self.model.bias -= self.learning_rate * example.label
+        self._steps += 1
+        self.model.version = self._steps
+        if self.averaged:
+            self._sum_weights.add_inplace(self.model.weights, 1.0)
+            self._sum_bias += self.model.bias
+        return self.snapshot()
+
+    def absorb_many(self, examples: Iterable[TrainingExample]) -> LinearModel:
+        """Absorb a stream of examples; returns the final model snapshot."""
+        snapshot = self.snapshot()
+        for example in examples:
+            snapshot = self.absorb(example)
+        return snapshot
+
+    def snapshot(self) -> LinearModel:
+        """Current prediction model (averaged if averaging is enabled)."""
+        if not self.averaged or self._steps == 0:
+            return self.model.copy()
+        averaged = LinearModel(
+            weights=self._sum_weights.scale(1.0 / self._steps),
+            bias=self._sum_bias / self._steps,
+            version=self._steps,
+        )
+        return averaged
+
+    def predict(self, features: SparseVector) -> int:
+        """Label a single feature vector with the (possibly averaged) model."""
+        return self.snapshot().predict(features)
+
+    @property
+    def steps(self) -> int:
+        """Number of examples absorbed so far."""
+        return self._steps

@@ -1,0 +1,245 @@
+"""Sparse feature vectors.
+
+The Hazy paper represents each entity by a feature vector ``f`` in R^d.  For
+text workloads ``d`` can be in the hundreds of thousands while each document
+only touches a few dozen terms, so the canonical representation in this
+reproduction is a dictionary-backed :class:`SparseVector`.  Dense ``numpy``
+arrays are accepted anywhere a vector is expected and are converted through
+:func:`to_sparse` / :func:`to_dense`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["SparseVector", "dot", "to_dense", "to_sparse", "axpy"]
+
+
+class SparseVector:
+    """A sparse vector stored as a mapping from integer index to float value.
+
+    Zero entries are never stored; arithmetic methods drop entries that become
+    exactly zero.  The class is deliberately small and explicit — it is the
+    innermost data structure of the whole system and is exercised by every
+    training step and every reclassification.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[int, float] | Iterable[tuple[int, float]] | None = None):
+        self._data: dict[int, float] = {}
+        if data is None:
+            return
+        items = data.items() if isinstance(data, Mapping) else data
+        for index, value in items:
+            if value:
+                self._data[int(index)] = float(value)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, values: Iterable[float]) -> "SparseVector":
+        """Build a sparse vector from a dense iterable, dropping zeros."""
+        return cls({i: float(v) for i, v in enumerate(values) if v})
+
+    @classmethod
+    def zeros(cls) -> "SparseVector":
+        """Return an empty (all-zero) vector."""
+        return cls()
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._data
+
+    def __getitem__(self, index: int) -> float:
+        return self._data.get(index, 0.0)
+
+    def __setitem__(self, index: int, value: float) -> None:
+        if value:
+            self._data[int(index)] = float(value)
+        else:
+            self._data.pop(int(index), None)
+
+    def items(self) -> Iterable[tuple[int, float]]:
+        """Iterate over the stored ``(index, value)`` pairs."""
+        return self._data.items()
+
+    def indices(self) -> Iterable[int]:
+        """Iterate over the indices of the non-zero entries."""
+        return self._data.keys()
+
+    def nnz(self) -> int:
+        """Number of stored (non-zero) entries."""
+        return len(self._data)
+
+    def copy(self) -> "SparseVector":
+        """Return an independent copy of this vector."""
+        clone = SparseVector()
+        clone._data = dict(self._data)
+        return clone
+
+    def to_dict(self) -> dict[int, float]:
+        """Return the underlying mapping as a plain dictionary copy."""
+        return dict(self._data)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def dot(self, other: "SparseVector | Mapping[int, float] | np.ndarray") -> float:
+        """Inner product with another sparse vector, mapping, or dense array."""
+        if isinstance(other, np.ndarray):
+            total = 0.0
+            n = other.shape[0]
+            for index, value in self._data.items():
+                if index < n:
+                    total += value * float(other[index])
+            return total
+        other_data = other._data if isinstance(other, SparseVector) else other
+        if len(other_data) < len(self._data):
+            small, large = other_data, self._data
+        else:
+            small, large = self._data, other_data
+        return sum(value * large.get(index, 0.0) for index, value in small.items())
+
+    def scale(self, factor: float) -> "SparseVector":
+        """Return ``factor * self`` as a new vector."""
+        if factor == 0.0:
+            return SparseVector()
+        result = SparseVector()
+        result._data = {i: v * factor for i, v in self._data.items()}
+        return result
+
+    def scale_inplace(self, factor: float) -> None:
+        """Multiply this vector by ``factor`` in place."""
+        if factor == 0.0:
+            self._data.clear()
+            return
+        for index in self._data:
+            self._data[index] *= factor
+
+    def add(self, other: "SparseVector", scale: float = 1.0) -> "SparseVector":
+        """Return ``self + scale * other`` as a new vector."""
+        result = self.copy()
+        result.add_inplace(other, scale)
+        return result
+
+    def add_inplace(self, other: "SparseVector | Mapping[int, float]", scale: float = 1.0) -> None:
+        """Compute ``self += scale * other`` in place (an axpy update)."""
+        if scale == 0.0:
+            return
+        other_items = other.items() if isinstance(other, SparseVector) else other.items()
+        for index, value in other_items:
+            new_value = self._data.get(index, 0.0) + scale * value
+            if new_value:
+                self._data[index] = new_value
+            else:
+                self._data.pop(index, None)
+
+    def subtract(self, other: "SparseVector") -> "SparseVector":
+        """Return ``self - other`` as a new vector."""
+        return self.add(other, scale=-1.0)
+
+    # -- norms --------------------------------------------------------------
+
+    def norm(self, p: float = 2.0) -> float:
+        """Return the `p`-norm of the vector (``p`` may be ``math.inf``)."""
+        if not self._data:
+            return 0.0
+        if p == math.inf:
+            return max(abs(v) for v in self._data.values())
+        if p == 1:
+            return sum(abs(v) for v in self._data.values())
+        if p == 2:
+            return math.sqrt(sum(v * v for v in self._data.values()))
+        if p <= 0:
+            raise ValueError(f"p-norm requires p > 0, got {p}")
+        return sum(abs(v) ** p for v in self._data.values()) ** (1.0 / p)
+
+    def normalized(self, p: float = 2.0) -> "SparseVector":
+        """Return the vector scaled to unit `p`-norm (zero vector unchanged)."""
+        length = self.norm(p)
+        if length == 0.0:
+            return self.copy()
+        return self.scale(1.0 / length)
+
+    def max_index(self) -> int:
+        """Largest stored index, or -1 for the zero vector."""
+        return max(self._data) if self._data else -1
+
+    # -- conversion & comparison -------------------------------------------
+
+    def to_dense(self, dimension: int | None = None) -> np.ndarray:
+        """Materialize as a dense ``numpy`` array of length ``dimension``."""
+        if dimension is None:
+            dimension = self.max_index() + 1
+        dense = np.zeros(dimension, dtype=np.float64)
+        for index, value in self._data.items():
+            if index < dimension:
+                dense[index] = value
+        return dense
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SparseVector):
+            return self._data == other._data
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - vectors are not hashable
+        raise TypeError("SparseVector is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        preview = dict(sorted(self._data.items())[:6])
+        suffix = ", ..." if len(self._data) > 6 else ""
+        return f"SparseVector({preview}{suffix}, nnz={len(self._data)})"
+
+    def approx_size_bytes(self) -> int:
+        """Rough in-memory footprint used by the hybrid memory accounting."""
+        # One (int, float) pair per non-zero entry: 8 bytes key + 8 bytes value
+        # plus dict overhead amortized to ~8 bytes per slot.
+        return 24 * len(self._data) + 64
+
+
+def to_sparse(vector: SparseVector | Mapping[int, float] | Iterable[float] | np.ndarray) -> SparseVector:
+    """Coerce ``vector`` into a :class:`SparseVector` (copies the data)."""
+    if isinstance(vector, SparseVector):
+        return vector.copy()
+    if isinstance(vector, Mapping):
+        return SparseVector(vector)
+    if isinstance(vector, np.ndarray):
+        return SparseVector.from_dense(vector.tolist())
+    return SparseVector.from_dense(vector)
+
+
+def to_dense(vector: SparseVector | np.ndarray, dimension: int) -> np.ndarray:
+    """Coerce ``vector`` to a dense array of exactly ``dimension`` entries."""
+    if isinstance(vector, np.ndarray):
+        if vector.shape[0] == dimension:
+            return np.asarray(vector, dtype=np.float64)
+        result = np.zeros(dimension, dtype=np.float64)
+        result[: min(dimension, vector.shape[0])] = vector[: min(dimension, vector.shape[0])]
+        return result
+    return vector.to_dense(dimension)
+
+
+def dot(left: SparseVector | np.ndarray, right: SparseVector | np.ndarray) -> float:
+    """Inner product between any combination of sparse and dense vectors."""
+    if isinstance(left, SparseVector):
+        return left.dot(right)
+    if isinstance(right, SparseVector):
+        return right.dot(left)
+    n = min(left.shape[0], right.shape[0])
+    return float(np.dot(left[:n], right[:n]))
+
+
+def axpy(accumulator: SparseVector, vector: SparseVector, scale: float) -> SparseVector:
+    """In-place ``accumulator += scale * vector``; returns the accumulator."""
+    accumulator.add_inplace(vector, scale)
+    return accumulator

@@ -1,0 +1,40 @@
+"""Synthetic workloads standing in for the paper's data sets.
+
+The paper evaluates on Forest (dense, 582k entities, 54 features), DBLife
+(sparse titles, 124k entities, 41k features, ~7 non-zeros) and Citeseer
+(sparse abstracts, 721k entities, 682k features, ~60 non-zeros).  Those corpora
+are not redistributable here, so :mod:`repro.workloads.datasets` provides
+generators that reproduce their *shape* — entity count, feature dimensionality,
+sparsity, and linear separability with label noise — scaled down to laptop
+size.  Every generator is seeded and deterministic.
+"""
+
+from repro.workloads.datasets import (
+    DATASETS,
+    DatasetSpec,
+    GeneratedDataset,
+    citeseer_like,
+    dblife_like,
+    forest_like,
+    generate_dataset,
+)
+from repro.workloads.synth_dense import DenseDatasetGenerator
+from repro.workloads.synth_text import SparseCorpusGenerator, SyntheticDocument
+from repro.workloads.trace import UpdateTrace, interleaved_trace, read_trace, update_trace
+
+__all__ = [
+    "SparseCorpusGenerator",
+    "SyntheticDocument",
+    "DenseDatasetGenerator",
+    "DatasetSpec",
+    "GeneratedDataset",
+    "DATASETS",
+    "forest_like",
+    "dblife_like",
+    "citeseer_like",
+    "generate_dataset",
+    "UpdateTrace",
+    "update_trace",
+    "read_trace",
+    "interleaved_trace",
+]

@@ -1,0 +1,199 @@
+"""Named dataset configurations mirroring the paper's Figure 3.
+
+Each :class:`DatasetSpec` records the paper's reported statistics and a scaled
+generator configuration; :func:`generate_dataset` materializes a
+:class:`GeneratedDataset` holding the entity vectors, ground-truth labels, and
+the statistics row the Figure 3 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.linalg import SparseVector
+from repro.workloads.synth_dense import DenseDatasetGenerator
+from repro.workloads.synth_text import SparseCorpusGenerator
+
+__all__ = [
+    "DatasetSpec",
+    "GeneratedDataset",
+    "DATASETS",
+    "forest_like",
+    "dblife_like",
+    "citeseer_like",
+    "generate_dataset",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape parameters for one of the paper's data sets plus its reported stats."""
+
+    name: str
+    abbreviation: str
+    kind: str  # "dense" or "sparse"
+    paper_size_bytes: int
+    paper_entities: int
+    paper_features: int
+    paper_avg_nonzeros: int
+    default_entities: int
+    feature_dimension: int
+    nonzeros_per_entity: int
+    positive_fraction: float = 0.3
+    class_count: int = 2
+
+    def scaled_entities(self, scale: float) -> int:
+        """Entity count at ``scale`` (1.0 = the repo default, not the paper size)."""
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        return max(10, int(self.default_entities * scale))
+
+
+@dataclass
+class GeneratedDataset:
+    """A materialized synthetic data set: vectors, labels, and summary statistics."""
+
+    spec: DatasetSpec
+    entities: list[tuple[int, SparseVector]]
+    labels: dict[int, int]
+    multiclass_labels: dict[int, int] = field(default_factory=dict)
+
+    def entity_count(self) -> int:
+        """Number of generated entities."""
+        return len(self.entities)
+
+    def feature_dimension(self) -> int:
+        """Dimensionality of the feature space."""
+        return self.spec.feature_dimension
+
+    def average_nonzeros(self) -> float:
+        """Mean non-zero count per entity vector."""
+        if not self.entities:
+            return 0.0
+        return sum(features.nnz() for _, features in self.entities) / len(self.entities)
+
+    def approximate_size_bytes(self) -> int:
+        """Approximate serialized size (the Figure 3 "Size" column)."""
+        return sum(features.approx_size_bytes() + 16 for _, features in self.entities)
+
+    def training_examples(
+        self, count: int, seed: int = 0
+    ) -> list[tuple[int, SparseVector, int]]:
+        """Sample ``count`` labeled examples (with replacement) for update traces."""
+        import random
+
+        rng = random.Random(seed * 97 + 13)
+        examples = []
+        for _ in range(count):
+            entity_id, features = self.entities[rng.randrange(len(self.entities))]
+            examples.append((entity_id, features, self.labels[entity_id]))
+        return examples
+
+    def statistics_row(self) -> dict[str, object]:
+        """The Figure 3 row for this data set (generated + paper-reported values)."""
+        return {
+            "dataset": self.spec.name,
+            "abbrev": self.spec.abbreviation,
+            "generated_entities": self.entity_count(),
+            "generated_features": self.feature_dimension(),
+            "generated_avg_nonzeros": round(self.average_nonzeros(), 1),
+            "generated_size_bytes": self.approximate_size_bytes(),
+            "paper_entities": self.spec.paper_entities,
+            "paper_features": self.spec.paper_features,
+            "paper_avg_nonzeros": self.spec.paper_avg_nonzeros,
+            "paper_size_bytes": self.spec.paper_size_bytes,
+        }
+
+
+#: The three data sets of Figure 3, scaled to laptop-size defaults.
+DATASETS: dict[str, DatasetSpec] = {
+    "forest": DatasetSpec(
+        name="Forest",
+        abbreviation="FC",
+        kind="dense",
+        paper_size_bytes=73_000_000,
+        paper_entities=582_000,
+        paper_features=54,
+        paper_avg_nonzeros=54,
+        default_entities=4000,
+        feature_dimension=54,
+        nonzeros_per_entity=54,
+        positive_fraction=0.36,
+        class_count=7,
+    ),
+    "dblife": DatasetSpec(
+        name="DBLife",
+        abbreviation="DB",
+        kind="sparse",
+        paper_size_bytes=25_000_000,
+        paper_entities=124_000,
+        paper_features=41_000,
+        paper_avg_nonzeros=7,
+        default_entities=2500,
+        feature_dimension=4100,
+        nonzeros_per_entity=7,
+        positive_fraction=0.25,
+    ),
+    "citeseer": DatasetSpec(
+        name="Citeseer",
+        abbreviation="CS",
+        kind="sparse",
+        paper_size_bytes=1_300_000_000,
+        paper_entities=721_000,
+        paper_features=682_000,
+        paper_avg_nonzeros=60,
+        default_entities=5000,
+        feature_dimension=20_000,
+        nonzeros_per_entity=60,
+        positive_fraction=0.2,
+    ),
+}
+
+
+def generate_dataset(spec: DatasetSpec | str, scale: float = 1.0, seed: int = 0) -> GeneratedDataset:
+    """Materialize a synthetic data set matching ``spec`` at ``scale``."""
+    if isinstance(spec, str):
+        key = spec.strip().lower()
+        if key not in DATASETS:
+            raise ConfigurationError(f"unknown dataset {spec!r}; known: {sorted(DATASETS)}")
+        spec = DATASETS[key]
+    count = spec.scaled_entities(scale)
+    entities: list[tuple[int, SparseVector]] = []
+    labels: dict[int, int] = {}
+    multiclass: dict[int, int] = {}
+    if spec.kind == "dense":
+        generator = DenseDatasetGenerator(
+            dimensions=spec.feature_dimension, class_count=spec.class_count, seed=seed
+        )
+        for example in generator.generate(count):
+            entities.append((example.entity_id, example.features))
+            labels[example.entity_id] = example.label
+            multiclass[example.entity_id] = example.multiclass_label
+    else:
+        generator = SparseCorpusGenerator(
+            vocabulary_size=spec.feature_dimension,
+            nonzeros_per_document=spec.nonzeros_per_entity,
+            positive_fraction=spec.positive_fraction,
+            seed=seed,
+        )
+        for document in generator.generate(count):
+            entities.append((document.entity_id, document.features))
+            labels[document.entity_id] = document.label
+    return GeneratedDataset(spec=spec, entities=entities, labels=labels, multiclass_labels=multiclass)
+
+
+def forest_like(scale: float = 1.0, seed: int = 0) -> GeneratedDataset:
+    """The dense Forest-like data set (FC)."""
+    return generate_dataset("forest", scale=scale, seed=seed)
+
+
+def dblife_like(scale: float = 1.0, seed: int = 0) -> GeneratedDataset:
+    """The sparse DBLife-like data set (DB)."""
+    return generate_dataset("dblife", scale=scale, seed=seed)
+
+
+def citeseer_like(scale: float = 1.0, seed: int = 0) -> GeneratedDataset:
+    """The sparse Citeseer-like data set (CS)."""
+    return generate_dataset("citeseer", scale=scale, seed=seed)

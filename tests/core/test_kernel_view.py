@@ -1,0 +1,120 @@
+"""Tests for incrementally maintained kernel classification views (Appendix B.5.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.kernel_view import KernelHazyEagerMaintainer, KernelNaiveEagerMaintainer
+from repro.core.stores import InMemoryEntityStore
+from repro.exceptions import MaintenanceError
+from repro.learn.kernel_model import KernelPerceptronTrainer
+from repro.learn.kernels import GaussianKernel
+from repro.learn.sgd import TrainingExample
+from repro.linalg import SparseVector
+
+
+def ring_problem() -> tuple[list[tuple[int, SparseVector]], dict[int, int]]:
+    """A center-vs-ring layout that is not linearly separable."""
+    entities: list[tuple[int, SparseVector]] = []
+    labels: dict[int, int] = {}
+    next_id = 0
+    for i in (-1, 0, 1):
+        for j in (-1, 0, 1):
+            entities.append((next_id, SparseVector({0: 0.1 * i, 1: 0.1 * j})))
+            labels[next_id] = 1
+            next_id += 1
+    for k in range(10):
+        angle = 2 * math.pi * k / 10
+        entities.append(
+            (next_id, SparseVector({0: 1.6 * math.cos(angle), 1: 1.6 * math.sin(angle)}))
+        )
+        labels[next_id] = -1
+        next_id += 1
+    return entities, labels
+
+
+def train_and_maintain(maintainer_cls, epochs: int = 6, alpha: float = 1.0):
+    entities, labels = ring_problem()
+    trainer = KernelPerceptronTrainer(kernel=GaussianKernel(gamma=1.0))
+    kwargs = {"alpha": alpha} if maintainer_cls is KernelHazyEagerMaintainer else {}
+    maintainer = maintainer_cls(InMemoryEntityStore(feature_norm_q=2.0), **kwargs)
+    maintainer.bulk_load(entities, trainer.model.copy())
+    for _ in range(epochs):
+        for entity_id, features in entities:
+            model = trainer.absorb(TrainingExample(entity_id, features, labels[entity_id]))
+            maintainer.apply_model(model)
+    return entities, labels, trainer, maintainer
+
+
+class TestLifecycle:
+    def test_operations_require_bulk_load(self):
+        maintainer = KernelHazyEagerMaintainer(InMemoryEntityStore())
+        with pytest.raises(MaintenanceError):
+            maintainer.read_single(1)
+        with pytest.raises(MaintenanceError):
+            maintainer.apply_model(KernelPerceptronTrainer().model)
+
+    def test_bulk_load_with_empty_model_labels_by_bias_sign(self):
+        entities, _ = ring_problem()
+        maintainer = KernelNaiveEagerMaintainer(InMemoryEntityStore())
+        maintainer.bulk_load(entities, KernelPerceptronTrainer().model)
+        # Zero model: every score is 0, sign(0) = +1.
+        assert all(label == 1 for label in maintainer.contents().values())
+
+
+@pytest.mark.parametrize("maintainer_cls", [KernelNaiveEagerMaintainer, KernelHazyEagerMaintainer])
+class TestConsistencyWithKernelModel:
+    def test_view_matches_direct_kernel_predictions(self, maintainer_cls):
+        entities, _, trainer, maintainer = train_and_maintain(maintainer_cls)
+        for entity_id, features in entities:
+            assert maintainer.read_single(entity_id) == trainer.model.predict(features)
+
+    def test_all_members_matches_model(self, maintainer_cls):
+        entities, _, trainer, maintainer = train_and_maintain(maintainer_cls)
+        expected = {eid for eid, features in entities if trainer.model.predict(features) == 1}
+        assert set(maintainer.read_all_members(1)) == expected
+
+    def test_nonlinear_problem_is_actually_learned(self, maintainer_cls):
+        entities, labels, _, maintainer = train_and_maintain(maintainer_cls)
+        correct = sum(
+            1 for entity_id, _ in entities if maintainer.read_single(entity_id) == labels[entity_id]
+        )
+        assert correct >= len(entities) - 2
+
+
+class TestHazyKernelBehaviour:
+    def test_band_tracks_coefficient_delta(self):
+        entities, labels, trainer, maintainer = train_and_maintain(
+            KernelHazyEagerMaintainer, epochs=1, alpha=1e9
+        )
+        # With a huge alpha the maintainer never reorganizes, so the band keeps
+        # growing with the l1 distance between the stored and current models.
+        assert maintainer.band.high >= 0.0
+        assert maintainer.band.low <= 0.0
+        assert maintainer.stats.reorganizations == 0
+
+    def test_small_alpha_triggers_reorganizations(self):
+        _, _, _, maintainer = train_and_maintain(KernelHazyEagerMaintainer, epochs=2, alpha=0.01)
+        assert maintainer.stats.reorganizations >= 1
+
+    def test_hazy_touches_fewer_tuples_when_model_is_stable(self):
+        entities, labels = ring_problem()
+        trainer = KernelPerceptronTrainer(kernel=GaussianKernel(gamma=1.0))
+        # Train to convergence first.
+        for _ in range(8):
+            for entity_id, features in entities:
+                trainer.absorb(TrainingExample(entity_id, features, labels[entity_id]))
+        hazy = KernelHazyEagerMaintainer(InMemoryEntityStore(feature_norm_q=2.0))
+        naive = KernelNaiveEagerMaintainer(InMemoryEntityStore(feature_norm_q=2.0))
+        for maintainer in (hazy, naive):
+            maintainer.bulk_load(entities, trainer.model.copy())
+        # Converged model: further examples produce no mistakes, hence no model
+        # change, so the Hazy band stays degenerate and nothing is rescored.
+        for entity_id, features in entities:
+            model = trainer.absorb(TrainingExample(entity_id, features, labels[entity_id]))
+            hazy.apply_model(model)
+            naive.apply_model(model)
+        assert hazy.stats.tuples_reclassified < naive.stats.tuples_reclassified
+        assert hazy.contents() == naive.contents()

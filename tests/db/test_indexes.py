@@ -1,0 +1,181 @@
+"""Unit tests for the B+-tree and hash index."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db.btree import BPlusTree
+from repro.db.hash_index import HashIndex
+from repro.db.page import RecordId
+from repro.exceptions import DatabaseError, DuplicateKeyError, KeyNotFoundError
+
+
+class TestBPlusTreeBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.search(1.0) == []
+        assert tree.min_key() is None
+        assert tree.max_key() is None
+        assert list(tree.items()) == []
+
+    def test_invalid_order(self):
+        with pytest.raises(DatabaseError):
+            BPlusTree(order=2)
+
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1.5, "a")
+        tree.insert(-2.0, "b")
+        assert tree.search(1.5) == ["a"]
+        assert tree.search(-2.0) == ["b"]
+        assert tree.search(0.0) == []
+        assert len(tree) == 2
+
+    def test_duplicate_keys_supported(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1.0, "a")
+        tree.insert(1.0, "b")
+        assert sorted(tree.search(1.0)) == ["a", "b"]
+        assert len(tree) == 2
+
+    def test_min_and_max_keys(self):
+        tree = BPlusTree(order=4)
+        for value in [5.0, -1.0, 3.0, 10.0]:
+            tree.insert(value, value)
+        assert tree.min_key() == -1.0
+        assert tree.max_key() == 10.0
+
+    def test_split_keeps_items_sorted(self):
+        tree = BPlusTree(order=4)
+        values = list(range(100))
+        random.Random(0).shuffle(values)
+        for value in values:
+            tree.insert(float(value), value)
+        keys = [key for key, _ in tree.items()]
+        assert keys == sorted(keys)
+        assert len(tree) == 100
+        assert tree.height > 1
+        tree.check_invariants()
+
+    def test_delete_single_occurrence(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1.0, "a")
+        tree.insert(1.0, "b")
+        assert tree.delete(1.0, "a")
+        assert tree.search(1.0) == ["b"]
+        assert len(tree) == 1
+
+    def test_delete_missing_returns_false(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1.0, "a")
+        assert not tree.delete(2.0, "a")
+        assert not tree.delete(1.0, "missing")
+
+    def test_clear(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1.0, "a")
+        tree.clear()
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_bulk_load(self):
+        tree = BPlusTree.bulk_load([(float(i), i) for i in range(50)], order=8)
+        assert len(tree) == 50
+        tree.check_invariants()
+
+
+class TestBPlusTreeRangeScans:
+    def _build(self, count: int = 200, order: int = 8) -> BPlusTree:
+        tree = BPlusTree(order=order)
+        values = list(range(count))
+        random.Random(1).shuffle(values)
+        for value in values:
+            tree.insert(float(value), value)
+        return tree
+
+    def test_range_scan_inclusive_bounds(self):
+        tree = self._build()
+        result = [payload for _, payload in tree.range_scan(10.0, 20.0)]
+        assert result == list(range(10, 21))
+
+    def test_range_scan_unbounded_low(self):
+        tree = self._build(50)
+        result = [payload for _, payload in tree.range_scan(None, 5.0)]
+        assert result == list(range(0, 6))
+
+    def test_range_scan_unbounded_high(self):
+        tree = self._build(50)
+        result = [payload for _, payload in tree.range_scan(45.0, None)]
+        assert result == list(range(45, 50))
+
+    def test_range_scan_empty_interval(self):
+        tree = self._build(50)
+        assert list(tree.range_scan(30.0, 20.0)) == []
+
+    def test_range_scan_between_keys(self):
+        tree = self._build(50)
+        assert [p for _, p in tree.range_scan(10.5, 11.5)] == [11]
+
+    def test_range_scan_matches_sorted_filter(self):
+        rng = random.Random(7)
+        pairs = [(rng.uniform(-10, 10), i) for i in range(300)]
+        tree = BPlusTree(order=6)
+        for key, payload in pairs:
+            tree.insert(key, payload)
+        low, high = -3.0, 4.0
+        expected = sorted(
+            [(k, p) for k, p in pairs if low <= k <= high], key=lambda pair: pair[0]
+        )
+        actual = list(tree.range_scan(low, high))
+        assert [p for _, p in actual] == [p for _, p in expected]
+
+
+class TestHashIndex:
+    def test_insert_and_lookup(self):
+        index = HashIndex("id")
+        index.insert(5, RecordId(0, 1))
+        assert index.lookup(5) == RecordId(0, 1)
+        assert index.get(5) == RecordId(0, 1)
+        assert 5 in index
+        assert len(index) == 1
+
+    def test_duplicate_insert_rejected(self):
+        index = HashIndex("id")
+        index.insert(5, RecordId(0, 1))
+        with pytest.raises(DuplicateKeyError):
+            index.insert(5, RecordId(0, 2))
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            HashIndex("id").lookup(1)
+
+    def test_get_returns_none_for_missing(self):
+        assert HashIndex("id").get(1) is None
+
+    def test_update_repoints(self):
+        index = HashIndex("id")
+        index.insert(5, RecordId(0, 1))
+        index.update(5, RecordId(3, 0))
+        assert index.lookup(5) == RecordId(3, 0)
+
+    def test_update_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            HashIndex("id").update(1, RecordId(0, 0))
+
+    def test_delete_and_clear(self):
+        index = HashIndex("id")
+        index.insert(1, RecordId(0, 0))
+        index.insert(2, RecordId(0, 1))
+        index.delete(1)
+        assert index.get(1) is None
+        index.clear()
+        assert len(index) == 0
+
+    def test_keys_iteration(self):
+        index = HashIndex("id")
+        index.insert("a", RecordId(0, 0))
+        index.insert("b", RecordId(0, 1))
+        assert sorted(index.keys()) == ["a", "b"]

@@ -1,0 +1,213 @@
+"""Unit tests for pages, the buffer pool, heap files, and the cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.buffer_pool import BufferPool, DiskManager, IOStatistics
+from repro.db.costmodel import CostModel
+from repro.db.heap import HeapFile
+from repro.db.page import Page, RecordId
+from repro.exceptions import PageError
+
+
+class TestCostModel:
+    def test_main_memory_has_no_io_cost(self):
+        model = CostModel.main_memory()
+        assert model.random_page_read == 0.0
+        assert model.sequential_page_write == 0.0
+        assert model.tuple_cpu > 0.0
+
+    def test_sort_cost_is_superlinear(self):
+        model = CostModel()
+        assert model.sort_cost(10_000) > 10 * model.sort_cost(1_000) * 0.9
+        assert model.sort_cost(1) > 0.0
+
+    def test_scan_cost_combines_pages_and_tuples(self):
+        model = CostModel()
+        assert model.scan_cost(10, 1000) == pytest.approx(
+            10 * model.sequential_page_read + 1000 * model.tuple_cpu
+        )
+
+    def test_dot_product_cost_scales_with_nonzeros(self):
+        model = CostModel()
+        assert model.dot_product_cost(100) == pytest.approx(100 * model.dot_product_per_nonzero)
+        assert model.dot_product_cost(0) == pytest.approx(model.dot_product_per_nonzero)
+
+    def test_random_io_more_expensive_than_sequential(self):
+        model = CostModel()
+        assert model.random_page_read > model.sequential_page_read
+
+
+class TestPage:
+    def test_insert_and_read(self):
+        page = Page(0, capacity_bytes=1000)
+        slot = page.insert({"id": 1}, row_size=100)
+        assert page.read(slot) == {"id": 1}
+        assert page.live_row_count() == 1
+
+    def test_capacity_enforced(self):
+        page = Page(0, capacity_bytes=150)
+        page.insert({"id": 1}, row_size=100)
+        assert not page.fits(100)
+        with pytest.raises(PageError):
+            page.insert({"id": 2}, row_size=100)
+
+    def test_update_in_place(self):
+        page = Page(0, capacity_bytes=1000)
+        slot = page.insert({"id": 1, "label": -1}, row_size=100)
+        page.update(slot, {"id": 1, "label": 1}, row_size=100)
+        assert page.read(slot)["label"] == 1
+
+    def test_update_overflow_rejected(self):
+        page = Page(0, capacity_bytes=150)
+        slot = page.insert({"id": 1}, row_size=100)
+        with pytest.raises(PageError):
+            page.update(slot, {"id": 1}, row_size=200)
+
+    def test_delete_leaves_tombstone(self):
+        page = Page(0, capacity_bytes=1000)
+        slot_a = page.insert({"id": 1}, row_size=100)
+        slot_b = page.insert({"id": 2}, row_size=100)
+        page.delete(slot_a)
+        assert page.live_row_count() == 1
+        assert page.read(slot_b) == {"id": 2}
+        with pytest.raises(PageError):
+            page.read(slot_a)
+
+    def test_bad_slot_raises(self):
+        with pytest.raises(PageError):
+            Page(0, 100).read(5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(PageError):
+            Page(0, 0)
+
+    def test_dirty_flag_set_on_write(self):
+        page = Page(0, 1000)
+        assert not page.dirty
+        page.insert({"id": 1}, 10)
+        assert page.dirty
+
+
+class TestBufferPool:
+    def test_allocation_does_not_charge_reads(self):
+        pool = BufferPool(CostModel())
+        pool.allocate_page()
+        assert pool.stats.page_reads == 0
+
+    def test_fetch_resident_is_a_hit(self):
+        pool = BufferPool(CostModel())
+        page = pool.allocate_page()
+        pool.fetch(page.page_id)
+        assert pool.stats.buffer_hits == 1
+        assert pool.stats.page_reads == 0
+
+    def test_eviction_and_refetch_charges_io(self):
+        pool = BufferPool(CostModel(), capacity_pages=2)
+        pages = [pool.allocate_page() for _ in range(3)]
+        # First page was evicted (clean), refetching charges a read.
+        pool.fetch(pages[0].page_id)
+        assert pool.stats.page_reads == 1
+        assert pool.stats.simulated_seconds > 0.0
+
+    def test_dirty_eviction_charges_write(self):
+        pool = BufferPool(CostModel(), capacity_pages=1)
+        first = pool.allocate_page()
+        first.insert({"x": 1}, 10)
+        pool.mark_dirty(first.page_id)
+        pool.allocate_page()  # evicts the dirty first page
+        assert pool.stats.page_writes == 1
+
+    def test_flush_all_writes_dirty_pages_once(self):
+        pool = BufferPool(CostModel())
+        page = pool.allocate_page()
+        page.insert({"x": 1}, 10)
+        pool.mark_dirty(page.page_id)
+        pool.flush_all()
+        assert pool.stats.page_writes == 1
+        pool.flush_all()
+        assert pool.stats.page_writes == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(PageError):
+            BufferPool(CostModel(), capacity_pages=0)
+
+    def test_unknown_page_raises(self):
+        with pytest.raises(PageError):
+            DiskManager(1024).get(99)
+
+    def test_statistics_snapshot_and_diff(self):
+        stats = IOStatistics()
+        stats.charge(1.0, "x")
+        snapshot = stats.snapshot()
+        stats.charge(2.0, "x")
+        delta = stats.diff(snapshot)
+        assert delta.simulated_seconds == pytest.approx(2.0)
+        assert delta.detail["x"] == pytest.approx(2.0)
+
+
+def _make_heap(capacity_pages=None) -> tuple[HeapFile, BufferPool]:
+    pool = BufferPool(CostModel(), capacity_pages=capacity_pages)
+    heap = HeapFile(pool, sizer=lambda row: 100)
+    return heap, pool
+
+
+class TestHeapFile:
+    def test_insert_read_roundtrip(self):
+        heap, _ = _make_heap()
+        rid = heap.insert({"id": 1})
+        assert heap.read(rid) == {"id": 1}
+        assert heap.row_count() == 1
+
+    def test_rows_span_multiple_pages(self):
+        heap, pool = _make_heap()
+        for i in range(200):
+            heap.insert({"id": i})
+        assert heap.page_count() > 1
+        assert heap.row_count() == 200
+
+    def test_scan_returns_rows_in_insertion_order(self):
+        heap, _ = _make_heap()
+        for i in range(50):
+            heap.insert({"id": i})
+        ids = [row["id"] for _, row in heap.scan()]
+        assert ids == list(range(50))
+
+    def test_update_in_place(self):
+        heap, _ = _make_heap()
+        rid = heap.insert({"id": 1, "label": -1})
+        heap.update(rid, {"id": 1, "label": 1})
+        assert heap.read(rid)["label"] == 1
+
+    def test_delete_reduces_row_count(self):
+        heap, _ = _make_heap()
+        rid = heap.insert({"id": 1})
+        heap.delete(rid)
+        assert heap.row_count() == 0
+        assert list(heap.scan()) == []
+
+    def test_bulk_rebuild_replaces_contents(self):
+        heap, _ = _make_heap()
+        for i in range(10):
+            heap.insert({"id": i})
+        rids = heap.bulk_rebuild([{"id": 100 + i} for i in range(5)])
+        assert heap.row_count() == 5
+        assert [heap.read(rid)["id"] for rid in rids] == [100, 101, 102, 103, 104]
+
+    def test_oversized_row_rejected(self):
+        pool = BufferPool(CostModel())
+        heap = HeapFile(pool, sizer=lambda row: 100_000)
+        with pytest.raises(PageError):
+            heap.insert({"huge": True})
+
+    def test_reads_and_writes_are_charged(self):
+        heap, pool = _make_heap()
+        rid = heap.insert({"id": 1})
+        before = pool.stats.simulated_seconds
+        heap.read(rid)
+        assert pool.stats.simulated_seconds > before
+
+    def test_record_ids_are_orderable(self):
+        assert RecordId(0, 1) < RecordId(1, 0)
+        assert RecordId(1, 2) > RecordId(1, 1)

@@ -1,0 +1,158 @@
+"""Unit tests for kernels, kernel classifiers and random Fourier features."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.learn.kernel_model import KernelClassifier, KernelPerceptronTrainer, SupportVector
+from repro.learn.kernels import (
+    GaussianKernel,
+    LaplacianKernel,
+    LinearKernel,
+    PolynomialKernel,
+    get_kernel,
+)
+from repro.learn.random_features import RandomFourierFeatures
+from repro.learn.sgd import TrainingExample
+from repro.linalg import SparseVector
+
+
+class TestKernels:
+    def test_linear_kernel_is_dot_product(self):
+        kernel = LinearKernel()
+        assert kernel(SparseVector({0: 1.0, 1: 2.0}), SparseVector({1: 3.0})) == pytest.approx(6.0)
+
+    def test_polynomial_kernel(self):
+        kernel = PolynomialKernel(degree=2, gamma=1.0, coef0=1.0)
+        x = SparseVector({0: 1.0})
+        y = SparseVector({0: 2.0})
+        assert kernel(x, y) == pytest.approx((2.0 + 1.0) ** 2)
+
+    def test_polynomial_requires_positive_degree(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialKernel(degree=0)
+
+    def test_gaussian_kernel_identity(self):
+        kernel = GaussianKernel(gamma=0.5)
+        x = SparseVector({0: 1.0, 3: -2.0})
+        assert kernel(x, x) == pytest.approx(1.0)
+
+    def test_gaussian_kernel_decays_with_distance(self):
+        kernel = GaussianKernel(gamma=1.0)
+        x = SparseVector({0: 0.0})
+        near = SparseVector({0: 0.1})
+        far = SparseVector({0: 2.0})
+        assert kernel(x, near) > kernel(x, far)
+
+    def test_gaussian_value_matches_closed_form(self):
+        kernel = GaussianKernel(gamma=2.0)
+        x = SparseVector({0: 1.0})
+        y = SparseVector({1: 1.0})
+        assert kernel(x, y) == pytest.approx(math.exp(-2.0 * 2.0))
+
+    def test_laplacian_uses_l1_distance(self):
+        kernel = LaplacianKernel(gamma=1.0)
+        x = SparseVector({0: 1.0})
+        y = SparseVector({1: 1.0})
+        assert kernel(x, y) == pytest.approx(math.exp(-2.0))
+
+    def test_shift_invariance_flags(self):
+        assert GaussianKernel().shift_invariant
+        assert LaplacianKernel().shift_invariant
+        assert not LinearKernel().shift_invariant
+        assert not PolynomialKernel().shift_invariant
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ConfigurationError):
+            GaussianKernel(gamma=0.0)
+        with pytest.raises(ConfigurationError):
+            LaplacianKernel(gamma=-1.0)
+
+    def test_registry(self):
+        assert isinstance(get_kernel("rbf"), GaussianKernel)
+        assert isinstance(get_kernel("poly", degree=3), PolynomialKernel)
+        with pytest.raises(ConfigurationError):
+            get_kernel("bogus")
+
+
+class TestKernelClassifier:
+    def test_score_is_weighted_kernel_sum(self):
+        classifier = KernelClassifier(
+            kernel=LinearKernel(),
+            support_vectors=[
+                SupportVector(SparseVector({0: 1.0}), 2.0),
+                SupportVector(SparseVector({0: 1.0}), -0.5),
+            ],
+            bias=0.25,
+        )
+        assert classifier.score(SparseVector({0: 2.0})) == pytest.approx(2.0 * 2 - 0.5 * 2 + 0.25)
+
+    def test_coefficient_l1_delta_pads_shorter_model(self):
+        a = KernelClassifier(support_vectors=[SupportVector(SparseVector({0: 1.0}), 1.0)])
+        b = KernelClassifier(
+            support_vectors=[
+                SupportVector(SparseVector({0: 1.0}), 1.0),
+                SupportVector(SparseVector({1: 1.0}), -2.0),
+            ]
+        )
+        assert a.coefficient_l1_delta(b) == pytest.approx(2.0)
+
+    def test_kernel_perceptron_learns_nonlinear_boundary(self):
+        """A ring/center problem that a linear model cannot separate."""
+        center = [SparseVector({0: 0.05 * i, 1: 0.05 * j}) for i in (-1, 0, 1) for j in (-1, 0, 1)]
+        ring = [
+            SparseVector({0: 1.5 * math.cos(t), 1: 1.5 * math.sin(t)})
+            for t in [k * math.pi / 4 for k in range(8)]
+        ]
+        examples = [TrainingExample(i, v, 1) for i, v in enumerate(center)]
+        examples += [TrainingExample(100 + i, v, -1) for i, v in enumerate(ring)]
+        trainer = KernelPerceptronTrainer(kernel=GaussianKernel(gamma=1.5))
+        trainer.fit(examples, epochs=10)
+        correct = sum(1 for ex in examples if trainer.predict(ex.features) == ex.label)
+        assert correct >= len(examples) - 1
+
+    def test_kernel_perceptron_predict_before_training(self):
+        with pytest.raises(NotFittedError):
+            KernelPerceptronTrainer().predict(SparseVector({0: 1.0}))
+
+    def test_mistakes_add_support_vectors(self):
+        trainer = KernelPerceptronTrainer()
+        trainer.absorb(TrainingExample(0, SparseVector({0: 1.0}), -1))
+        assert len(trainer.model.support_vectors) == 1
+
+
+class TestRandomFourierFeatures:
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            RandomFourierFeatures(0, 10)
+
+    def test_requires_shift_invariant_kernel(self):
+        with pytest.raises(ConfigurationError):
+            RandomFourierFeatures(4, 10, kernel=LinearKernel())
+
+    def test_output_dimension(self):
+        rff = RandomFourierFeatures(5, 64, kernel=GaussianKernel(gamma=1.0), seed=1)
+        transformed = rff.transform(SparseVector({0: 1.0, 4: -1.0}))
+        assert transformed.max_index() < 64
+
+    def test_kernel_approximation_quality(self):
+        """z(x)^T z(y) approximates K(x, y) (Rahimi & Recht)."""
+        kernel = GaussianKernel(gamma=0.5)
+        rff = RandomFourierFeatures(4, 2048, kernel=kernel, seed=3)
+        x = SparseVector({0: 0.4, 1: -0.2})
+        y = SparseVector({0: 0.1, 2: 0.3})
+        exact = kernel(x, y)
+        approx = rff.approximate_kernel(x, y)
+        assert approx == pytest.approx(exact, abs=0.1)
+
+    def test_deterministic_given_seed(self):
+        a = RandomFourierFeatures(3, 16, seed=9).transform(SparseVector({0: 1.0}))
+        b = RandomFourierFeatures(3, 16, seed=9).transform(SparseVector({0: 1.0}))
+        assert a.to_dict() == pytest.approx(b.to_dict())
+
+    def test_laplacian_kernel_supported(self):
+        rff = RandomFourierFeatures(3, 32, kernel=LaplacianKernel(gamma=1.0), seed=2)
+        assert rff.transform(SparseVector({1: 1.0})).nnz() > 0

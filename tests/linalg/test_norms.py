@@ -1,0 +1,66 @@
+"""Unit tests for p-norms and Hölder conjugates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.linalg import SparseVector, holder_conjugate, p_norm
+from repro.linalg.norms import HOLDER_PAIRS
+
+
+class TestHolderConjugate:
+    def test_conjugate_of_one_is_infinity(self):
+        assert holder_conjugate(1) == math.inf
+
+    def test_conjugate_of_infinity_is_one(self):
+        assert holder_conjugate(math.inf) == 1.0
+
+    def test_two_is_self_conjugate(self):
+        assert holder_conjugate(2) == pytest.approx(2.0)
+
+    def test_general_conjugate_identity(self):
+        for p in (1.5, 3.0, 4.0, 10.0):
+            q = holder_conjugate(p)
+            assert 1 / p + 1 / q == pytest.approx(1.0)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            holder_conjugate(0.5)
+
+    def test_paper_pairs_are_conjugate(self):
+        for p, q in HOLDER_PAIRS:
+            if p == math.inf:
+                assert q == 1.0
+            elif q == math.inf:
+                assert p == 1.0
+            else:
+                assert 1 / p + 1 / q == pytest.approx(1.0)
+
+
+class TestPNorm:
+    def test_sparse_vector_dispatch(self):
+        assert p_norm(SparseVector({0: 3.0, 1: 4.0}), 2) == pytest.approx(5.0)
+
+    def test_dense_iterable(self):
+        assert p_norm([3.0, -4.0], 1) == pytest.approx(7.0)
+        assert p_norm([3.0, -4.0], 2) == pytest.approx(5.0)
+        assert p_norm([3.0, -4.0], math.inf) == pytest.approx(4.0)
+
+    def test_empty_iterable(self):
+        assert p_norm([], 2) == 0.0
+
+    def test_general_p(self):
+        assert p_norm([1.0, 1.0], 3) == pytest.approx(2 ** (1 / 3))
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            p_norm([1.0], -1)
+
+    def test_holder_inequality_holds_on_examples(self):
+        """|x . y| <= ||x||_p * ||y||_q for the pairs the paper uses."""
+        x = SparseVector({0: 0.5, 3: -1.5, 7: 2.0})
+        y = SparseVector({0: 1.0, 3: 0.25, 9: 4.0})
+        for p, q in ((math.inf, 1.0), (2.0, 2.0), (1.0, math.inf)):
+            assert abs(x.dot(y)) <= x.norm(p) * y.norm(q) + 1e-12

@@ -1,0 +1,95 @@
+"""Property-based test: every maintenance strategy agrees with the declarative semantics.
+
+For random corpora and random update sequences, the contents of a classification
+view maintained by any (strategy, architecture) combination must equal the
+result of re-classifying every entity with the final model — the paper's view
+semantics (§2.1).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maintainers import (
+    HazyEagerMaintainer,
+    HazyLazyMaintainer,
+    NaiveEagerMaintainer,
+    NaiveLazyMaintainer,
+)
+from repro.core.stores import HybridEntityStore, InMemoryEntityStore, OnDiskEntityStore
+from repro.core.view import view_contents
+from repro.db.buffer_pool import BufferPool, IOStatistics
+from repro.db.costmodel import CostModel
+from repro.learn.sgd import SGDTrainer, TrainingExample
+from repro.workloads.synth_text import SparseCorpusGenerator
+
+MAINTAINERS = [NaiveEagerMaintainer, NaiveLazyMaintainer, HazyEagerMaintainer, HazyLazyMaintainer]
+
+
+def build_store(kind: str):
+    if kind == "mainmemory":
+        return InMemoryEntityStore(feature_norm_q=1.0)
+    pool = BufferPool(CostModel(), capacity_pages=16, statistics=IOStatistics())
+    if kind == "ondisk":
+        return OnDiskEntityStore(pool=pool, feature_norm_q=1.0)
+    return HybridEntityStore(pool=pool, feature_norm_q=1.0, buffer_fraction=0.1)
+
+
+@st.composite
+def maintenance_scenarios(draw):
+    """A random corpus plus a random sequence of (example index, label) updates."""
+    corpus_seed = draw(st.integers(min_value=0, max_value=10_000))
+    corpus_size = draw(st.integers(min_value=10, max_value=60))
+    generator = SparseCorpusGenerator(
+        vocabulary_size=120, nonzeros_per_document=6, positive_fraction=0.4, seed=corpus_seed
+    )
+    documents = generator.generate_list(corpus_size)
+    update_count = draw(st.integers(min_value=1, max_value=25))
+    updates = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=corpus_size - 1),
+                st.sampled_from([-1, 1]),
+            ),
+            min_size=update_count,
+            max_size=update_count,
+        )
+    )
+    alpha = draw(st.sampled_from([0.1, 1.0, 3.0]))
+    return documents, updates, alpha
+
+
+class TestViewConsistencyProperty:
+    @given(maintenance_scenarios(), st.sampled_from(MAINTAINERS))
+    @settings(max_examples=40, deadline=None)
+    def test_every_strategy_matches_final_model_semantics(self, scenario, maintainer_cls):
+        documents, updates, alpha = scenario
+        entities = [(doc.entity_id, doc.features) for doc in documents]
+        trainer = SGDTrainer(seed=1)
+        kwargs = {"alpha": alpha} if maintainer_cls in (HazyEagerMaintainer, HazyLazyMaintainer) else {}
+        maintainer = maintainer_cls(build_store("mainmemory"), **kwargs)
+        maintainer.bulk_load(entities, trainer.model.copy())
+        for index, label in updates:
+            doc = documents[index]
+            model = trainer.absorb(TrainingExample(doc.entity_id, doc.features, label))
+            maintainer.apply_model(model)
+        oracle = view_contents(entities, trainer.model)
+        assert maintainer.contents() == oracle
+
+    @given(maintenance_scenarios(), st.sampled_from(["ondisk", "hybrid"]))
+    @settings(max_examples=15, deadline=None)
+    def test_hazy_eager_consistent_on_disk_architectures(self, scenario, architecture):
+        documents, updates, alpha = scenario
+        entities = [(doc.entity_id, doc.features) for doc in documents]
+        trainer = SGDTrainer(seed=2)
+        maintainer = HazyEagerMaintainer(build_store(architecture), alpha=alpha)
+        maintainer.bulk_load(entities, trainer.model.copy())
+        for index, label in updates:
+            doc = documents[index]
+            model = trainer.absorb(TrainingExample(doc.entity_id, doc.features, label))
+            maintainer.apply_model(model)
+        oracle = view_contents(entities, trainer.model)
+        positive = {eid for eid, lab in oracle.items() if lab == 1}
+        assert set(maintainer.read_all_members(1)) == positive
+        assert maintainer.contents() == oracle
