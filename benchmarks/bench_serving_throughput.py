@@ -1,0 +1,190 @@
+"""Serving throughput: concurrent ViewServer vs serialized direct-engine calls.
+
+Drives the same mixed read/write workload two ways:
+
+* **direct-serial** — the seed repo's only access path: one thread calling
+  ``maintainer.read_single`` / absorbing examples inline, one statement
+  dispatch per read;
+* **served** — a :class:`~repro.serve.server.ViewServer` with ≥4 concurrent
+  client threads reading through the request batcher while writer threads
+  stream the same training examples through the background maintenance
+  pipeline, over hash-sharded per-thread partitions with the water-band
+  result cache in front.
+
+The figure of merit is *simulated* read throughput (reads per simulated
+second of storage/CPU work, the same currency as every other figure in
+EXPERIMENTS.md); wall-clock throughput is reported alongside.  The batcher
+amortizes the per-statement overhead that Figure 5 shows capping read rates,
+so the served configuration must clear **2x** the serialized baseline — the
+test enforces it, and also re-verifies that every concurrent read was
+snapshot-consistent with the model of the epoch it was tagged with.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.bench.harness import build_maintained_view, build_maintainer, build_store
+from repro.bench.reporting import format_table
+from repro.serve import ViewServer
+from repro.workloads import read_trace, update_trace
+
+READER_THREADS = 6
+WRITER_THREADS = 2
+READS = 6000
+WRITES = 120
+WARMUP = 400
+NUM_SHARDS = 4
+
+
+def _workload(dataset, seed=7):
+    trace = update_trace(dataset, warmup=WARMUP, timed=WRITES, seed=seed)
+    ids = read_trace(dataset, READS, seed=seed + 1)
+    return trace, ids
+
+
+def run_direct_serial(dataset):
+    """Baseline: serialized single-statement reads interleaved with updates."""
+    trace, ids = _workload(dataset)
+    view = build_maintained_view(
+        dataset, "mainmemory", "hazy", "eager", warm_examples=trace.warm_examples()
+    )
+    timed = list(trace.timed_examples())
+    reads_per_write = max(1, len(ids) // max(1, len(timed)))
+    maintainer = view.maintainer
+    read_cost_start = maintainer.stats.simulated_read_seconds
+    start_wall = time.perf_counter()
+    cursor = 0
+    for index, entity_id in enumerate(ids):
+        if cursor < len(timed) and index % reads_per_write == 0:
+            view.absorb(timed[cursor])
+            cursor += 1
+        maintainer.read_single(entity_id)
+    while cursor < len(timed):
+        view.absorb(timed[cursor])
+        cursor += 1
+    wall = time.perf_counter() - start_wall
+    read_seconds = maintainer.stats.simulated_read_seconds - read_cost_start
+    return {
+        "cell": "direct-serial",
+        "reads": len(ids),
+        "writes": len(timed),
+        "sim_reads_per_s": round(len(ids) / read_seconds, 1),
+        "wall_reads_per_s": round(len(ids) / wall, 1),
+        "avg_read_batch": 1.0,
+        "cache_hits": 0,
+    }
+
+
+def run_served(dataset, check_consistency: bool = False):
+    """≥4 concurrent readers through the batcher + writers through the pipeline."""
+    trace, ids = _workload(dataset)
+    trainer_view = build_maintained_view(
+        dataset, "mainmemory", "hazy", "eager", warm_examples=trace.warm_examples()
+    )
+    server = ViewServer(
+        entities=list(dataset.entities),
+        model=trainer_view.trainer.model.copy(),
+        trainer=trainer_view.trainer,
+        store_factory=lambda: build_store("mainmemory", feature_norm_q=1.0),
+        maintainer_factory=lambda store: build_maintainer("hazy", "eager", store),
+        num_shards=NUM_SHARDS,
+        max_read_batch=64,
+        read_batch_wait_s=0.001,
+        epoch_history=100_000 if check_consistency else 256,
+    )
+    timed = list(trace.timed_examples())
+    chunks = [ids[i::READER_THREADS] for i in range(READER_THREADS)]
+    write_chunks = [timed[i::WRITER_THREADS] for i in range(WRITER_THREADS)]
+    observations: list[tuple[object, int, int]] = []
+    observations_lock = threading.Lock()
+    errors: list[BaseException] = []
+
+    def reader(chunk):
+        try:
+            local = []
+            for entity_id in chunk:
+                label, epoch = server.label_of_tagged(entity_id)
+                if check_consistency:
+                    local.append((entity_id, label, epoch))
+            if check_consistency:
+                with observations_lock:
+                    observations.extend(local)
+        except BaseException as error:  # pragma: no cover
+            errors.append(error)
+
+    def writer(chunk):
+        try:
+            for example in chunk:
+                server.insert_example(example.entity_id, example.label)
+        except BaseException as error:  # pragma: no cover
+            errors.append(error)
+
+    threads = [threading.Thread(target=reader, args=(chunk,)) for chunk in chunks]
+    threads += [threading.Thread(target=writer, args=(chunk,)) for chunk in write_chunks]
+    start_wall = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    server.flush(timeout=120)
+    wall = time.perf_counter() - start_wall
+    assert not errors, errors
+    read_seconds = server.simulated_read_seconds()
+    row = {
+        "cell": f"served-{NUM_SHARDS}shards",
+        "reads": len(ids),
+        "writes": len(timed),
+        "sim_reads_per_s": round(len(ids) / read_seconds, 1),
+        "wall_reads_per_s": round(len(ids) / wall, 1),
+        "avg_read_batch": round(server.batcher.stats()["avg_batch"], 2),
+        "cache_hits": server.shards.cache_stats()["hits"],
+    }
+    consistency = None
+    if check_consistency:
+        features = {entity_id: f for entity_id, f in dataset.entities}
+        consistency = all(
+            label == model.predict(features[entity_id])
+            for entity_id, label, epoch in observations
+            for model in (server.model_for_epoch(epoch),)
+            if model is not None
+        )
+        checked = sum(
+            1 for _, _, epoch in observations if server.model_for_epoch(epoch) is not None
+        )
+        row["snapshot_consistent"] = consistency and checked == len(observations)
+    server.close(timeout=60)
+    return row
+
+
+def build_table(dataset):
+    direct = run_direct_serial(dataset)
+    served = run_served(dataset)
+    speedup = served["sim_reads_per_s"] / max(1e-9, direct["sim_reads_per_s"])
+    served["read_speedup_vs_direct"] = round(speedup, 2)
+    direct["read_speedup_vs_direct"] = 1.0
+    return [direct, served]
+
+
+def test_serving_throughput(dblife_dataset, benchmark):
+    rows = benchmark.pedantic(lambda: build_table(dblife_dataset), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Serving: {READER_THREADS} readers + {WRITER_THREADS} writers vs "
+                "serialized direct engine"
+            ),
+        )
+    )
+    direct, served = rows
+    assert served["read_speedup_vs_direct"] >= 2.0, (
+        "batched+cached serving must at least double serialized read throughput"
+    )
+
+
+def test_served_reads_snapshot_consistent_under_maintenance(dblife_dataset):
+    row = run_served(dblife_dataset, check_consistency=True)
+    assert row["snapshot_consistent"] is True

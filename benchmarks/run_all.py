@@ -2,16 +2,22 @@
 
 Usage::
 
-    python benchmarks/run_all.py            # all figures
-    python benchmarks/run_all.py fig4a fig13  # a subset
+    python benchmarks/run_all.py                    # all figures
+    python benchmarks/run_all.py fig4a fig13        # a subset
+    python benchmarks/run_all.py --json out.json    # machine-readable results
 
-The output is the set of tables recorded in EXPERIMENTS.md.
+The table output is the set of tables recorded in EXPERIMENTS.md; ``--json``
+additionally writes the aggregate results as JSON (one entry per figure with
+its rows and elapsed wall time) for perf-trajectory tracking.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
@@ -33,6 +39,7 @@ from benchmarks import (  # noqa: E402
     bench_fig12a_feature_sensitivity,
     bench_fig12b_multiclass,
     bench_fig13_waterband,
+    bench_serving_throughput,
 )
 from benchmarks.conftest import BENCH_SCALE  # noqa: E402
 
@@ -45,11 +52,10 @@ def _datasets():
     }
 
 
-def main(selected: list[str]) -> None:
-    datasets = _datasets()
+def build_figures(datasets):
     dblife = datasets["DB"]
     citeseer = datasets["CS"]
-    figures = {
+    return {
         "fig3": ("Figure 3: data set statistics", lambda: bench_fig3_dataset_stats.build_table(datasets)),
         "fig4a": ("Figure 4(A): eager update throughput", lambda: bench_fig4a_eager_update.build_table(datasets)),
         "fig4b": ("Figure 4(B): lazy All Members throughput", lambda: bench_fig4b_lazy_all_members.build_table(datasets)),
@@ -62,17 +68,56 @@ def main(selected: list[str]) -> None:
         "fig12a": ("Figure 12(A): feature-length sensitivity", bench_fig12a_feature_sensitivity.build_table),
         "fig12b": ("Figure 12(B): multiclass updates", bench_fig12b_multiclass.build_table),
         "fig13": ("Figure 13: water-band size", lambda: bench_fig13_waterband.build_table(datasets)),
+        "serving": ("Serving: concurrent ViewServer vs direct engine", lambda: bench_serving_throughput.build_table(dblife)),
         "ablation_alpha": ("Ablation: alpha sensitivity", lambda: bench_ablation_skiing.build_alpha_table(dblife)),
         "ablation_skiing": ("Ablation: Skiing vs optimal schedule", lambda: bench_ablation_skiing.build_ratio_table(dblife)),
     }
-    names = selected or list(figures)
+
+
+def parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "figures", nargs="*", help="subset of figure names to run (default: all)"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write aggregate results as machine-readable JSON to PATH",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str]) -> None:
+    args = parse_args(argv)
+    datasets = _datasets()
+    figures = build_figures(datasets)
+    unknown = [name for name in args.figures if name not in figures]
+    if unknown:
+        raise SystemExit(f"unknown figures {unknown}; available: {sorted(figures)}")
+    names = args.figures or list(figures)
+    report: dict[str, object] = {
+        "generated_at": datetime.now(timezone.utc).isoformat(),
+        "bench_scale": dict(BENCH_SCALE),
+        "figures": {},
+    }
     for name in names:
         title, builder = figures[name]
         start = time.perf_counter()
         rows = builder()
         elapsed = time.perf_counter() - start
+        report["figures"][name] = {
+            "title": title,
+            "elapsed_seconds": round(elapsed, 3),
+            "rows": rows,
+        }
         print()
         print(format_table(rows, title=f"{title}   [{elapsed:.1f}s]"))
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2, default=str) + "\n")
+        print(f"\nwrote JSON results for {len(report['figures'])} figure(s) to {path}")
 
 
 if __name__ == "__main__":

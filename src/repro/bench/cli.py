@@ -1,0 +1,59 @@
+"""The ``repro-bench`` console entry point.
+
+Runs the figure-reproduction benchmark suite (``benchmarks/run_all.py``) from
+a source checkout::
+
+    repro-bench                      # every figure
+    repro-bench fig4a serving        # a subset
+    repro-bench --json results.json  # machine-readable output
+
+The benchmark drivers live next to the repository (they are not installed as
+package data), so the command locates the ``benchmarks/`` directory by walking
+up from the current working directory; point ``REPRO_BENCH_DIR`` at it when
+running from elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def _find_benchmarks_dir() -> Path | None:
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        path = Path(override)
+        return path if path.is_dir() else None
+    current = Path.cwd().resolve()
+    for candidate in (current, *current.parents):
+        benchmarks = candidate / "benchmarks"
+        if (benchmarks / "run_all.py").is_file():
+            return benchmarks
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Locate the benchmark suite and delegate to ``run_all.main``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    benchmarks = _find_benchmarks_dir()
+    if benchmarks is None:
+        print(
+            "repro-bench: could not find a benchmarks/run_all.py above the current "
+            "directory; run from a source checkout or set REPRO_BENCH_DIR.",
+            file=sys.stderr,
+        )
+        return 2
+    repo_root = benchmarks.parent
+    if str(repo_root) not in sys.path:
+        sys.path.insert(0, str(repo_root))
+    from benchmarks import run_all
+
+    run_all.main(argv)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ from repro.core.stores import (
     OnDiskEntityStore,
 )
 from repro.core.view import ClassificationViewDefinition
+from repro.db.buffer_pool import BufferPool, IOStatistics
 from repro.db.database import Database
 from repro.db.sql.ast import CreateClassificationView
 from repro.db.triggers import Trigger, TriggerEvent
@@ -64,6 +65,9 @@ class ClassificationView:
         self.trainer = trainer
         self.positive_label = positive_label
         self._examples: list[TrainingExample] = []
+        #: When a serving front-end has taken over this view (see
+        #: :meth:`serve`), reads delegate to it and triggers enqueue.
+        self._server = None
         self._initialize()
 
     # -- initialization -------------------------------------------------------------------
@@ -109,23 +113,49 @@ class ClassificationView:
                 break
 
     def _attach_triggers(self, entities_table, examples_table) -> None:
+        prefix = f"hazy_{self.definition.view_name}"
         entities_table.add_trigger(
             Trigger(
-                name=f"hazy_{self.definition.view_name}_entities",
+                name=f"{prefix}_entities",
                 event=TriggerEvent.AFTER_INSERT,
                 callback=lambda _table, new_row, _old: self._on_entity_insert(new_row),
             )
         )
+        entities_table.add_trigger(
+            Trigger(
+                name=f"{prefix}_entities_update",
+                event=TriggerEvent.AFTER_UPDATE,
+                callback=lambda _table, new_row, old_row: self._on_entity_update(
+                    new_row, old_row
+                ),
+            )
+        )
+        entities_table.add_trigger(
+            Trigger(
+                name=f"{prefix}_entities_delete",
+                event=TriggerEvent.AFTER_DELETE,
+                callback=lambda _table, _new, old_row: self._on_entity_delete(old_row),
+            )
+        )
         examples_table.add_trigger(
             Trigger(
-                name=f"hazy_{self.definition.view_name}_examples",
+                name=f"{prefix}_examples",
                 event=TriggerEvent.AFTER_INSERT,
                 callback=lambda _table, new_row, _old: self._on_example_insert(new_row),
             )
         )
         examples_table.add_trigger(
             Trigger(
-                name=f"hazy_{self.definition.view_name}_examples_delete",
+                name=f"{prefix}_examples_update",
+                event=TriggerEvent.AFTER_UPDATE,
+                callback=lambda _table, new_row, old_row: self._on_example_update(
+                    new_row, old_row
+                ),
+            )
+        )
+        examples_table.add_trigger(
+            Trigger(
+                name=f"{prefix}_examples_delete",
                 event=TriggerEvent.AFTER_DELETE,
                 callback=lambda _table, _new, old_row: self._on_example_delete(old_row),
             )
@@ -177,6 +207,27 @@ class ClassificationView:
         features = self.feature_function.compute_feature(row)
         self.maintainer.add_entity(entity_id, features)
 
+    def _on_entity_update(
+        self, new_row: Mapping[str, object] | None, old_row: Mapping[str, object] | None
+    ) -> None:
+        """An entity row changed: refeaturize it and replace it in the view.
+
+        Corpus statistics are append-only (as in the streaming setting the
+        paper assumes), so the new row's stats are folded in incrementally;
+        training examples keep the feature snapshot they were absorbed with.
+        """
+        if new_row is None or old_row is None:
+            return
+        old_id = old_row[self.definition.entities_key]
+        self.maintainer.remove_entity(old_id)
+        self._on_entity_insert(new_row)
+
+    def _on_entity_delete(self, old_row: Mapping[str, object] | None) -> None:
+        """An entity row was deleted: drop it from the view."""
+        if old_row is None:
+            return
+        self.maintainer.remove_entity(old_row[self.definition.entities_key])
+
     def _on_example_insert(self, row: Mapping[str, object] | None) -> None:
         if row is None:
             return
@@ -188,6 +239,29 @@ class ClassificationView:
         self._examples.append(example)
         model = self.trainer.absorb(example)
         self.maintainer.apply_model(model)
+
+    def _on_example_update(
+        self, new_row: Mapping[str, object] | None, old_row: Mapping[str, object] | None
+    ) -> None:
+        """An example changed: forget the old one, retain the new, retrain once."""
+        if new_row is None or old_row is None:
+            return
+        # Validate the replacement before touching state: a bad new row must
+        # not leave the old example silently dropped without a retrain.
+        new_example = self._example_from_row(new_row)
+        if new_example is None:
+            raise ViewDefinitionError(
+                f"training example references unknown entity "
+                f"{new_row[self.definition.examples_key]!r}"
+            )
+        old_id = old_row[self.definition.examples_key]
+        old_label = self.to_binary_label(old_row[self.definition.examples_label])
+        for index, example in enumerate(self._examples):
+            if example.entity_id == old_id and example.label == old_label:
+                del self._examples[index]
+                break
+        self._examples.append(new_example)
+        self.retrain()
 
     def _on_example_delete(self, row: Mapping[str, object] | None) -> None:
         """Deletion of an example retrains the model from scratch (paper footnote 2)."""
@@ -223,10 +297,14 @@ class ClassificationView:
 
     def label_of(self, entity_id: object) -> int:
         """Single Entity read: the entity's label in {-1, +1}."""
+        if self._server is not None:
+            return self._server.label_of(entity_id)
         return self.maintainer.read_single(entity_id)
 
     def members(self, label: int = 1) -> list[object]:
         """All Members read: ids of every entity with the given binary label."""
+        if self._server is not None:
+            return self._server.all_members(label)
         return self.maintainer.read_all_members(label)
 
     def count_members(self, label: int = 1) -> int:
@@ -236,11 +314,37 @@ class ClassificationView:
     def rows(self) -> Iterator[dict[str, object]]:
         """The view's rows for SQL access: (key, class) per entity."""
         key_column = self.definition.view_key
+        if self._server is not None:
+            for entity_id, label in self._server.contents().items():
+                yield {key_column: entity_id, "class": self.from_binary_label(label)}
+            return
         for record in self.maintainer.store.scan_all():
             yield {
                 key_column: record.entity_id,
                 "class": self.from_binary_label(self.maintainer.read_single(record.entity_id)),
             }
+
+    # -- serving hooks ------------------------------------------------------------------------
+
+    def model_snapshot(self):
+        """Snapshot hook: ``(version, model copy)`` of the current model."""
+        model = self.trainer.model.copy()
+        return model.version, model
+
+    def entity_snapshot(self) -> list[tuple[object, SparseVector]]:
+        """Shard hook: materialized ``(id, features)`` pairs for partitioning."""
+        return [
+            (record.entity_id, record.features) for record in self.maintainer.store.scan_all()
+        ]
+
+    @property
+    def server(self):
+        """The attached :class:`~repro.serve.server.ViewServer`, if serving."""
+        return self._server
+
+    def insert_entity(self, row: Mapping[str, object]) -> None:
+        """Insert an entity through the entities table (fires the trigger)."""
+        self.database.table(self.definition.entities_table).insert(row)
 
     @property
     def model(self):
@@ -303,13 +407,15 @@ class HazyEngine:
 
     # -- factories ----------------------------------------------------------------------------
 
-    def _build_store(self, feature_norm_q: float) -> EntityStore:
+    def _build_store(self, feature_norm_q: float, pool: BufferPool | None = None) -> EntityStore:
+        """Build an entity store; ``pool`` overrides the database's buffer pool."""
         if self.architecture == "mainmemory":
             return InMemoryEntityStore(feature_norm_q=feature_norm_q)
+        pool = pool if pool is not None else self.database.pool
         if self.architecture == "ondisk":
-            return OnDiskEntityStore(pool=self.database.pool, feature_norm_q=feature_norm_q)
+            return OnDiskEntityStore(pool=pool, feature_norm_q=feature_norm_q)
         return HybridEntityStore(
-            pool=self.database.pool,
+            pool=pool,
             feature_norm_q=feature_norm_q,
             buffer_fraction=self.buffer_fraction,
         )
@@ -361,6 +467,49 @@ class HazyEngine:
         if view is None:
             raise ViewDefinitionError(f"no classification view named {name!r}")
         return view
+
+    def serve(self, name: str, num_shards: int = 4, **server_options):
+        """Put a view behind a concurrent :class:`~repro.serve.server.ViewServer`.
+
+        The server shards the view's entity space across ``num_shards`` worker
+        threads (each shard runs this engine's architecture/strategy/approach),
+        batches concurrent reads, and maintains the view from a background
+        pipeline; the view's SQL triggers are diverted into the server's write
+        queue until ``server.close()`` hands the view back consistent.
+        """
+        from repro.serve.server import ViewServer
+
+        view = self.view(name)
+        if view._server is not None:
+            raise ViewDefinitionError(f"view {name!r} is already being served")
+        feature_norm_q = view.feature_function.norm_q
+
+        def store_factory() -> EntityStore:
+            # Each shard gets a private pool so shard workers never contend
+            # on page latches (the database's pool keeps serving the tables).
+            pool = None
+            if self.architecture != "mainmemory":
+                pool = BufferPool(self.database.cost_model, None, IOStatistics())
+            return self._build_store(feature_norm_q, pool=pool)
+
+        _, model = view.model_snapshot()
+        server = ViewServer(
+            entities=view.entity_snapshot(),
+            model=model,
+            trainer=view.trainer,
+            store_factory=store_factory,
+            maintainer_factory=self._build_maintainer,
+            feature_function=view.feature_function,
+            label_to_binary=view.to_binary_label,
+            entities_key=view.definition.entities_key,
+            examples_key=view.definition.examples_key,
+            examples_label=view.definition.examples_label,
+            initial_examples=list(view._examples),
+            num_shards=num_shards,
+            **server_options,
+        )
+        server.attach_view(view)
+        return server
 
     # -- SQL integration ------------------------------------------------------------------------------
 

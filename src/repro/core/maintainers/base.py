@@ -10,11 +10,11 @@ the same ledger.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.core.stats import MaintenanceStatistics
-from repro.core.stores.base import EntityStore
-from repro.exceptions import MaintenanceError
+from repro.core.stores.base import EntityRecord, EntityStore
+from repro.exceptions import KeyNotFoundError, MaintenanceError
 from repro.learn.model import LinearModel
 from repro.linalg import SparseVector
 
@@ -47,9 +47,27 @@ class ViewMaintainer(ABC):
     def apply_model(self, model: LinearModel) -> None:
         """The Update operation: a new training example produced ``model``."""
 
+    def apply_model_batch(self, models: Sequence[LinearModel]) -> None:
+        """Batched Update: apply a run of successive models in one maintenance round.
+
+        The serving subsystem's background worker groups the models produced
+        by a burst of training examples and hands them over together.  The
+        default implementation replays them one by one (always correct);
+        strategies that can amortize work across the batch — the eager Hazy
+        maintainer reclassifies the *cumulative* water band once under the
+        final model — override this.
+        """
+        for model in models:
+            self.apply_model(model)
+
     @abstractmethod
     def add_entity(self, entity_id: object, features: SparseVector) -> int:
         """A new entity arrived; classify and store it.  Returns its label."""
+
+    def remove_entity(self, entity_id: object) -> None:
+        """An entity was deleted from the entities table: drop it from the view."""
+        self._require_loaded()
+        self.store.delete(entity_id)
 
     # -- reads ----------------------------------------------------------------------------
 
@@ -60,6 +78,80 @@ class ViewMaintainer(ABC):
     @abstractmethod
     def read_all_members(self, label: int = 1) -> list[object]:
         """All Members read: ids of every entity carrying ``label``."""
+
+    def classify_record(self, record: EntityRecord) -> int:
+        """Label of an already-fetched record under the current model.
+
+        Used by the batched read path, which fetches records itself (point
+        lookups or one coalesced scan) and only needs the per-record
+        classification logic.  Eager strategies answer from the stored label;
+        lazy strategies override to consult the band and/or recompute.
+        """
+        return record.label
+
+    def read_hint(self, entity_id: object) -> int | None:
+        """Answer a Single Entity read without touching the record, if possible.
+
+        The Hazy strategies override this with the ε-map / water-band
+        short-circuit of Figure 8; the naive strategies have no bound to lean
+        on and always return None.
+        """
+        return None
+
+    def read_many(
+        self,
+        entity_ids: Sequence[object],
+        on_record: Callable[[EntityRecord], None] | None = None,
+    ) -> dict[object, int]:
+        """Batched Single Entity read: one statement dispatch for the whole batch.
+
+        This is the coalescing hook the serving subsystem's request batcher
+        drives.  Per-statement RDBMS overhead — the very cost that caps
+        single-read throughput in Figure 5 — is charged once for the batch,
+        hint-answerable entities are served without touching the store, and
+        the remainder is fetched either by point lookups or by one shared
+        sequential scan, whichever the cost model prices cheaper.
+
+        ``on_record`` observes every record the batch had to fetch (the
+        serving layer's result cache harvests stored ε values through it).
+        """
+        self._require_loaded()
+        start = self.store.cost_snapshot()
+        self.store.charge_statement_overhead()
+        results: dict[object, int] = {}
+        remaining: set[object] = set()
+        for entity_id in entity_ids:
+            if entity_id in results or entity_id in remaining:
+                continue
+            hinted = self.read_hint(entity_id)
+            if hinted is not None:
+                results[entity_id] = hinted
+            else:
+                remaining.add(entity_id)
+        if remaining:
+            point_cost = len(remaining) * self.store.point_read_cost_estimate()
+            if self.store.scan_cost_estimate() < point_cost:
+                # Coalesce the batch into one sequential scan of the store.
+                for record in self.store.scan_all():
+                    if record.entity_id in remaining:
+                        results[record.entity_id] = self.classify_record(record)
+                        remaining.discard(record.entity_id)
+                        if on_record is not None:
+                            on_record(record)
+                        if not remaining:
+                            break
+            else:
+                for entity_id in remaining:
+                    record = self.store.get(entity_id)
+                    results[entity_id] = self.classify_record(record)
+                    if on_record is not None:
+                        on_record(record)
+                remaining.clear()
+        if remaining:
+            missing = next(iter(remaining))
+            raise KeyNotFoundError(f"no entity with id {missing!r}")
+        self.stats.record_batched_read(len(results), self.store.cost_snapshot() - start)
+        return results
 
     def count_members(self, label: int = 1) -> int:
         """Number of entities in the class (executes an All Members read)."""

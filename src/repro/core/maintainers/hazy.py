@@ -16,7 +16,7 @@ scratch table is worth its cost.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.core.bounds import WaterBandTracker, holder_pair_for_norm
 from repro.core.maintainers.base import ViewMaintainer
@@ -85,6 +85,20 @@ class _HazyMaintainerBase(ViewMaintainer):
         band = self._require_tracker().band()
         return self.store.count_eps_in_range(band.low, band.high)
 
+    def read_hint(self, entity_id: object) -> int | None:
+        """The ε-map short-circuit of Figure 8, shared by the batched read path."""
+        hint = self.store.eps_hint(entity_id)
+        if hint is None:
+            return None
+        band = self._require_tracker().band()
+        if band.certain_positive(hint):
+            self.stats.epsmap_hits += 1
+            return 1
+        if band.certain_negative(hint):
+            self.stats.epsmap_hits += 1
+            return -1
+        return None
+
 
 class HazyEagerMaintainer(_HazyMaintainerBase):
     """Eager maintenance that only reclassifies the water band on each update."""
@@ -113,6 +127,53 @@ class HazyEagerMaintainer(_HazyMaintainerBase):
             touched += 1
             self.store.charge_dot_product(record.features)
             label = sign(model.margin(record.features))
+            if label != record.label:
+                relabels.append((record.entity_id, label))
+                changed += 1
+        for entity_id, label in relabels:
+            self.store.update_label(entity_id, label)
+        cost = self.store.cost_snapshot() - start
+        self.skiing.record_incremental_step(cost)
+        self.stats.record_update(touched, changed, cost)
+        self.stats.record_band(touched, band.width())
+
+    def apply_model_batch(self, models: Sequence[LinearModel]) -> None:
+        """Batched Update: advance the band per model, reclassify the hull once.
+
+        Lemma 3.1's band is *cumulative*: after advancing the tracker through
+        every model of the batch, any tuple outside the cumulative band is
+        guaranteed to carry the same label under the final model as it did when
+        the epoch started, so one reclassification pass over the cumulative
+        band under the final model restores the eager invariant — without the
+        per-model band scans a one-by-one replay would pay.
+        """
+        models = list(models)
+        if not models:
+            return
+        if len(models) == 1:
+            self.apply_model(models[0])
+            return
+        self._require_loaded()
+        tracker = self._require_tracker()
+        self.current_model = models[-1].copy()
+        if self.skiing.should_reorganize():
+            self._reorganize()
+            self.stats.record_update(0, 0, 0.0)
+            self.stats.record_band(0, 0.0)
+            return
+        start = self.store.cost_snapshot()
+        band = tracker.band()
+        for model in models:
+            self.store.charge_bound_update(model.weights.nnz())
+            band = tracker.advance(model)
+        final = models[-1]
+        touched = 0
+        changed = 0
+        relabels: list[tuple[object, int]] = []
+        for record in self.store.scan_eps_range(band.low, band.high):
+            touched += 1
+            self.store.charge_dot_product(record.features)
+            label = sign(final.margin(record.features))
             if label != record.label:
                 relabels.append((record.entity_id, label))
                 changed += 1
@@ -196,6 +257,16 @@ class HazyLazyMaintainer(_HazyMaintainerBase):
             label = sign(self.current_model.margin(record.features))
         self.stats.record_single_read(self.store.cost_snapshot() - start)
         return label
+
+    def classify_record(self, record) -> int:
+        """Lazy labels may be stale: answer from the band, else one dot product."""
+        band = self._require_tracker().band()
+        if band.certain_positive(record.eps):
+            return 1
+        if band.certain_negative(record.eps):
+            return -1
+        self.store.charge_dot_product(record.features)
+        return sign(self.current_model.margin(record.features))
 
     def read_all_members(self, label: int = 1) -> list[object]:
         """Scan only the tuples that could be in the class; charge the wasted fraction."""

@@ -113,6 +113,11 @@ class NaiveLazyMaintainer(ViewMaintainer):
         self.stats.record_single_read(self.store.cost_snapshot() - start)
         return label
 
+    def classify_record(self, record) -> int:
+        """Lazy stored labels are stale: always reclassify with the current model."""
+        self.store.charge_dot_product(record.features)
+        return sign(self.current_model.margin(record.features))
+
     def read_all_members(self, label: int = 1) -> list[object]:
         """Scan and reclassify every entity with the current model."""
         self._require_loaded()

@@ -22,6 +22,8 @@ class MaintenanceStatistics:
     tuples_reclassified: int = 0
     labels_changed: int = 0
     single_reads: int = 0
+    batched_reads: int = 0
+    batch_rounds: int = 0
     all_member_reads: int = 0
     tuples_scanned_for_reads: int = 0
     epsmap_hits: int = 0
@@ -57,6 +59,13 @@ class MaintenanceStatistics:
         self.single_reads += 1
         self.simulated_read_seconds += cost
 
+    def record_batched_read(self, count: int, cost: float = 0.0) -> None:
+        """One coalesced batch of ``count`` Single Entity reads."""
+        self.single_reads += count
+        self.batched_reads += count
+        self.batch_rounds += 1
+        self.simulated_read_seconds += cost
+
     def record_all_members(self, tuples_scanned: int, cost: float = 0.0) -> None:
         """One All Members read that touched ``tuples_scanned`` tuples."""
         self.all_member_reads += 1
@@ -87,6 +96,8 @@ class MaintenanceStatistics:
             "tuples_reclassified": self.tuples_reclassified,
             "labels_changed": self.labels_changed,
             "single_reads": self.single_reads,
+            "batched_reads": self.batched_reads,
+            "batch_rounds": self.batch_rounds,
             "all_member_reads": self.all_member_reads,
             "tuples_scanned_for_reads": self.tuples_scanned_for_reads,
             "epsmap_hits": self.epsmap_hits,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
@@ -38,11 +39,20 @@ class EntityStore(ABC):
     around it, which is what feeds the Skiing strategy.
     """
 
+    #: Whether concurrent reader threads may safely share this store's read
+    #: path without external locking.  Only the in-memory store (which uses
+    #: copy-on-write clustering arrays) sets this; callers serving other
+    #: architectures from multiple threads must serialize on :attr:`read_lock`.
+    supports_concurrent_reads: bool = False
+
     def __init__(self, cost_model: CostModel, stats: IOStatistics, feature_norm_q: float = 1.0):
         self.cost_model = cost_model
         self.stats = stats
         self.feature_norm_q = float(feature_norm_q)
         self._max_feature_norm = 0.0
+        #: Coarse lock for callers that drive the read path from several
+        #: threads against an architecture without a concurrent-safe read path.
+        self.read_lock = threading.RLock()
 
     # -- cost helpers -----------------------------------------------------------------
 
@@ -135,6 +145,14 @@ class EntityStore(ABC):
     def update_label(self, entity_id: object, label: int) -> None:
         """Overwrite an entity's label in place."""
 
+    def delete(self, entity_id: object) -> None:
+        """Remove one entity from the store (drives entity ``DELETE`` triggers).
+
+        Concrete architectures override this; the default exists so external
+        store subclasses predating deletion support keep importing cleanly.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support deletion")
+
     # -- statistics -------------------------------------------------------------------------------
 
     @abstractmethod
@@ -156,6 +174,12 @@ class EntityStore(ABC):
     def scan_cost_estimate(self) -> float:
         """Estimated simulated cost of one full sequential scan (the ``sigma * S`` of §3.3)."""
         return self.cost_model.scan_cost(page_count=self._page_estimate(), tuple_count=self.count())
+
+    def point_read_cost_estimate(self) -> float:
+        """Estimated simulated cost of one point lookup (for batch-read planning)."""
+        if self._page_estimate() > 0:
+            return self.cost_model.random_page_read + self.cost_model.tuple_cpu
+        return self.cost_model.tuple_cpu
 
     def _page_estimate(self) -> int:
         """How many pages a full scan would touch (0 for pure in-memory stores)."""

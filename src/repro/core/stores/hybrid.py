@@ -146,6 +146,12 @@ class HybridEntityStore(EntityStore):
         if cached is not None:
             cached.label = label
 
+    def delete(self, entity_id: object) -> None:
+        """Remove from disk, the ε-map, and the buffer."""
+        self.disk.delete(entity_id)
+        self._eps_map.pop(entity_id, None)
+        self._buffer.pop(entity_id, None)
+
     # -- statistics ------------------------------------------------------------------------------------
 
     def count(self) -> int:
@@ -172,6 +178,12 @@ class HybridEntityStore(EntityStore):
     def buffer_size(self) -> int:
         """Number of records currently buffered."""
         return len(self._buffer)
+
+    def point_read_cost_estimate(self) -> float:
+        """Buffer hits are free of page I/O; weight the disk estimate by the miss rate."""
+        total = max(1, self.disk.count())
+        miss_rate = 1.0 - min(1.0, len(self._buffer) / total)
+        return miss_rate * self.disk.point_read_cost_estimate() + self.cost_model.tuple_cpu
 
     def _page_estimate(self) -> int:
         return self.disk.heap.page_count()

@@ -23,7 +23,17 @@ __all__ = ["InMemoryEntityStore"]
 
 
 class InMemoryEntityStore(EntityStore):
-    """All entities in RAM, kept sorted by the stored-model ``eps``."""
+    """All entities in RAM, kept sorted by the stored-model ``eps``.
+
+    The clustering arrays are treated as **copy-on-write**: structural changes
+    (insert, delete, reorganize) publish fresh list objects instead of mutating
+    the ones in place, and every scan captures the arrays once at iteration
+    start.  Concurrent readers therefore always walk a coherent snapshot of the
+    clustering, which is what lets the serving subsystem drive this store from
+    many threads without locks (``supports_concurrent_reads``).
+    """
+
+    supports_concurrent_reads = True
 
     def __init__(
         self,
@@ -67,16 +77,31 @@ class InMemoryEntityStore(EntityStore):
         return self.cost_snapshot() - start
 
     def insert(self, entity_id: object, features: SparseVector, eps: float, label: int) -> None:
-        """Insert one entity at its sorted position."""
+        """Insert one entity at its sorted position (publishing fresh arrays)."""
         if entity_id in self._records:
             raise DuplicateKeyError(f"duplicate entity id {entity_id!r}")
         self._observe_features(features)
         record = EntityRecord(entity_id, features, eps, label)
         self._records[entity_id] = record
         index = bisect.bisect_left(self._order_eps, eps)
-        self._order.insert(index, (eps, entity_id))
-        self._order_eps.insert(index, eps)
+        # Copy-on-write: in-flight scans keep iterating the old arrays.
+        self._order = self._order[:index] + [(eps, entity_id)] + self._order[index:]
+        self._order_eps = self._order_eps[:index] + [eps] + self._order_eps[index:]
         self._label_counts[label] = self._label_counts.get(label, 0) + 1
+        self.stats.tuples_written += 1
+        self.stats.charge(self.cost_model.tuple_cpu, "tuple_write")
+
+    def delete(self, entity_id: object) -> None:
+        """Remove one entity (publishing fresh clustering arrays)."""
+        record = self._records.get(entity_id)
+        if record is None:
+            raise KeyNotFoundError(f"no entity with id {entity_id!r}")
+        records = dict(self._records)
+        del records[entity_id]
+        self._records = records
+        self._order = [pair for pair in self._order if pair[1] != entity_id]
+        self._order_eps = [eps for eps, _ in self._order]
+        self._label_counts[record.label] -= 1
         self.stats.tuples_written += 1
         self.stats.charge(self.cost_model.tuple_cpu, "tuple_write")
 
@@ -114,32 +139,39 @@ class InMemoryEntityStore(EntityStore):
         return record
 
     def scan_all(self) -> Iterator[EntityRecord]:
-        """Every record in eps order."""
-        for _, entity_id in self._order:
-            self.stats.tuples_read += 1
-            self.stats.charge(self.cost_model.tuple_cpu, "tuple_read")
-            yield self._records[entity_id]
+        """Every record in eps order (over a snapshot of the clustering)."""
+        order, records = self._order, self._records
+        return self._scan_slice(order, records, 0, len(order))
 
-    def _scan_slice(self, start_index: int, stop_index: int) -> Iterator[EntityRecord]:
+    def _scan_slice(
+        self,
+        order: list[tuple[float, object]],
+        records: dict[object, EntityRecord],
+        start_index: int,
+        stop_index: int,
+    ) -> Iterator[EntityRecord]:
         for position in range(start_index, stop_index):
-            _, entity_id = self._order[position]
+            _, entity_id = order[position]
             self.stats.tuples_read += 1
             self.stats.charge(self.cost_model.tuple_cpu, "tuple_read")
-            yield self._records[entity_id]
+            yield records[entity_id]
 
     def scan_eps_range(self, low: float, high: float) -> Iterator[EntityRecord]:
         """Binary search both ends of the band, then walk the slice."""
-        start = bisect.bisect_left(self._order_eps, low)
-        stop = bisect.bisect_right(self._order_eps, high)
-        return self._scan_slice(start, stop)
+        order, order_eps, records = self._order, self._order_eps, self._records
+        start = bisect.bisect_left(order_eps, low)
+        stop = bisect.bisect_right(order_eps, high)
+        return self._scan_slice(order, records, start, stop)
 
     def scan_eps_at_least(self, low: float) -> Iterator[EntityRecord]:
-        start = bisect.bisect_left(self._order_eps, low)
-        return self._scan_slice(start, len(self._order))
+        order, order_eps, records = self._order, self._order_eps, self._records
+        start = bisect.bisect_left(order_eps, low)
+        return self._scan_slice(order, records, start, len(order))
 
     def scan_eps_at_most(self, high: float) -> Iterator[EntityRecord]:
-        stop = bisect.bisect_right(self._order_eps, high)
-        return self._scan_slice(0, stop)
+        order, order_eps, records = self._order, self._order_eps, self._records
+        stop = bisect.bisect_right(order_eps, high)
+        return self._scan_slice(order, records, 0, stop)
 
     # -- writes ---------------------------------------------------------------------------------
 

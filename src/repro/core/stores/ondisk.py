@@ -177,6 +177,17 @@ class OnDiskEntityStore(EntityStore):
             row["label"] = label
             self.heap.update(rid, row, sequential=True)
 
+    def delete(self, entity_id: object) -> None:
+        """Remove one entity from the heap and both indexes."""
+        rid = self.id_index.get(entity_id)
+        if rid is None:
+            raise KeyNotFoundError(f"no entity with id {entity_id!r}")
+        row = self.heap.read(rid, sequential=False)
+        self.heap.delete(rid)
+        self.id_index.delete(entity_id)
+        self.eps_index.delete(row["eps"], rid)
+        self._label_counts[row["label"]] -= 1
+
     # -- statistics -----------------------------------------------------------------------------------
 
     def count(self) -> int:

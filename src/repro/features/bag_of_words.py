@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.features.base import EntityRow, FeatureFunction
+from repro.features.base import EntityRow, FeatureFunction, collect_text
 from repro.features.text import Vocabulary, tokenize
 from repro.linalg import SparseVector
 
@@ -37,8 +37,7 @@ class TfBagOfWords(FeatureFunction):
         self.vocabulary = Vocabulary()
 
     def _tokens(self, row: EntityRow) -> list[str]:
-        pieces = [str(row.get(column, "") or "") for column in self.text_columns]
-        return tokenize(" ".join(pieces))
+        return tokenize(collect_text(row, self.text_columns))
 
     def compute_stats_incremental(self, row: EntityRow) -> None:
         """Register any new tokens so indices stay stable across the corpus."""

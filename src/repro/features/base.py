@@ -7,10 +7,25 @@ from collections.abc import Iterable, Mapping
 
 from repro.linalg import SparseVector
 
-__all__ = ["FeatureFunction"]
+__all__ = ["FeatureFunction", "collect_text"]
 
 #: An entity tuple as seen by a feature function: a mapping from column name to value.
 EntityRow = Mapping[str, object]
+
+
+def collect_text(row: EntityRow, text_columns: Iterable[str]) -> str:
+    """Concatenate the configured text columns of ``row``.
+
+    When *none* of the configured columns exist in the tuple, every
+    string-valued column is used instead — so a view declared over a table
+    whose text lives in ``title`` (as in the paper's Example 2.1) still gets
+    real features from the default ``tf_*`` configurations instead of
+    silently classifying on empty vectors.
+    """
+    columns = [column for column in text_columns if column in row]
+    if not columns:
+        columns = [column for column, value in row.items() if isinstance(value, str)]
+    return " ".join(str(row.get(column, "") or "") for column in columns)
 
 
 class FeatureFunction(ABC):

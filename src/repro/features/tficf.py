@@ -12,7 +12,7 @@ import math
 from collections import Counter
 from collections.abc import Iterable
 
-from repro.features.base import EntityRow, FeatureFunction
+from repro.features.base import EntityRow, FeatureFunction, collect_text
 from repro.features.text import Vocabulary, tokenize
 from repro.linalg import SparseVector
 
@@ -34,8 +34,7 @@ class TfIcfBagOfWords(FeatureFunction):
         self._frozen = False
 
     def _tokens(self, row: EntityRow) -> list[str]:
-        pieces = [str(row.get(column, "") or "") for column in self.text_columns]
-        return tokenize(" ".join(pieces))
+        return tokenize(collect_text(row, self.text_columns))
 
     def compute_stats(self, rows: Iterable[EntityRow]) -> None:
         """Scan the reference corpus once, then freeze the statistics."""

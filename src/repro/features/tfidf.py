@@ -13,7 +13,7 @@ import math
 from collections import Counter
 
 from repro.exceptions import FeatureError
-from repro.features.base import EntityRow, FeatureFunction
+from repro.features.base import EntityRow, FeatureFunction, collect_text
 from repro.features.text import Vocabulary, tokenize
 from repro.linalg import SparseVector
 
@@ -34,8 +34,7 @@ class TfIdfBagOfWords(FeatureFunction):
         self.document_count = 0
 
     def _tokens(self, row: EntityRow) -> list[str]:
-        pieces = [str(row.get(column, "") or "") for column in self.text_columns]
-        return tokenize(" ".join(pieces))
+        return tokenize(collect_text(row, self.text_columns))
 
     def compute_stats_incremental(self, row: EntityRow) -> None:
         """Fold one document into the document-frequency table."""

@@ -165,11 +165,16 @@ class SparseVector:
         return sum(abs(v) ** p for v in self._data.values()) ** (1.0 / p)
 
     def normalized(self, p: float = 2.0) -> "SparseVector":
-        """Return the vector scaled to unit `p`-norm (zero vector unchanged)."""
+        """Return the vector scaled to unit `p`-norm (zero vector unchanged).
+
+        Divides elementwise rather than multiplying by ``1/length``: for
+        subnormal components the reciprocal overflows to ``inf`` even though
+        the division itself is exact.
+        """
         length = self.norm(p)
         if length == 0.0:
             return self.copy()
-        return self.scale(1.0 / length)
+        return SparseVector({index: value / length for index, value in self._data.items()})
 
     def max_index(self) -> int:
         """Largest stored index, or -1 for the zero vector."""

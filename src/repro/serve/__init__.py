@@ -1,0 +1,68 @@
+"""``repro.serve`` — the concurrent serving subsystem.
+
+The paper's promise is that classification views stay queryable at
+interactive speed while entities and training examples stream in; this
+package is the production-shaped realization of that promise for one process:
+a front-end that many client threads can hammer concurrently while a
+background pipeline keeps the view maintained.
+
+Module map
+----------
+
+``server``
+    :class:`~repro.serve.server.ViewServer` — the front-end.  Reads
+    (``label_of``, ``all_members``, ``top_k``, ``classify``) and writes
+    (``insert_entity``, ``insert_example``), epoch-tagged snapshot reads,
+    per-client :class:`~repro.serve.server.ClientSession` monotonicity, and
+    attachment to a live ``ClassificationView`` (SQL triggers divert into the
+    pipeline).
+``sharding``
+    :class:`~repro.serve.sharding.ShardSet` — the entity space
+    hash-partitioned across N worker threads, one store + maintainer + cache
+    per shard; scatter/gather for ``ALL_MEMBERS``-style and top-k queries.
+``batcher``
+    :class:`~repro.serve.batcher.ReadBatcher` — coalesces concurrent Single
+    Entity reads into batched per-shard ``read_many`` rounds, amortizing the
+    per-statement overhead that caps read throughput in Figure 5.
+``maintenance``
+    :class:`~repro.serve.maintenance.MaintenanceWorker` — drains a bounded
+    write queue in batches; training runs outside the lock readers take, so
+    reads never block behind model retraining.
+``cache``
+    :class:`~repro.serve.cache.WaterBandResultCache` — serves repeat reads
+    straight from cached ε values while the entity sits outside the low/high
+    water band (Figure 8), invalidating only on reorganization.
+``sync``
+    :class:`~repro.serve.sync.ReadWriteLock` and
+    :class:`~repro.serve.sync.EpochClock` — the snapshot-consistency
+    machinery: reads observe fully applied epochs, writes resolve to the
+    epoch at which they became visible.
+``requests``
+    :class:`~repro.serve.requests.WriteOp` / ``WriteTicket`` — the normalized
+    write operations flowing through the queue and the visibility handles
+    handed back to producers.
+"""
+
+from repro.serve.batcher import ReadBatcher
+from repro.serve.cache import WaterBandResultCache
+from repro.serve.maintenance import MaintenanceWorker
+from repro.serve.requests import WriteKind, WriteOp, WriteTicket
+from repro.serve.server import ClientSession, ViewServer
+from repro.serve.sharding import Shard, ShardSet, shard_index
+from repro.serve.sync import EpochClock, ReadWriteLock
+
+__all__ = [
+    "ViewServer",
+    "ClientSession",
+    "ShardSet",
+    "Shard",
+    "shard_index",
+    "ReadBatcher",
+    "MaintenanceWorker",
+    "WaterBandResultCache",
+    "ReadWriteLock",
+    "EpochClock",
+    "WriteKind",
+    "WriteOp",
+    "WriteTicket",
+]

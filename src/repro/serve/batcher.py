@@ -1,0 +1,161 @@
+"""Request batcher: coalesce concurrent Single Entity reads.
+
+Figure 5's lesson is that per-statement overhead, not classification work,
+caps Single Entity read throughput.  The batcher exploits it: client threads
+submit individual reads and get a future back; a collector thread drains the
+submission queue and executes whole batches at once through the maintainers'
+:meth:`~repro.core.maintainers.base.ViewMaintainer.read_many` path, which
+charges the statement dispatch once per *batch* instead of once per read.
+
+Batching is load-adaptive.  With ``max_wait_s=0`` (the default) the collector
+never sleeps: a lone client sees batches of one and zero added latency, while
+under concurrency requests pile up behind the executing batch and the next
+round drains them together — throughput rises exactly when it matters.  A
+positive ``max_wait_s`` additionally holds the first request of a round open
+for stragglers, trading a bounded latency hit for fuller batches.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future
+
+__all__ = ["ReadBatcher"]
+
+_SHUTDOWN = object()
+
+
+class ReadBatcher:
+    """Coalesces submitted keys into batched calls of ``execute_batch``.
+
+    Parameters
+    ----------
+    execute_batch:
+        Called with a list of unique keys; returns ``{key: result}``.  Runs on
+        the collector thread.  A ``BaseException`` instance as a *value* fails
+        only that key's waiters (per-key error isolation — one bad key must
+        not poison the rest of the round); raising fails the whole round.
+    max_batch:
+        Hard cap on keys per round.
+    max_wait_s:
+        How long the collector holds a round open for more arrivals once it
+        has at least one request.  0 = drain-only (no added latency).
+    """
+
+    def __init__(
+        self,
+        execute_batch: Callable[[Sequence[object]], dict[object, object]],
+        max_batch: int = 64,
+        max_wait_s: float = 0.0,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._execute_batch = execute_batch
+        self._max_batch = int(max_batch)
+        self._max_wait_s = float(max_wait_s)
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        self.rounds = 0
+        self.requests = 0
+        self.largest_batch = 0
+        self._thread = threading.Thread(
+            target=self._run, name="hazy-read-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # -- client side ------------------------------------------------------------------------
+
+    def submit(self, key: object) -> Future:
+        """Enqueue one read; the future resolves to ``execute_batch``'s value for it."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        future: Future = Future()
+        self._queue.put((key, future))
+        return future
+
+    def read(self, key: object, timeout: float | None = None):
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(key).result(timeout=timeout)
+
+    # -- collector thread -------------------------------------------------------------------
+
+    def _collect(self) -> list[tuple[object, Future]] | None:
+        """Block for the first request, then opportunistically fill the round."""
+        item = self._queue.get()
+        if item is _SHUTDOWN:
+            return None
+        batch = [item]
+        deadline = time.monotonic() + self._max_wait_s
+        while len(batch) < self._max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                # Re-post so the outer loop terminates after this round.
+                self._queue.put(_SHUTDOWN)
+                break
+            batch.append(item)
+        return batch
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                break
+            keys: list[object] = []
+            seen: set[object] = set()
+            for key, _ in batch:
+                if key not in seen:
+                    seen.add(key)
+                    keys.append(key)
+            self.rounds += 1
+            self.requests += len(batch)
+            self.largest_batch = max(self.largest_batch, len(batch))
+            try:
+                results = self._execute_batch(keys)
+            except BaseException as error:  # propagate to every waiter
+                for _, future in batch:
+                    future.set_exception(error)
+                continue
+            for key, future in batch:
+                value = results[key]
+                if isinstance(value, BaseException):
+                    future.set_exception(value)
+                else:
+                    future.set_result(value)
+
+    # -- lifecycle ---------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the collector; in-flight rounds finish, late submits fail fast."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._thread.join()
+        # Fail anything that slipped in after the sentinel.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                _, future = item
+                future.set_exception(RuntimeError("batcher is closed"))
+
+    def stats(self) -> dict[str, float]:
+        """Coalescing counters (average batch size is the interesting one)."""
+        return {
+            "rounds": self.rounds,
+            "requests": self.requests,
+            "largest_batch": self.largest_batch,
+            "avg_batch": self.requests / self.rounds if self.rounds else 0.0,
+        }

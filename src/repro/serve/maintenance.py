@@ -1,0 +1,227 @@
+"""The background maintenance pipeline.
+
+A single worker thread drains a **bounded** queue of
+:class:`~repro.serve.requests.WriteOp` values and applies them to the sharded
+view in batches.  The batch lifecycle is built around one invariant: *reads
+never block behind model retraining*.
+
+Each drained batch goes through two phases:
+
+1. **Prepare (no locks held).**  New entities are featurized, training
+   examples are resolved against entity features, and the global trainer
+   absorbs them — one gradient step per example, collecting the intermediate
+   model snapshots.  Deletions/updates of examples trigger the paper's
+   footnote-2 semantics (full retrain from the retained example set), also
+   outside any lock.  Readers keep streaming through the shards the whole
+   time.
+2. **Apply (writers' side of the server lock).**  Entity removals and
+   insertions land on their owning shards, then the collected model run is
+   handed to every shard's
+   :meth:`~repro.core.maintainers.base.ViewMaintainer.apply_model_batch` —
+   the eager Hazy maintainer reclassifies only the cumulative water band,
+   once, under the final model.  The epoch clock then advances, the new model
+   snapshot is published, and every ticket in the batch resolves to the new
+   epoch.
+
+Backpressure is the queue bound: when maintenance falls behind, producers
+(SQL triggers, ``insert_example`` callers) block in ``enqueue`` instead of
+growing an unbounded backlog.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections.abc import Sequence
+
+from repro.learn.model import LinearModel
+from repro.learn.sgd import TrainingExample
+from repro.serve.requests import WriteKind, WriteOp, WriteTicket
+
+__all__ = ["MaintenanceWorker"]
+
+_STOP = object()
+
+
+class MaintenanceWorker:
+    """Drains the write queue and applies batches to the sharded view.
+
+    ``host`` is the owning :class:`~repro.serve.server.ViewServer`; the worker
+    drives it through a small protocol: ``featurize_entity(row)``,
+    ``entity_key(row)``, ``build_example(row, pending_features)``,
+    ``retain_example(example)``, ``forget_example(old_row)``,
+    ``retained_examples()``, ``charge_model_update()``,
+    ``record_mutations(entity_ops)`` and ``publish_epoch(final_model)`` plus
+    the ``trainer``, ``shards``, ``rw_lock`` and ``epoch_clock`` attributes.
+    """
+
+    def __init__(
+        self,
+        host,
+        queue_capacity: int = 4096,
+        max_batch: int = 64,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._host = host
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_capacity)
+        self._max_batch = int(max_batch)
+        self.batches_applied = 0
+        self.ops_applied = 0
+        self.last_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="hazy-maintenance", daemon=True
+        )
+        self._started = False
+
+    # -- producer side -----------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker thread (idempotent)."""
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    def enqueue(self, op: WriteOp, timeout: float | None = None) -> WriteTicket:
+        """Admit one write; blocks when the queue is full (backpressure)."""
+        self._queue.put(op, timeout=timeout)
+        return op.ticket
+
+    def flush(self, timeout: float | None = None) -> int:
+        """Barrier: returns once everything enqueued before it is visible."""
+        ticket = self.enqueue(WriteOp(kind=WriteKind.BARRIER))
+        return ticket.wait(timeout=timeout)
+
+    def backlog(self) -> int:
+        """Approximate number of queued, not-yet-applied writes."""
+        return self._queue.qsize()
+
+    def close(self, timeout: float | None = None) -> None:
+        """Drain outstanding work, then stop the worker thread."""
+        if not self._started:
+            return
+        self._queue.put(_STOP)
+        self._thread.join(timeout=timeout)
+
+    # -- worker side --------------------------------------------------------------------------
+
+    def _drain(self) -> tuple[list[WriteOp], bool]:
+        """Block for the first op, then greedily take up to ``max_batch``."""
+        first = self._queue.get()
+        if first is _STOP:
+            return [], True
+        ops = [first]
+        stop = False
+        while len(ops) < self._max_batch:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                stop = True
+                break
+            ops.append(item)
+        return ops, stop
+
+    def _run(self) -> None:
+        while True:
+            ops, stop = self._drain()
+            if ops:
+                try:
+                    self._apply_batch(ops)
+                except BaseException as error:  # keep serving; surface via tickets
+                    self.last_error = error
+                    for op in ops:
+                        if not op.ticket.done:
+                            op.ticket.fail(error)
+            if stop:
+                break
+
+    def _apply_batch(self, ops: Sequence[WriteOp]) -> None:
+        host = self._host
+
+        # ---- Phase 1: prepare, train — no locks, readers unaffected ----------------
+        # Entity churn is kept as one *ordered* op list: an insert+delete (or
+        # insert+update) of the same entity within a single drained batch must
+        # replay in arrival order or it corrupts the shards.
+        entity_ops: list[tuple[str, object]] = []  # ("add", (id, features)) | ("remove", id)
+        pending_features: dict[object, object] = {}
+        new_examples: list[TrainingExample] = []
+        needs_retrain = False
+
+        for op in ops:
+            if op.kind is WriteKind.BARRIER:
+                continue
+            if op.kind is WriteKind.ENTITY_INSERT:
+                entity_id, features = host.featurize_entity(op.row)
+                entity_ops.append(("add", (entity_id, features)))
+                pending_features[entity_id] = features
+            elif op.kind is WriteKind.ENTITY_DELETE:
+                entity_id = host.entity_key(op.old_row)
+                entity_ops.append(("remove", entity_id))
+                pending_features.pop(entity_id, None)
+            elif op.kind is WriteKind.ENTITY_UPDATE:
+                entity_ops.append(("remove", host.entity_key(op.old_row)))
+                entity_id, features = host.featurize_entity(op.row)
+                entity_ops.append(("add", (entity_id, features)))
+                pending_features[entity_id] = features
+            elif op.kind is WriteKind.EXAMPLE_INSERT:
+                example = host.build_example(op.row, pending_features)
+                host.retain_example(example)
+                new_examples.append(example)
+            elif op.kind is WriteKind.EXAMPLE_DELETE:
+                if host.forget_example(op.old_row):
+                    needs_retrain = True
+            elif op.kind is WriteKind.EXAMPLE_UPDATE:
+                if host.forget_example(op.old_row):
+                    needs_retrain = True
+                example = host.build_example(op.row, pending_features)
+                host.retain_example(example)
+                new_examples.append(example)
+
+        models: list[LinearModel] = []
+        if needs_retrain:
+            # Footnote 2: deletion invalidates the incremental trajectory —
+            # retrain from scratch over the retained examples, still unlocked.
+            host.trainer.reset()
+            for example in host.retained_examples():
+                host.charge_model_update()
+                host.trainer.absorb(example)
+            models = [host.trainer.model.copy()]
+        elif new_examples:
+            for example in new_examples:
+                host.charge_model_update()
+                models.append(host.trainer.absorb(example))
+
+        # ---- Phase 2: apply — exclusive, but short (no training in here) -------------
+        mutated = bool(entity_ops or models)
+        if mutated:
+            with host.rw_lock.write_locked():
+                for action, payload in entity_ops:
+                    if action == "remove":
+                        host.shards.remove_entity(payload)
+                    else:
+                        entity_id, features = payload
+                        host.shards.add_entity(entity_id, features)
+                if models:
+                    host.shards.apply_model_batch(models)
+                host.record_mutations(entity_ops)
+                epoch = host.publish_epoch(models[-1] if models else None)
+        else:
+            epoch = host.epoch_clock.epoch
+
+        self.batches_applied += 1
+        self.ops_applied += sum(1 for op in ops if op.kind is not WriteKind.BARRIER)
+        for op in ops:
+            op.ticket.resolve(epoch)
+
+    def stats(self) -> dict[str, float]:
+        """Worker counters for dashboards and benchmarks."""
+        return {
+            "batches_applied": self.batches_applied,
+            "ops_applied": self.ops_applied,
+            "avg_ops_per_batch": (
+                self.ops_applied / self.batches_applied if self.batches_applied else 0.0
+            ),
+            "backlog": self.backlog(),
+        }

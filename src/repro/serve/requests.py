@@ -1,0 +1,74 @@
+"""Request and ticket types exchanged between the front-end and the pipeline.
+
+Writes accepted by the :class:`~repro.serve.server.ViewServer` — directly or
+via SQL triggers on the entity/example tables — are normalized into
+:class:`WriteOp` values and pushed onto the maintenance worker's bounded
+queue.  Each enqueue hands back a :class:`WriteTicket`; when the worker makes
+the batch containing the op visible, the ticket resolves to that epoch, which
+is how client sessions implement read-your-writes.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["WriteKind", "WriteOp", "WriteTicket"]
+
+
+class WriteKind(enum.Enum):
+    """The kinds of maintenance work the pipeline understands."""
+
+    ENTITY_INSERT = "entity_insert"
+    ENTITY_UPDATE = "entity_update"
+    ENTITY_DELETE = "entity_delete"
+    EXAMPLE_INSERT = "example_insert"
+    EXAMPLE_UPDATE = "example_update"
+    EXAMPLE_DELETE = "example_delete"
+    #: A no-op used by ``flush``: its ticket resolves once everything enqueued
+    #: before it has been applied.
+    BARRIER = "barrier"
+
+
+class WriteTicket:
+    """A handle resolving to the epoch at which a write became visible."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._epoch: int | None = None
+        self._error: BaseException | None = None
+
+    def resolve(self, epoch: int) -> None:
+        """Mark the write visible as of ``epoch`` (called by the worker)."""
+        self._epoch = epoch
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        """Mark the write failed; ``wait`` re-raises ``error``."""
+        self._error = error
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> int:
+        """Block until applied; returns the visibility epoch."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("write not applied within timeout")
+        if self._error is not None:
+            raise self._error
+        assert self._epoch is not None
+        return self._epoch
+
+    @property
+    def done(self) -> bool:
+        """Whether the write has been applied (or failed)."""
+        return self._event.is_set()
+
+
+@dataclass
+class WriteOp:
+    """One normalized write: its kind, the row(s) involved, and its ticket."""
+
+    kind: WriteKind
+    row: dict[str, object] | None = None
+    old_row: dict[str, object] | None = None
+    ticket: WriteTicket = field(default_factory=WriteTicket)

@@ -1,0 +1,519 @@
+"""The ``ViewServer`` front-end: concurrent access to one classification view.
+
+The server owns four moving parts and wires them together:
+
+* a :class:`~repro.serve.sharding.ShardSet` — the entity space hash-partitioned
+  across N worker threads, each with its own store, maintainer, and
+  water-band result cache;
+* a :class:`~repro.serve.batcher.ReadBatcher` — concurrent ``label_of`` calls
+  coalesce into batched, per-shard ``read_many`` rounds;
+* a :class:`~repro.serve.maintenance.MaintenanceWorker` — writes are queued
+  (bounded, backpressuring) and applied in batches, with training kept outside
+  the lock readers take;
+* the :class:`~repro.serve.sync.ReadWriteLock` + :class:`~repro.serve.sync.EpochClock`
+  pair giving **snapshot consistency**: every read executes under the shared
+  side of the lock, so it observes a fully applied epoch, and is tagged with
+  that epoch; writes resolve to the epoch at which they became visible; a
+  :class:`ClientSession` threads the two together into monotonic
+  read-your-writes semantics.
+
+The server can be built standalone (benchmarks drive it straight from a
+bulk-loaded maintainer) or attached to a live
+:class:`~repro.core.engine.ClassificationView` via
+:meth:`ViewServer.attach_view` / ``HazyEngine.serve`` — in attached mode the
+view's SQL triggers are diverted into the maintenance queue, so ordinary
+``INSERT``/``UPDATE``/``DELETE`` statements feed the pipeline instead of
+retraining inline.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.core.maintainers.base import ViewMaintainer
+from repro.core.stores.base import EntityStore
+from repro.db.buffer_pool import IOStatistics
+from repro.db.triggers import Trigger, TriggerEvent
+from repro.exceptions import KeyNotFoundError, MaintenanceError
+from repro.learn.model import LinearModel, sign
+from repro.learn.sgd import SGDTrainer, TrainingExample
+from repro.linalg import SparseVector
+from repro.serve.batcher import ReadBatcher
+from repro.serve.maintenance import MaintenanceWorker
+from repro.serve.requests import WriteKind, WriteOp, WriteTicket
+from repro.serve.sharding import ShardSet
+from repro.serve.sync import EpochClock, ReadWriteLock
+
+__all__ = ["ViewServer", "ClientSession"]
+
+
+class ClientSession:
+    """Per-client monotonic view of the server.
+
+    Tracks the last epoch this client observed and the ticket of its last
+    write; every read first waits for the pending write to become visible
+    (read-your-writes) and then verifies the returned epoch never moves
+    backwards (monotonic reads).
+    """
+
+    def __init__(self, server: "ViewServer"):
+        self._server = server
+        self.last_epoch = 0
+        self._pending: WriteTicket | None = None
+
+    def _before_read(self) -> None:
+        if self._pending is not None:
+            self.last_epoch = max(self.last_epoch, self._pending.wait())
+            self._pending = None
+
+    def _observe(self, epoch: int) -> None:
+        if epoch < self.last_epoch:
+            raise MaintenanceError(
+                f"monotonic-read violation: session at epoch {self.last_epoch}, "
+                f"server answered from epoch {epoch}"
+            )
+        self.last_epoch = epoch
+
+    def label_of(self, entity_id: object) -> int:
+        """Single Entity read with session consistency."""
+        self._before_read()
+        label, epoch = self._server.label_of_tagged(entity_id)
+        self._observe(epoch)
+        return label
+
+    def all_members(self, label: int = 1) -> list[object]:
+        """All Members read with session consistency."""
+        self._before_read()
+        members, epoch = self._server.all_members_tagged(label)
+        self._observe(epoch)
+        return members
+
+    def top_k(self, k: int, label: int = 1) -> list[tuple[object, float]]:
+        """Ranked read with session consistency."""
+        self._before_read()
+        ranked, epoch = self._server.top_k_tagged(k, label)
+        self._observe(epoch)
+        return ranked
+
+    def insert_example(self, entity_id: object, label_value: object) -> WriteTicket:
+        """Queue a training example; subsequent session reads see it applied."""
+        ticket = self._server.insert_example(entity_id, label_value)
+        self._pending = ticket
+        return ticket
+
+    def insert_entity(self, row) -> WriteTicket:
+        """Queue a new entity; subsequent session reads see it applied."""
+        ticket = self._server.insert_entity(row)
+        self._pending = ticket
+        return ticket
+
+
+class ViewServer:
+    """Concurrent serving front-end over one sharded classification view.
+
+    Parameters
+    ----------
+    entities:
+        ``(entity_id, features)`` pairs to bulk-load the shards from.
+    model:
+        The model the view currently reflects (epoch 0).
+    trainer:
+        The *global* incremental trainer; owned by the maintenance worker
+        from here on.
+    store_factory / maintainer_factory:
+        Build one private store / maintainer per shard.
+    feature_function:
+        Needed for ``classify`` and for featurizing entity-row inserts; may be
+        None when entities are only ever inserted pre-featurized.
+    label_to_binary:
+        Maps user-facing label values to {-1, +1} (defaults to requiring
+        ±1 / bool).
+    """
+
+    def __init__(
+        self,
+        entities: Iterable[tuple[object, SparseVector]],
+        model: LinearModel,
+        trainer: SGDTrainer,
+        store_factory: Callable[[], EntityStore],
+        maintainer_factory: Callable[[EntityStore], ViewMaintainer],
+        feature_function=None,
+        label_to_binary: Callable[[object], int] | None = None,
+        entities_key: str = "id",
+        examples_key: str = "id",
+        examples_label: str = "label",
+        initial_examples: Sequence[TrainingExample] = (),
+        num_shards: int = 4,
+        max_read_batch: int = 64,
+        read_batch_wait_s: float = 0.0,
+        queue_capacity: int = 4096,
+        max_write_batch: int = 64,
+        cache_capacity: int = 100_000,
+        epoch_history: int = 256,
+    ):
+        self.shards = ShardSet.build(
+            entities,
+            model,
+            store_factory=store_factory,
+            maintainer_factory=maintainer_factory,
+            num_shards=num_shards,
+            cache_capacity=cache_capacity,
+        )
+        self.trainer = trainer
+        self.feature_function = feature_function
+        self.rw_lock = ReadWriteLock()
+        self.epoch_clock = EpochClock()
+        self._label_to_binary = label_to_binary if label_to_binary is not None else _default_binary
+        self._entities_key = entities_key
+        self._examples_key = examples_key
+        self._examples_label = examples_label
+        self._examples: list[TrainingExample] = list(initial_examples)
+        self._model_snapshot = model.copy()
+        self._epoch_history = int(epoch_history)
+        self._epoch_models: OrderedDict[int, LinearModel] = OrderedDict({0: model.copy()})
+        self._feature_lock = threading.RLock()
+        self._train_stats = IOStatistics()
+        self._cost_model = self.shards.shards[0].maintainer.store.cost_model
+        #: Ordered entity churn ("add"/"remove" ops) applied while serving,
+        #: replayed in order against the source view on close.
+        self._entity_ops: list[tuple[str, object]] = []
+        self._accepting = True
+        self._closed = False
+        self._view = None
+        self._dispatched_tables: list = []
+        self._trigger_kinds: dict[str, WriteKind] = {}
+        self._ticket_local = threading.local()
+        self.batcher = ReadBatcher(
+            self._execute_read_batch, max_batch=max_read_batch, max_wait_s=read_batch_wait_s
+        )
+        self.worker = MaintenanceWorker(
+            self, queue_capacity=queue_capacity, max_batch=max_write_batch
+        )
+        self.worker.start()
+
+    # ------------------------------------------------------------------ reads
+
+    def _execute_read_batch(self, keys: Sequence[object]) -> dict[object, object]:
+        """Batcher callback: one coherent, epoch-tagged round across the shards.
+
+        Unknown ids stay as their exception instance so the batcher fails only
+        that key's waiters, not the whole round.
+        """
+        with self.rw_lock.read_locked():
+            epoch = self.epoch_clock.epoch
+            labels = self.shards.read_batch(keys)
+        return {
+            key: value if isinstance(value, BaseException) else (value, epoch)
+            for key, value in labels.items()
+        }
+
+    def label_of_tagged(self, entity_id: object) -> tuple[int, int]:
+        """Single Entity read through the batcher: ``(label, epoch)``."""
+        return self.batcher.read(entity_id)
+
+    def label_of(self, entity_id: object) -> int:
+        """Single Entity read: the entity's label in {-1, +1}."""
+        return self.label_of_tagged(entity_id)[0]
+
+    def all_members_tagged(self, label: int = 1) -> tuple[list[object], int]:
+        """Scatter/gather All Members read: ``(ids, epoch)``."""
+        with self.rw_lock.read_locked():
+            epoch = self.epoch_clock.epoch
+            members = self.shards.all_members(label)
+        return members, epoch
+
+    def all_members(self, label: int = 1) -> list[object]:
+        """All Members read across every shard."""
+        return self.all_members_tagged(label)[0]
+
+    def count_members(self, label: int = 1) -> int:
+        """Number of entities in the class."""
+        return len(self.all_members(label))
+
+    def top_k_tagged(self, k: int, label: int = 1) -> tuple[list[tuple[object, float]], int]:
+        """Scatter/gather ranked read: ``([(id, margin)], epoch)``."""
+        with self.rw_lock.read_locked():
+            epoch = self.epoch_clock.epoch
+            ranked = self.shards.top_k(k, label)
+        return ranked, epoch
+
+    def top_k(self, k: int, label: int = 1) -> list[tuple[object, float]]:
+        """The ``k`` entities deepest inside class ``label`` under the current model."""
+        return self.top_k_tagged(k, label)[0]
+
+    def classify(self, row) -> int:
+        """Classify an ad-hoc entity row (or feature vector) without storing it."""
+        if isinstance(row, SparseVector):
+            features = row
+        else:
+            if self.feature_function is None:
+                raise MaintenanceError("server has no feature function; pass a SparseVector")
+            with self._feature_lock:
+                features = self.feature_function.compute_feature(row)
+        return sign(self._model_snapshot.margin(features))
+
+    def contents(self) -> dict[object, int]:
+        """The full view ``{id: label}`` under one coherent epoch."""
+        with self.rw_lock.read_locked():
+            return self.shards.contents()
+
+    def session(self) -> ClientSession:
+        """A new per-client session with monotonic read-your-writes semantics."""
+        return ClientSession(self)
+
+    def model_for_epoch(self, epoch: int) -> LinearModel | None:
+        """The model published at ``epoch`` (None once evicted from history)."""
+        model = self._epoch_models.get(epoch)
+        return model.copy() if model is not None else None
+
+    @property
+    def epoch(self) -> int:
+        """The latest published epoch."""
+        return self.epoch_clock.epoch
+
+    # ------------------------------------------------------------------ writes
+
+    def _require_accepting(self) -> None:
+        if not self._accepting:
+            raise MaintenanceError("server is closed to writes")
+
+    def insert_example(self, entity_id: object, label_value: object) -> WriteTicket:
+        """Queue one training example; returns its visibility ticket.
+
+        In attached mode the row is inserted into the real examples table (so
+        SQL state stays authoritative) and the diverted trigger carries it
+        into the queue; standalone, the op is enqueued directly.
+        """
+        self._require_accepting()
+        row = {self._examples_key: entity_id, self._examples_label: label_value}
+        if self._view is not None:
+            return self._insert_via_table(self._view.definition.examples_table, row)
+        return self.worker.enqueue(WriteOp(kind=WriteKind.EXAMPLE_INSERT, row=row))
+
+    def insert_entity(self, row) -> WriteTicket:
+        """Queue one new entity: a table row (attached/featurized) or ``(id, features)``."""
+        self._require_accepting()
+        if self._view is not None and not isinstance(row, tuple):
+            return self._insert_via_table(self._view.definition.entities_table, dict(row))
+        return self.worker.enqueue(WriteOp(kind=WriteKind.ENTITY_INSERT, row=row))
+
+    def _insert_via_table(self, table_name: str, row: dict[str, object]) -> WriteTicket:
+        self._ticket_local.ticket = None
+        self._view.database.table(table_name).insert(row)
+        ticket = self._ticket_local.ticket
+        self._ticket_local.ticket = None
+        if ticket is None:  # dispatcher missed it — should not happen while attached
+            raise MaintenanceError("insert did not reach the maintenance queue")
+        return ticket
+
+    def flush(self, timeout: float | None = None) -> int:
+        """Barrier: block until every previously queued write is visible."""
+        return self.worker.flush(timeout=timeout)
+
+    # ------------------------------------------- host protocol (maintenance worker)
+
+    def featurize_entity(self, row) -> tuple[object, SparseVector]:
+        """Worker hook: turn an entity row into ``(id, features)``."""
+        if isinstance(row, tuple):
+            return row
+        if self.feature_function is None:
+            raise MaintenanceError("server has no feature function; insert (id, features)")
+        with self._feature_lock:
+            self.feature_function.compute_stats_incremental(row)
+            features = self.feature_function.compute_feature(row)
+        return row[self._entities_key], features
+
+    def entity_key(self, row) -> object:
+        """Worker hook: the entity key of a (possibly pre-featurized) row."""
+        if isinstance(row, tuple):
+            return row[0]
+        return row[self._entities_key]
+
+    def build_example(self, row, pending_features: dict) -> TrainingExample:
+        """Worker hook: resolve an example row against entity features."""
+        if isinstance(row, TrainingExample):
+            return row
+        entity_id = row[self._examples_key]
+        label = self._label_to_binary(row[self._examples_label])
+        features = pending_features.get(entity_id)
+        if features is None:
+            shard = self.shards.shard_for(entity_id)
+            try:
+                features = shard.call(
+                    lambda: shard.maintainer.store.get(entity_id).features
+                )
+            except KeyNotFoundError:
+                raise MaintenanceError(
+                    f"training example references unknown entity {entity_id!r}"
+                ) from None
+        return TrainingExample(entity_id=entity_id, features=features, label=label)
+
+    def retain_example(self, example: TrainingExample) -> None:
+        """Worker hook: remember an absorbed example (for retrains and close)."""
+        self._examples.append(example)
+
+    def forget_example(self, old_row) -> bool:
+        """Worker hook: drop the retained example matching a deleted row."""
+        if isinstance(old_row, TrainingExample):
+            entity_id, label = old_row.entity_id, old_row.label
+        else:
+            entity_id = old_row[self._examples_key]
+            label = self._label_to_binary(old_row[self._examples_label])
+        for index, example in enumerate(self._examples):
+            if example.entity_id == entity_id and example.label == label:
+                del self._examples[index]
+                return True
+        return False
+
+    def retained_examples(self) -> list[TrainingExample]:
+        """Worker hook: the full retained example set (retrain input)."""
+        return list(self._examples)
+
+    def charge_model_update(self) -> None:
+        """Worker hook: account one incremental training step."""
+        self._train_stats.charge(self._cost_model.model_update, "model_update")
+
+    def publish_epoch(self, final_model: LinearModel | None) -> int:
+        """Worker hook (under the write lock): advance the clock, snapshot the model."""
+        if final_model is not None:
+            self._model_snapshot = final_model.copy()
+        epoch = self.epoch_clock.advance()
+        self._epoch_models[epoch] = self._model_snapshot.copy()
+        while len(self._epoch_models) > self._epoch_history:
+            self._epoch_models.popitem(last=False)
+        return epoch
+
+    def record_mutations(self, entity_ops: Sequence[tuple[str, object]]) -> None:
+        """Worker hook: log ordered entity churn so ``close`` can resync the view."""
+        self._entity_ops.extend(entity_ops)
+
+    # ------------------------------------------------------------ view attachment
+
+    def attach_view(self, view) -> None:
+        """Take over maintenance of a live ``ClassificationView``.
+
+        The view's entity/example triggers are diverted into the maintenance
+        queue (``INSERT``/``UPDATE``/``DELETE`` statements enqueue instead of
+        retraining inline) and the view's read methods delegate here until
+        :meth:`close`.
+        """
+        if self._view is not None:
+            raise MaintenanceError("server is already attached to a view")
+        self._view = view
+        prefix = f"hazy_{view.definition.view_name}"
+        entities_table = view.database.table(view.definition.entities_table)
+        examples_table = view.database.table(view.definition.examples_table)
+        self._trigger_kinds = {
+            f"{prefix}_entities": WriteKind.ENTITY_INSERT,
+            f"{prefix}_entities_update": WriteKind.ENTITY_UPDATE,
+            f"{prefix}_entities_delete": WriteKind.ENTITY_DELETE,
+            f"{prefix}_examples": WriteKind.EXAMPLE_INSERT,
+            f"{prefix}_examples_update": WriteKind.EXAMPLE_UPDATE,
+            f"{prefix}_examples_delete": WriteKind.EXAMPLE_DELETE,
+        }
+        for table in (entities_table, examples_table):
+            table.triggers.set_dispatcher(self._dispatch_trigger)
+            self._dispatched_tables.append(table)
+        view._server = self
+
+    def _dispatch_trigger(
+        self,
+        trigger: Trigger,
+        event: TriggerEvent,
+        table_name: str,
+        new_row: dict[str, object] | None,
+        old_row: dict[str, object] | None,
+    ) -> bool:
+        """Trigger dispatcher: divert this view's maintenance triggers to the queue."""
+        kind = self._trigger_kinds.get(trigger.name)
+        if kind is None or not self._accepting:
+            return False  # not ours (or closing): run inline
+        ticket = self.worker.enqueue(WriteOp(kind=kind, row=new_row, old_row=old_row))
+        self._ticket_local.ticket = ticket
+        return True
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def close(self, timeout: float | None = None) -> None:
+        """Quiesce the pipeline and (if attached) hand the view back, consistent.
+
+        Drains the write queue, stops the worker and batcher, then resyncs the
+        source view's direct maintainer: entity churn is replayed and the final
+        model applied once — sound because the cumulative band since the
+        maintainer's last reorganization covers every model movement in
+        between (Lemma 3.1).  Not safe to call concurrently with new writes.
+        """
+        if self._closed:
+            return
+        self._accepting = False
+        self.worker.flush(timeout=timeout)
+        self.worker.close(timeout=timeout)
+        self.batcher.close()
+        try:
+            if self._view is not None:
+                view = self._view
+                # Replay entity churn in arrival order: an entity inserted and
+                # later deleted while serving must end up absent, not resurrected.
+                for action, payload in self._entity_ops:
+                    if action == "remove":
+                        try:
+                            view.maintainer.remove_entity(payload)
+                        except KeyNotFoundError:
+                            pass
+                    else:
+                        entity_id, features = payload
+                        view.maintainer.add_entity(entity_id, features)
+                view._examples[:] = self._examples
+                view.maintainer.apply_model(self.trainer.model.copy())
+        finally:
+            # Even if resync fails, never leave the view wired to a dead server.
+            for table in self._dispatched_tables:
+                table.triggers.clear_dispatcher()
+            self._dispatched_tables.clear()
+            if self._view is not None:
+                self._view._server = None
+                self._view = None
+            self.shards.shutdown()
+            self._closed = True
+
+    def __enter__(self) -> "ViewServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ accounting
+
+    def simulated_seconds(self) -> float:
+        """Total simulated seconds across shard ledgers and training."""
+        return self.shards.simulated_seconds() + self._train_stats.simulated_seconds
+
+    def simulated_read_seconds(self) -> float:
+        """Simulated seconds spent serving reads."""
+        return self.shards.simulated_read_seconds()
+
+    def stats(self) -> dict[str, object]:
+        """One dashboard dict: epoch, batcher, worker, cache, shard counters."""
+        return {
+            "epoch": self.epoch,
+            "entities": self.shards.count(),
+            "num_shards": len(self.shards),
+            "batcher": self.batcher.stats(),
+            "maintenance": self.worker.stats(),
+            "cache": self.shards.cache_stats(),
+            "simulated_seconds": self.simulated_seconds(),
+            "simulated_read_seconds": self.simulated_read_seconds(),
+        }
+
+
+def _default_binary(label_value: object) -> int:
+    """Fallback label conversion: accepts bools and ±1."""
+    if isinstance(label_value, bool):
+        return 1 if label_value else -1
+    if isinstance(label_value, (int, float)) and label_value in (-1, 1):
+        return int(label_value)
+    raise MaintenanceError(
+        f"cannot interpret label {label_value!r}: provide label_to_binary"
+    )

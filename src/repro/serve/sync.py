@@ -1,0 +1,118 @@
+"""Synchronization primitives for the serving subsystem.
+
+Two small pieces:
+
+* :class:`ReadWriteLock` — a writer-preferring readers/writer lock.  Many
+  client threads may hold it shared (scatter/gather reads, batched read
+  rounds); the background maintenance worker takes it exclusively only for the
+  short *apply* phase of each batch.  Model retraining happens entirely
+  outside the lock, which is what gives the subsystem its "reads never block
+  behind retraining" property.
+* :class:`EpochClock` — a monotonically increasing epoch counter published by
+  the maintenance worker after each fully applied batch.  Readers tag results
+  with the epoch they observed, write tickets resolve to the epoch at which
+  the write became visible, and ``wait_for`` implements read-your-writes.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock", "EpochClock"]
+
+
+class ReadWriteLock:
+    """A writer-preferring readers/writer lock.
+
+    Readers proceed concurrently; a waiting writer blocks *new* readers so the
+    maintenance worker cannot starve under a heavy read load.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- reader side ----------------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Take the lock shared; blocks while a writer is active or waiting."""
+        with self._condition:
+            while self._writer_active or self._writers_waiting > 0:
+                self._condition.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Release one shared hold."""
+        with self._condition:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._condition.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        """``with lock.read_locked():`` — shared critical section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # -- writer side ----------------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Take the lock exclusively; waits for in-flight readers to drain."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers > 0:
+                    self._condition.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        """Release the exclusive hold."""
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        """``with lock.write_locked():`` — exclusive critical section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class EpochClock:
+    """A monotonic epoch counter with blocking waits.
+
+    Epoch 0 is the state the server was built from (the bulk-loaded view);
+    each maintenance batch that becomes visible advances the clock by one.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """The latest published epoch."""
+        return self._epoch
+
+    def advance(self) -> int:
+        """Publish the next epoch and wake any waiters; returns the new epoch."""
+        with self._condition:
+            self._epoch += 1
+            self._condition.notify_all()
+            return self._epoch
+
+    def wait_for(self, epoch: int, timeout: float | None = None) -> bool:
+        """Block until the clock reaches ``epoch``; False on timeout."""
+        with self._condition:
+            return self._condition.wait_for(lambda: self._epoch >= epoch, timeout=timeout)

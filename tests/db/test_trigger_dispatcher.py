@@ -1,0 +1,99 @@
+"""Tests for the trigger-dispatcher hook (enqueue-instead-of-inline firing)."""
+
+from __future__ import annotations
+
+from repro.db.buffer_pool import BufferPool
+from repro.db.costmodel import CostModel
+from repro.db.schema import Column, TableSchema
+from repro.db.table import Table
+from repro.db.triggers import Trigger, TriggerEvent, TriggerSet
+from repro.db.types import DataType
+
+
+def make_table() -> Table:
+    schema = TableSchema(
+        "papers",
+        [Column("id", DataType.INTEGER, nullable=False), Column("title", DataType.TEXT)],
+        primary_key="id",
+    )
+    return Table(schema, BufferPool(CostModel()))
+
+
+def test_dispatcher_consumes_firings():
+    table = make_table()
+    inline = []
+    queued = []
+    table.add_trigger(
+        Trigger("t", TriggerEvent.AFTER_INSERT, lambda n, new, old: inline.append(new))
+    )
+    table.triggers.set_dispatcher(
+        lambda trigger, event, name, new, old: queued.append((trigger.name, new)) or True
+    )
+    table.insert({"id": 1, "title": "x"})
+    assert inline == []
+    assert queued == [("t", {"id": 1, "title": "x"})]
+
+
+def test_dispatcher_can_pass_through_selectively():
+    table = make_table()
+    inline = []
+    queued = []
+    table.add_trigger(
+        Trigger("mine", TriggerEvent.AFTER_INSERT, lambda n, new, old: inline.append("mine"))
+    )
+    table.add_trigger(
+        Trigger("other", TriggerEvent.AFTER_INSERT, lambda n, new, old: inline.append("other"))
+    )
+
+    def dispatcher(trigger, event, name, new, old):
+        if trigger.name == "mine":
+            queued.append(trigger.name)
+            return True
+        return False
+
+    table.triggers.set_dispatcher(dispatcher)
+    table.insert({"id": 1})
+    assert inline == ["other"]
+    assert queued == ["mine"]
+
+
+def test_clear_dispatcher_restores_inline_execution():
+    table = make_table()
+    inline = []
+    table.add_trigger(
+        Trigger("t", TriggerEvent.AFTER_INSERT, lambda n, new, old: inline.append(1))
+    )
+    table.triggers.set_dispatcher(lambda *args: True)
+    table.insert({"id": 1})
+    assert inline == []
+    assert table.triggers.has_dispatcher
+    table.triggers.clear_dispatcher()
+    table.insert({"id": 2})
+    assert inline == [1]
+    assert not table.triggers.has_dispatcher
+
+
+def test_dispatcher_sees_update_and_delete_context():
+    table = make_table()
+    events = []
+    table.add_trigger(Trigger("u", TriggerEvent.AFTER_UPDATE, lambda n, new, old: None))
+    table.add_trigger(Trigger("d", TriggerEvent.AFTER_DELETE, lambda n, new, old: None))
+    table.triggers.set_dispatcher(
+        lambda trigger, event, name, new, old: events.append((event, new, old)) or True
+    )
+    table.insert({"id": 1, "title": "a"})
+    table.update_by_key(1, {"title": "b"})
+    table.delete_by_key(1)
+    update_events = [entry for entry in events if entry[0] is TriggerEvent.AFTER_UPDATE]
+    delete_events = [entry for entry in events if entry[0] is TriggerEvent.AFTER_DELETE]
+    assert update_events[0][1]["title"] == "b" and update_events[0][2]["title"] == "a"
+    assert delete_events[0][1] is None and delete_events[0][2]["id"] == 1
+
+
+def test_standalone_trigger_set():
+    triggers = TriggerSet()
+    fired = []
+    triggers.add(Trigger("a", TriggerEvent.AFTER_INSERT, lambda n, new, old: fired.append(1)))
+    triggers.set_dispatcher(lambda *args: False)  # pass-through dispatcher
+    triggers.fire(TriggerEvent.AFTER_INSERT, "t", {}, None)
+    assert fired == [1]

@@ -1,0 +1,99 @@
+"""Unit tests for the read batcher's coalescing behaviour."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.batcher import ReadBatcher
+
+
+def test_single_read_resolves():
+    calls = []
+
+    def execute(keys):
+        calls.append(list(keys))
+        return {key: key * 10 for key in keys}
+
+    batcher = ReadBatcher(execute)
+    try:
+        assert batcher.read(3, timeout=5) == 30
+    finally:
+        batcher.close()
+    assert calls == [[3]]
+
+
+def test_concurrent_reads_coalesce():
+    rounds = []
+
+    def execute(keys):
+        rounds.append(len(keys))
+        return {key: -key for key in keys}
+
+    batcher = ReadBatcher(execute, max_batch=64, max_wait_s=0.2)
+    start = threading.Barrier(16, timeout=5)
+    results = {}
+    lock = threading.Lock()
+
+    def client(key):
+        start.wait()
+        value = batcher.read(key, timeout=10)
+        with lock:
+            results[key] = value
+
+    threads = [threading.Thread(target=client, args=(key,)) for key in range(16)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+    batcher.close()
+    assert results == {key: -key for key in range(16)}
+    # 16 simultaneous requests with a generous window must not take 16 rounds.
+    assert batcher.rounds < 16
+    assert batcher.largest_batch > 1
+
+
+def test_duplicate_keys_share_one_execution():
+    seen = []
+
+    def execute(keys):
+        seen.extend(keys)
+        return {key: "x" for key in keys}
+
+    batcher = ReadBatcher(execute, max_batch=8, max_wait_s=0.2)
+    start = threading.Barrier(4, timeout=5)
+    outputs = []
+
+    def client():
+        start.wait()
+        outputs.append(batcher.read(7, timeout=10))
+
+    threads = [threading.Thread(target=client) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+    batcher.close()
+    assert outputs == ["x"] * 4
+    # The executed key list was deduplicated per round.
+    assert seen.count(7) == batcher.rounds
+
+
+def test_errors_propagate_to_all_waiters():
+    def execute(keys):
+        raise ValueError("boom")
+
+    batcher = ReadBatcher(execute)
+    try:
+        with pytest.raises(ValueError, match="boom"):
+            batcher.read(1, timeout=5)
+    finally:
+        batcher.close()
+
+
+def test_closed_batcher_rejects_submissions():
+    batcher = ReadBatcher(lambda keys: {key: key for key in keys})
+    batcher.close()
+    with pytest.raises(RuntimeError):
+        batcher.submit(1)

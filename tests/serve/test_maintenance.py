@@ -1,0 +1,166 @@
+"""Tests for the background maintenance pipeline (standalone server)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.view import view_contents
+from repro.exceptions import MaintenanceError
+from repro.serve.requests import WriteKind, WriteOp
+
+from tests.serve.conftest import build_standalone_server
+
+
+def oracle_for(server, corpus):
+    """Expected view contents under the server's current global model."""
+    entities = {doc.entity_id: doc.features for doc in corpus}
+    # Include entities added at runtime (their features live in the shards).
+    current = {
+        record.entity_id: record.features
+        for shard in server.shards.shards
+        for record in shard.call(lambda s=shard: list(s.maintainer.store.scan_all()))
+    }
+    entities.update(current)
+    return view_contents(entities.items(), server.trainer.model.copy())
+
+
+def test_queued_examples_apply_in_batches(serve_corpus):
+    server = build_standalone_server(serve_corpus, max_write_batch=16)
+    try:
+        tickets = [
+            server.insert_example(doc.entity_id, doc.label) for doc in serve_corpus[:40]
+        ]
+        epoch = server.flush(timeout=30)
+        assert all(ticket.wait(5) <= epoch for ticket in tickets)
+        # Batching happened: fewer maintenance batches than operations.
+        assert server.worker.batches_applied < 40
+        assert server.worker.ops_applied == 40
+        assert server.contents() == oracle_for(server, serve_corpus)
+    finally:
+        server.close(timeout=30)
+
+
+def test_entity_inserts_flow_through_the_queue(serve_corpus):
+    server = build_standalone_server(serve_corpus)
+    try:
+        features = serve_corpus[0].features
+        ticket = server.insert_entity(("brand-new", features))
+        ticket.wait(10)
+        assert server.label_of("brand-new") in (-1, 1)
+        assert server.shards.count() == len(serve_corpus) + 1
+        assert server.contents() == oracle_for(server, serve_corpus)
+    finally:
+        server.close(timeout=30)
+
+
+def test_example_delete_retrains(serve_corpus):
+    server = build_standalone_server(serve_corpus)
+    try:
+        doc = serve_corpus[0]
+        server.insert_example(doc.entity_id, doc.label)
+        server.flush(timeout=30)
+        retained_before = len(server.retained_examples())
+        op = WriteOp(
+            kind=WriteKind.EXAMPLE_DELETE,
+            old_row={"id": doc.entity_id, "label": doc.label},
+        )
+        server.worker.enqueue(op)
+        op.ticket.wait(10)
+        assert len(server.retained_examples()) == retained_before - 1
+        # Retrained-from-scratch model still yields a consistent view.
+        assert server.contents() == oracle_for(server, serve_corpus)
+    finally:
+        server.close(timeout=30)
+
+
+def test_flush_is_a_barrier(serve_corpus):
+    server = build_standalone_server(serve_corpus)
+    try:
+        before = server.epoch
+        for doc in serve_corpus[:10]:
+            server.insert_example(doc.entity_id, doc.label)
+        epoch = server.flush(timeout=30)
+        assert epoch >= before
+        assert server.worker.backlog() == 0
+    finally:
+        server.close(timeout=30)
+
+
+def test_bad_write_fails_its_ticket_but_server_survives(serve_corpus):
+    server = build_standalone_server(serve_corpus)
+    try:
+        ticket = server.insert_example("no-such-entity", 1)
+        with pytest.raises(MaintenanceError):
+            ticket.wait(10)
+        # The pipeline keeps serving after the poison op.
+        good = server.insert_example(serve_corpus[0].entity_id, serve_corpus[0].label)
+        good.wait(10)
+        assert server.label_of(serve_corpus[0].entity_id) in (-1, 1)
+    finally:
+        server.close(timeout=30)
+
+
+def test_insert_then_delete_same_entity_in_one_batch(serve_corpus):
+    """Intra-batch entity churn must replay in arrival order, not grouped."""
+    server = build_standalone_server(serve_corpus, max_write_batch=64)
+    try:
+        features = serve_corpus[0].features
+        first = server.insert_entity(("ephemeral", features))
+        op = WriteOp(kind=WriteKind.ENTITY_DELETE, old_row=("ephemeral", features))
+        second = server.worker.enqueue(op)
+        first.wait(10)
+        second.wait(10)
+        assert server.worker.last_error is None
+        assert server.shards.count() == len(serve_corpus)
+        assert "ephemeral" not in server.contents()
+        # And an insert+update pair of the same entity also survives a batch.
+        third = server.insert_entity(("twice", features))
+        update = WriteOp(
+            kind=WriteKind.ENTITY_UPDATE,
+            row=("twice", features),
+            old_row=("twice", features),
+        )
+        fourth = server.worker.enqueue(update)
+        third.wait(10)
+        fourth.wait(10)
+        assert server.worker.last_error is None
+        assert server.shards.count() == len(serve_corpus) + 1
+    finally:
+        server.close(timeout=30)
+
+
+def test_read_of_unknown_id_does_not_poison_the_batch(serve_corpus):
+    """Per-key error isolation: one bad key fails only its own waiters."""
+    import threading
+
+    server = build_standalone_server(serve_corpus)
+    try:
+        results = {}
+        errors = {}
+        barrier = threading.Barrier(4, timeout=5)
+
+        def read(key):
+            barrier.wait()
+            try:
+                results[key] = server.label_of(key)
+            except Exception as error:
+                errors[key] = error
+
+        good = [doc.entity_id for doc in serve_corpus[:3]]
+        threads = [threading.Thread(target=read, args=(key,)) for key in good]
+        threads.append(threading.Thread(target=read, args=("missing",)))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert sorted(results) == sorted(good)
+        assert set(errors) == {"missing"}
+    finally:
+        server.close(timeout=30)
+
+
+def test_writes_rejected_after_close(serve_corpus):
+    server = build_standalone_server(serve_corpus)
+    server.close(timeout=30)
+    with pytest.raises(MaintenanceError):
+        server.insert_example(serve_corpus[0].entity_id, 1)
