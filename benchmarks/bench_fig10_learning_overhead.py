@@ -87,9 +87,9 @@ def build_table():
                 "dataset": name,
                 "batch_P/R": f"{batch_precision:.2f}/{batch_recall:.2f}",
                 "sgd_P/R": f"{sgd_precision:.2f}/{sgd_recall:.2f}",
-                "batch_s": round(batch_seconds, 2),
-                "sgd_s": round(sgd_seconds, 3),
-                "hazy_s": round(hazy_seconds, 3),
+                "batch_wall_s": round(batch_seconds, 2),
+                "sgd_wall_s": round(sgd_seconds, 3),
+                "hazy_wall_s": round(hazy_seconds, 3),
                 "batch_example_visits": batch.examples_visited,
                 "sgd_example_visits": len(train),
                 "paper_svmlight": PAPER_ROWS[name]["svmlight_pr"] + " in " + PAPER_ROWS[name]["svmlight_time"],
@@ -110,10 +110,10 @@ def test_fig10_learning_overhead(benchmark):
         # The batch solver does at least an order of magnitude more example visits.
         assert row["batch_example_visits"] >= 10 * row["sgd_example_visits"]
         # And takes longer in wall-clock terms than single-pass SGD.
-        assert row["batch_s"] > row["sgd_s"]
+        assert row["batch_wall_s"] > row["sgd_wall_s"]
         # Driving the same SGD through view maintenance adds overhead over the
         # raw (file-style) SGD pass — the paper's "overhead of Hazy" column.
-        assert row["hazy_s"] >= row["sgd_s"]
+        assert row["hazy_wall_s"] >= row["sgd_wall_s"]
         # Quality: single-pass SGD stays in the same precision/recall ballpark
         # as the batch solver (the paper reports "as good, if not better").
         batch_p, batch_r = (float(x) for x in row["batch_P/R"].split("/"))

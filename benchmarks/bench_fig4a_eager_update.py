@@ -18,8 +18,6 @@ for updates.  Absolute updates/s differ because the data sets are scaled down
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench.harness import build_maintained_view, run_eager_update_experiment
 from repro.bench.reporting import format_table
 from repro.workloads import update_trace

@@ -1,0 +1,166 @@
+"""Benchmark-trajectory comparison: fail CI when results drift from a baseline.
+
+``benchmarks/run_all.py --json`` emits a deterministic report (every figure's
+rows are computed from the simulated cost model with fixed seeds), so the
+committed ``benchmarks/baseline.json`` is a trajectory anchor: a current run
+whose numbers drift more than the tolerance from the baseline means the
+change under review altered the system's measured behaviour and must either
+be fixed or land with a refreshed baseline.
+
+Wall-clock quantities (``elapsed_seconds``, ``wall_*`` columns, timestamps)
+are machine noise, not behaviour, and are skipped.
+
+Usage::
+
+    python -m repro.bench.compare benchmarks/baseline.json current.json
+    python -m repro.bench.compare baseline.json current.json --tolerance 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Deviation", "flatten_metrics", "compare_reports", "main"]
+
+#: Metric-name fragments that are machine noise rather than behaviour: plain
+#: wall-clock quantities, plus the serving figure's thread-timing-dependent
+#: columns — the request batcher coalesces on a real-time window, so realized
+#: batch sizes, cache hits, and the per-read simulated cost they imply are
+#: scheduler artifacts that vary with runner load, unlike every other figure's
+#: deterministic cost-model output.
+VOLATILE_FRAGMENTS = (
+    "wall",
+    "elapsed",
+    "generated_at",
+    "seed",
+    "avg_read_batch",
+    "cache_hits",
+    "sim_reads_per_s",
+    "read_speedup",
+)
+#: Guard against blowing up relative error on near-zero baselines.
+ABSOLUTE_FLOOR = 1e-9
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """One metric that moved outside the tolerance (or disappeared)."""
+
+    metric: str
+    baseline: float | None
+    current: float | None
+    relative_change: float
+
+    def describe(self) -> str:
+        if self.current is None:
+            return f"{self.metric}: present in baseline, missing from current run"
+        if self.baseline is None:
+            return f"{self.metric}: new metric not in baseline (refresh baseline.json)"
+        return (
+            f"{self.metric}: baseline {self.baseline:g} -> current {self.current:g} "
+            f"({self.relative_change:+.1%})"
+        )
+
+
+def _is_volatile(name: str) -> bool:
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in VOLATILE_FRAGMENTS)
+
+
+def flatten_metrics(report: dict) -> dict[str, float]:
+    """Flatten a run_all JSON report into ``{"figure[row].column": value}``.
+
+    Only finite numeric cells survive; volatile (wall-clock) columns and the
+    report-level metadata are dropped.
+    """
+    metrics: dict[str, float] = {}
+    for figure_name, figure in sorted(report.get("figures", {}).items()):
+        for row_index, row in enumerate(figure.get("rows", []) or []):
+            for column, value in row.items():
+                if _is_volatile(column):
+                    continue
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                if not math.isfinite(value):
+                    continue
+                metrics[f"{figure_name}[{row_index}].{column}"] = float(value)
+    return metrics
+
+
+def compare_reports(
+    baseline: dict, current: dict, tolerance: float = 0.2
+) -> list[Deviation]:
+    """Compare two run_all reports; returns the metrics that drifted.
+
+    Drift is direction-agnostic: the simulated numbers are deterministic, so
+    a large move in *either* direction signals a behavioural change worth a
+    look (improvements should land with a refreshed baseline, not slip
+    through unbudgeted).  Metrics missing from the current run are always
+    deviations; metrics new in the current run are reported only so the
+    baseline gets refreshed, they do not fail the comparison on their own.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    baseline_metrics = flatten_metrics(baseline)
+    current_metrics = flatten_metrics(current)
+    deviations: list[Deviation] = []
+    for name, base_value in baseline_metrics.items():
+        if name not in current_metrics:
+            deviations.append(Deviation(name, base_value, None, math.inf))
+            continue
+        current_value = current_metrics[name]
+        denominator = max(abs(base_value), ABSOLUTE_FLOOR)
+        relative = (current_value - base_value) / denominator
+        if abs(relative) > tolerance:
+            deviations.append(Deviation(name, base_value, current_value, relative))
+    deviations.sort(key=lambda deviation: -abs(deviation.relative_change))
+    return deviations
+
+
+def _load(path: str) -> dict:
+    document = json.loads(Path(path).read_text())
+    if not isinstance(document, dict) or "figures" not in document:
+        raise SystemExit(f"{path} is not a run_all --json report (no 'figures' key)")
+    return document
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON report")
+    parser.add_argument("current", help="freshly generated JSON report")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="maximum allowed relative drift per metric (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    deviations = compare_reports(baseline, current, tolerance=args.tolerance)
+    compared = len(set(flatten_metrics(baseline)) & set(flatten_metrics(current)))
+    new_metrics = sorted(set(flatten_metrics(current)) - set(flatten_metrics(baseline)))
+    for name in new_metrics:
+        print(f"note: {name} is new (not in baseline)")
+    if deviations:
+        print(
+            f"FAIL: {len(deviations)} of {compared} compared metrics drifted more "
+            f"than {args.tolerance:.0%} from {args.baseline}:"
+        )
+        for deviation in deviations:
+            print(f"  {deviation.describe()}")
+        return 1
+    print(
+        f"OK: {compared} metrics within {args.tolerance:.0%} of baseline "
+        f"({len(new_metrics)} new)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

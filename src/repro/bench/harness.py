@@ -36,7 +36,7 @@ from repro.db.costmodel import CostModel
 from repro.exceptions import ConfigurationError
 from repro.learn.sgd import SGDTrainer, TrainingExample
 from repro.workloads.datasets import GeneratedDataset
-from repro.workloads.trace import UpdateTrace, read_trace, update_trace
+from repro.workloads.trace import read_trace, update_trace
 
 __all__ = [
     "MaintainedView",

@@ -94,6 +94,21 @@ class WaterBandTracker:
         self._low = 0.0
         self._high = 0.0
 
+    def restore_band(self, low: float, high: float) -> None:
+        """Resume a cumulative band mid-stream (checkpoint recovery).
+
+        ``reset`` must have been called with the snapshot's stored model
+        first; the band then picks up exactly where the checkpointed epoch
+        left off instead of collapsing to width 0, keeping Lemma 3.1 sound
+        for every model movement since the last reorganization.
+        """
+        if low > 0.0 or high < 0.0:
+            raise MaintenanceError(
+                f"cumulative band must contain 0, got [{low}, {high}]"
+            )
+        self._low = float(low)
+        self._high = float(high)
+
     @property
     def stored_model(self) -> LinearModel:
         """The model the current epoch is clustered under."""

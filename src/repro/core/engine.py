@@ -31,7 +31,7 @@ from repro.db.buffer_pool import BufferPool, IOStatistics
 from repro.db.database import Database
 from repro.db.sql.ast import CreateClassificationView
 from repro.db.triggers import Trigger, TriggerEvent
-from repro.exceptions import ConfigurationError, ViewDefinitionError
+from repro.exceptions import ConfigurationError, SnapshotMismatchError, ViewDefinitionError
 from repro.features import FeatureFunction, FeatureFunctionRegistry, default_registry
 from repro.learn.sgd import SGDTrainer, TrainingExample
 from repro.linalg import SparseVector
@@ -72,6 +72,44 @@ class ClassificationView:
 
     # -- initialization -------------------------------------------------------------------
 
+    @classmethod
+    def restore(
+        cls,
+        definition: ClassificationViewDefinition,
+        database: Database,
+        feature_function: FeatureFunction,
+        maintainer: ViewMaintainer,
+        trainer: SGDTrainer,
+        positive_label: object,
+        examples: list[TrainingExample],
+    ) -> "ClassificationView":
+        """Rebuild a view from checkpointed state, skipping the cold initialization.
+
+        Nothing is featurized, trained, or bulk-loaded here — the serving
+        state lives in the restored :class:`~repro.serve.server.ViewServer`'s
+        shards, and ``maintainer`` stays *unloaded* until the server hands the
+        view back on close.  Triggers are attached exactly as in the cold
+        path, so post-restore DML maintains the view as usual.
+        """
+        view = object.__new__(cls)
+        view.definition = definition
+        view.database = database
+        view.feature_function = feature_function
+        view.maintainer = maintainer
+        view.trainer = trainer
+        view.positive_label = positive_label
+        view._examples = list(examples)
+        view._server = None
+        entities_table = database.table(definition.entities_table)
+        examples_table = database.table(definition.examples_table)
+        if not entities_table.schema.has_column(definition.entities_key):
+            raise ViewDefinitionError(
+                f"entities table {entities_table.name!r} has no column "
+                f"{definition.entities_key!r}"
+            )
+        view._attach_triggers(entities_table, examples_table)
+        return view
+
     def _initialize(self) -> None:
         entities_table = self.database.table(self.definition.entities_table)
         examples_table = self.database.table(self.definition.examples_table)
@@ -90,7 +128,9 @@ class ClassificationView:
         entity_features: dict[object, SparseVector] = {}
         for row in entities_table.scan():
             entity_id = row[self.definition.entities_key]
-            entity_features[entity_id] = self.feature_function.compute_feature(row)
+            features = self.feature_function.compute_feature(row)
+            self.maintainer.store.charge_featurization(features.nnz())
+            entity_features[entity_id] = features
         for row in examples_table.scan():
             example = self._example_from_row(row, entity_features)
             if example is not None:
@@ -161,6 +201,25 @@ class ClassificationView:
             )
         )
 
+    def _detach_triggers(self) -> None:
+        """Drop this view's maintenance triggers (engine rollback path)."""
+        prefix = f"hazy_{self.definition.view_name}"
+        suffixes = (
+            "_entities",
+            "_entities_update",
+            "_entities_delete",
+            "_examples",
+            "_examples_update",
+            "_examples_delete",
+        )
+        for table_name in (self.definition.entities_table, self.definition.examples_table):
+            try:
+                table = self.database.table(table_name)
+            except Exception:
+                continue
+            for suffix in suffixes:
+                table.drop_trigger(f"{prefix}{suffix}")
+
     # -- label conversion ----------------------------------------------------------------------
 
     def to_binary_label(self, label_value: object) -> int:
@@ -205,6 +264,7 @@ class ClassificationView:
         self.feature_function.compute_stats_incremental(row)
         entity_id = row[self.definition.entities_key]
         features = self.feature_function.compute_feature(row)
+        self.maintainer.store.charge_featurization(features.nnz())
         self.maintainer.add_entity(entity_id, features)
 
     def _on_entity_update(
@@ -468,7 +528,13 @@ class HazyEngine:
             raise ViewDefinitionError(f"no classification view named {name!r}")
         return view
 
-    def serve(self, name: str, num_shards: int = 4, **server_options):
+    def serve(
+        self,
+        name: str,
+        num_shards: int = 4,
+        restore_from: str | None = None,
+        **server_options,
+    ):
         """Put a view behind a concurrent :class:`~repro.serve.server.ViewServer`.
 
         The server shards the view's entity space across ``num_shards`` worker
@@ -476,9 +542,21 @@ class HazyEngine:
         batches concurrent reads, and maintains the view from a background
         pipeline; the view's SQL triggers are diverted into the server's write
         queue until ``server.close()`` hands the view back consistent.
+
+        With ``restore_from`` the server **warm-starts** from a checkpoint
+        directory written by
+        :meth:`~repro.serve.server.ViewServer.checkpoint`:
+        the view itself is rebuilt from the snapshot (it must not have been
+        created in this engine yet), shard stores are imported instead of
+        bulk-loaded, and only the base-table churn that happened *after* the
+        checkpoint is featurized and replayed — restart cost is the snapshot
+        read plus the delta, not a full load.  ``num_shards`` is ignored on
+        restore (the snapshot's shard assignment is preserved).
         """
         from repro.serve.server import ViewServer
 
+        if restore_from is not None:
+            return self._serve_restored(name, restore_from, **server_options)
         view = self.view(name)
         if view._server is not None:
             raise ViewDefinitionError(f"view {name!r} is already being served")
@@ -510,6 +588,160 @@ class HazyEngine:
         )
         server.attach_view(view)
         return server
+
+    # -- warm restart -------------------------------------------------------------------------------
+
+    def _serve_restored(self, name: str, path: str, **server_options):
+        """The ``serve(restore_from=...)`` path: rebuild view + server from a checkpoint."""
+        from repro.persist.checkpoint import load_checkpoint
+        from repro.serve.server import ViewServer
+
+        checkpoint = load_checkpoint(path)
+        manifest = checkpoint.manifest
+        if manifest.definition is None or manifest.view_name is None:
+            raise SnapshotMismatchError(
+                f"checkpoint {path} was written from a standalone server; "
+                "it cannot restore an engine view"
+            )
+        if manifest.view_name.lower() != name.lower():
+            raise SnapshotMismatchError(
+                f"checkpoint {path} holds view {manifest.view_name!r}, not {name!r}"
+            )
+        if name.lower() in self.views:
+            raise ViewDefinitionError(
+                f"view {name!r} already exists; warm restart replaces the cold "
+                "CREATE CLASSIFICATION VIEW, not a live view"
+            )
+        for attribute in ("architecture", "strategy", "approach"):
+            recorded = getattr(manifest, attribute)
+            configured = getattr(self, attribute)
+            if recorded is not None and recorded != configured:
+                raise SnapshotMismatchError(
+                    f"checkpoint {path} was written under {attribute}={recorded!r}; "
+                    f"this engine is configured with {configured!r}"
+                )
+        definition = ClassificationViewDefinition(**manifest.definition)
+        feature_function = checkpoint.feature_function
+        if feature_function is None:
+            # Degenerate checkpoint without a pickled feature function: build a
+            # fresh one and pay a stats pass over the entities table.
+            feature_function = self.registry.create(definition.feature_function)
+            feature_function.compute_stats(self.database.table(definition.entities_table).scan())
+        trainer = self._build_trainer(definition)
+        direct_maintainer = self._build_maintainer(self._build_store(feature_function.norm_q))
+        view = ClassificationView.restore(
+            definition=definition,
+            database=self.database,
+            feature_function=feature_function,
+            maintainer=direct_maintainer,
+            trainer=trainer,
+            positive_label=manifest.positive_label,
+            examples=list(manifest.examples),
+        )
+
+        feature_norm_q = feature_function.norm_q
+
+        def store_factory() -> EntityStore:
+            pool = None
+            if self.architecture != "mainmemory":
+                pool = BufferPool(self.database.cost_model, None, IOStatistics())
+            return self._build_store(feature_norm_q, pool=pool)
+
+        # Register nothing until the server is fully built and the replay has
+        # converged: a failure anywhere below must leave the engine exactly as
+        # it was (no half-alive view with triggers wired to an unloaded
+        # maintainer poisoning every subsequent insert and retry).
+        key = definition.view_name.lower()
+        server = None
+        try:
+            server = ViewServer.restore(
+                checkpoint,
+                trainer=trainer,
+                store_factory=store_factory,
+                maintainer_factory=self._build_maintainer,
+                feature_function=feature_function,
+                label_to_binary=view.to_binary_label,
+                entities_key=definition.entities_key,
+                examples_key=definition.examples_key,
+                examples_label=definition.examples_label,
+                **server_options,
+            )
+            self.views[key] = view
+            self.database.catalog.register_classification_view(definition.view_name, view)
+            server.attach_view(view)
+            self._replay_post_checkpoint(view, server, checkpoint)
+        except BaseException:
+            self.views.pop(key, None)
+            self.database.catalog.unregister_classification_view(definition.view_name)
+            view._detach_triggers()
+            view._server = None
+            if server is not None:
+                # Skip the hand-back resync (the view was never live); close()
+                # still clears the diverted dispatchers and stops the workers.
+                server._view = None
+                try:
+                    server.close(timeout=10)
+                except Exception:
+                    pass
+            raise
+        return server
+
+    def _replay_post_checkpoint(self, view: ClassificationView, server, checkpoint) -> None:
+        """Enqueue only the base-table delta accumulated after the checkpoint.
+
+        Rows the snapshot already covers are skipped entirely (no
+        featurization, no classification); new entity rows, vanished entities,
+        and example-table churn go through the server's ordinary maintenance
+        pipeline, so the restored view converges to the current base tables
+        before ``serve`` returns.  Content-only updates to existing entity
+        rows are not detected — that is the documented contract (the same one
+        a trigger-based system has while it is down).
+        """
+        from collections import Counter
+
+        from repro.serve.requests import WriteKind, WriteOp
+
+        definition = view.definition
+        entities_table = self.database.table(definition.entities_table)
+        examples_table = self.database.table(definition.examples_table)
+        snapshot_ids = checkpoint.entity_ids
+        live_ids: set[object] = set()
+        for row in entities_table.scan():
+            entity_id = row[definition.entities_key]
+            live_ids.add(entity_id)
+            if entity_id not in snapshot_ids:
+                server.worker.enqueue(WriteOp(kind=WriteKind.ENTITY_INSERT, row=dict(row)))
+        for entity_id in snapshot_ids - live_ids:
+            server.worker.enqueue(
+                WriteOp(
+                    kind=WriteKind.ENTITY_DELETE,
+                    old_row={definition.entities_key: entity_id},
+                )
+            )
+        retained = Counter(
+            (example.entity_id, example.label) for example in checkpoint.manifest.examples
+        )
+        for row in examples_table.scan():
+            key = (
+                row[definition.examples_key],
+                view.to_binary_label(row[definition.examples_label]),
+            )
+            if retained[key] > 0:
+                retained[key] -= 1
+            else:
+                server.worker.enqueue(WriteOp(kind=WriteKind.EXAMPLE_INSERT, row=dict(row)))
+        for (entity_id, label), count in retained.items():
+            for _ in range(count):
+                server.worker.enqueue(
+                    WriteOp(
+                        kind=WriteKind.EXAMPLE_DELETE,
+                        old_row={
+                            definition.examples_key: entity_id,
+                            definition.examples_label: label,
+                        },
+                    )
+                )
+        server.flush()
 
     # -- SQL integration ------------------------------------------------------------------------------
 

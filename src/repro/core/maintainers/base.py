@@ -69,6 +69,44 @@ class ViewMaintainer(ABC):
         self._require_loaded()
         self.store.delete(entity_id)
 
+    # -- checkpoint / recovery -------------------------------------------------------------
+
+    def export_state(self) -> dict[str, object]:
+        """Snapshot this maintainer's state as plain Python data.
+
+        The base implementation covers the naive strategies (whose only state
+        beyond the store is the current model); the Hazy strategies extend the
+        dict with their water-band and Skiing state.  Model objects are
+        copies, so the export stays consistent even if maintenance continues
+        afterwards.
+        """
+        self._require_loaded()
+        state: dict[str, object] = {
+            "strategy": self.strategy_name,
+            "approach": self.approach,
+            "current_model": self.current_model.copy(),
+        }
+        state.update(self.store.export_state())
+        return state
+
+    def import_state(self, state: dict[str, object]) -> None:
+        """Restore from :meth:`export_state` output without a cold bulk load.
+
+        The strategy/approach recorded in the snapshot must match this
+        maintainer — eps semantics differ between strategies, so importing a
+        mismatched snapshot would silently corrupt reads.
+        """
+        if self._loaded:
+            raise MaintenanceError(f"{type(self).__name__} is already loaded")
+        if state.get("strategy") != self.strategy_name or state.get("approach") != self.approach:
+            raise MaintenanceError(
+                f"snapshot was written by a {state.get('strategy')}/{state.get('approach')} "
+                f"maintainer; this one is {self.strategy_name}/{self.approach}"
+            )
+        self.current_model = state["current_model"].copy()
+        self.store.import_state(state)
+        self._loaded = True
+
     # -- reads ----------------------------------------------------------------------------
 
     @abstractmethod

@@ -58,6 +58,50 @@ class _HazyMaintainerBase(ViewMaintainer):
         self.skiing.reorganization_cost = load_cost
         self._loaded = True
 
+    def export_state(self) -> dict[str, object]:
+        """Base state plus the water-band tracker and the Skiing accounting."""
+        state = super().export_state()
+        tracker = self._require_tracker()
+        band = tracker.band()
+        state["stored_model"] = tracker.stored_model.copy()
+        state["band_low"] = band.low
+        state["band_high"] = band.high
+        state["max_feature_norm"] = tracker.max_feature_norm
+        state["skiing"] = {
+            "reorganization_cost": self.skiing.reorganization_cost,
+            "accumulated_cost": self.skiing.accumulated_cost,
+            "rounds": self.skiing.rounds,
+            "reorganizations": self.skiing.reorganizations,
+            "incremental_cost_total": self.skiing.incremental_cost_total,
+        }
+        return state
+
+    def import_state(self, state: dict[str, object]) -> None:
+        """Restore store + model, then resume the band and Skiing mid-stream.
+
+        The tracker is reset under the snapshot's *stored* model (the one the
+        imported eps values were computed against) and the cumulative band is
+        restored verbatim, so the first post-restart update continues the
+        checkpointed epoch instead of assuming a fresh reorganization.
+        """
+        super().import_state(state)
+        stored_model = state.get("stored_model")
+        if stored_model is None:
+            raise MaintenanceError("Hazy snapshot is missing its stored model")
+        self.tracker = WaterBandTracker(
+            self.holder_p, float(state.get("max_feature_norm", self.store.max_feature_norm))
+        )
+        self.tracker.reset(stored_model)
+        self.tracker.restore_band(float(state["band_low"]), float(state["band_high"]))
+        skiing_state = state.get("skiing") or {}
+        self.skiing.reorganization_cost = float(skiing_state.get("reorganization_cost", 0.0))
+        self.skiing.accumulated_cost = float(skiing_state.get("accumulated_cost", 0.0))
+        self.skiing.rounds = int(skiing_state.get("rounds", 0))
+        self.skiing.reorganizations = int(skiing_state.get("reorganizations", 0))
+        self.skiing.incremental_cost_total = float(
+            skiing_state.get("incremental_cost_total", 0.0)
+        )
+
     def add_entity(self, entity_id: object, features: SparseVector) -> int:
         """Store a new entity: eps under the *stored* model, label under the current one."""
         self._require_loaded()

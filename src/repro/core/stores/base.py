@@ -61,6 +61,10 @@ class EntityStore(ABC):
         self.stats.dot_products += 1
         self.stats.charge(self.cost_model.dot_product_cost(features.nnz()), "dot_product")
 
+    def charge_featurization(self, nonzeros: int) -> None:
+        """Charge the CPU cost of featurizing one entity tuple (cold-load path)."""
+        self.stats.charge(self.cost_model.featurize_cost(nonzeros), "featurize")
+
     def charge_statement_overhead(self) -> None:
         """Charge the per-statement RDBMS overhead (point-query dispatch)."""
         self.stats.charge(self.cost_model.statement_overhead, "statement")
@@ -138,6 +142,51 @@ class EntityStore(ABC):
     @abstractmethod
     def scan_eps_at_most(self, high: float) -> Iterator[EntityRecord]:
         """Entities with ``eps <= high``, in eps order (negative-class queries)."""
+
+    # -- checkpoint / recovery -------------------------------------------------------------
+
+    def export_state(self) -> dict[str, object]:
+        """Snapshot this store's physical state as plain Python data.
+
+        Returns ``{"records": [(id, features, eps, label), ...],
+        "max_feature_norm": M}`` with the records in clustering (eps) order.
+        The scan charges its usual read costs, so a checkpoint's price shows
+        up on the ledger like any other full scan.  Record tuples carry
+        copied scalars — later in-place label updates do not leak into a
+        snapshot taken earlier.
+        """
+        return {
+            "records": [
+                (record.entity_id, record.features, record.eps, record.label)
+                for record in self.scan_all()
+            ],
+            "max_feature_norm": self._max_feature_norm,
+        }
+
+    def import_state(self, state: dict[str, object]) -> float:
+        """Rebuild this store from :meth:`export_state` output; returns the cost.
+
+        This is the warm-restart fast path: the eps values and labels were
+        already computed when the snapshot was written, so — unlike
+        :meth:`bulk_load` — no dot products are charged and no re-sort is
+        priced (the snapshot is in clustering order).  Reading the snapshot
+        itself is priced as a sequential scan of ``state["payload_bytes"]``
+        bytes when the caller provides them.
+        """
+        start = self.cost_snapshot()
+        payload_bytes = int(state.get("payload_bytes", 0) or 0)
+        if payload_bytes > 0:
+            pages = max(1, -(-payload_bytes // self.cost_model.page_size_bytes))
+            self.stats.charge(pages * self.cost_model.sequential_page_read, "snapshot_read")
+        self._import_records(state["records"])
+        self._max_feature_norm = max(
+            self._max_feature_norm, float(state.get("max_feature_norm", 0.0))
+        )
+        return self.cost_snapshot() - start
+
+    def _import_records(self, records: list[tuple[object, "SparseVector", float, int]]) -> None:
+        """Architecture hook for :meth:`import_state`: load pre-classified records."""
+        raise NotImplementedError(f"{type(self).__name__} does not support import_state")
 
     # -- writes ---------------------------------------------------------------------------------
 

@@ -97,6 +97,13 @@ class HybridEntityStore(EntityStore):
         if len(self._buffer) < self._buffer_limit():
             self._buffer[entity_id] = EntityRecord(entity_id, features, eps, label)
 
+    def _import_records(self, records) -> None:
+        """Warm-restart load: import the disk component, rebuild ε-map and buffer."""
+        self.disk._import_records(records)
+        self._max_feature_norm = max(self._max_feature_norm, self.disk.max_feature_norm)
+        self._eps_map = {entity_id: eps for entity_id, _, eps, _ in records}
+        self._refill_buffer()
+
     def reorganize(self, model: LinearModel) -> float:
         """Reorganize the disk component, then rebuild the ε-map and the buffer."""
         cost = self.disk.reorganize(model)

@@ -83,6 +83,10 @@ class Catalog:
             raise CatalogError(f"object {name!r} already exists")
         self._classification_views[key] = view
 
+    def unregister_classification_view(self, name: str) -> bool:
+        """Remove a classification view registration (engine rollback path)."""
+        return self._classification_views.pop(name.lower(), None) is not None
+
     def classification_view(self, name: str) -> object:
         """Look up a classification view by name."""
         view = self._classification_views.get(name.lower())

@@ -38,6 +38,12 @@ class CostModel:
     sort_per_tuple_factor:
         Reorganization sorts the scratch table; its CPU cost is
         ``sort_per_tuple_factor * n * log2(n)``.
+    featurize_per_nonzero:
+        CPU cost per produced non-zero of featurizing one entity tuple
+        (tokenizing, hashing and normalizing a document costs far more per
+        term than the dot product that later consumes it).  Charged on cold
+        bulk loads and entity inserts; warm restarts import pre-featurized
+        state and skip it, which is most of their win.
     model_update:
         Cost of one incremental training step (the paper reports "roughly on
         the order of 100 microseconds" for retraining the model, §2.2).
@@ -53,6 +59,7 @@ class CostModel:
     sequential_page_write: float = 5e-4
     tuple_cpu: float = 2e-7
     dot_product_per_nonzero: float = 1e-8
+    featurize_per_nonzero: float = 5e-7
     sort_per_tuple_factor: float = 4e-7
     model_update: float = 1e-4
     statement_overhead: float = 7e-5
@@ -74,6 +81,10 @@ class CostModel:
     def dot_product_cost(self, nonzeros: int) -> float:
         """CPU cost of one ``w . f`` with ``nonzeros`` non-zero components."""
         return max(1, nonzeros) * self.dot_product_per_nonzero
+
+    def featurize_cost(self, nonzeros: int) -> float:
+        """CPU cost of featurizing one entity tuple into ``nonzeros`` components."""
+        return max(1, nonzeros) * self.featurize_per_nonzero
 
     @classmethod
     def main_memory(cls) -> "CostModel":

@@ -90,3 +90,24 @@ class ViewDefinitionError(ViewError):
 
 class MaintenanceError(ViewError):
     """The incremental maintenance machinery reached an inconsistent state."""
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / recovery subsystem
+# ---------------------------------------------------------------------------
+
+
+class SnapshotError(HazyError):
+    """Base class for errors raised by the checkpoint/recovery subsystem."""
+
+
+class SnapshotCorruptionError(SnapshotError):
+    """A snapshot file is truncated, has a bad magic, or fails its CRC check."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """A snapshot was written by an incompatible format version."""
+
+
+class SnapshotMismatchError(SnapshotError):
+    """A snapshot does not match the view/server it is being restored into."""

@@ -85,6 +85,20 @@ class SGDTrainer:
         self.model = LinearModel()
         self._steps = 0
 
+    def load_state(self, model: LinearModel, steps: int | None = None) -> None:
+        """Resume from a snapshotted model (checkpoint recovery).
+
+        ``steps`` restores the learning-rate decay position; it defaults to
+        the model's version, which counts absorbed examples under the normal
+        incremental protocol.
+        """
+        if steps is None:
+            steps = model.version
+        if steps < 0:
+            raise ConfigurationError("steps must be >= 0")
+        self.model = model.copy()
+        self._steps = int(steps)
+
     def current_step_size(self) -> float:
         """The learning rate that the *next* example will be absorbed with."""
         return self.learning_rate / (1.0 + self.decay * self._steps)

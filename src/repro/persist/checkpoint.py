@@ -1,0 +1,94 @@
+"""Checkpoint directory layout and the read side of recovery.
+
+A checkpoint is a directory::
+
+    <path>/
+        shard-0000.hzs ... shard-NNNN.hzs   one frame per shard (written concurrently)
+        features.hzs                        pickled feature function (optional)
+        MANIFEST.hzs                        global state — written LAST, atomically
+
+The manifest is the commit point: :func:`load_checkpoint` starts from it, so
+a checkpoint interrupted before the manifest rename simply does not exist.
+Every file is CRC-checked and version-checked (see
+:mod:`repro.persist.format`); a truncated or corrupted shard file surfaces as
+:class:`~repro.exceptions.SnapshotCorruptionError` before any state is
+imported.
+
+The feature function is serialized with :mod:`pickle` inside a CRC frame —
+only restore checkpoints you wrote yourself (the usual pickle trust model).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.exceptions import SnapshotCorruptionError, SnapshotError
+from repro.persist.format import read_frame, read_json_frame, write_frame, write_json_frame
+from repro.persist.snapshot import CheckpointManifest, LoadedCheckpoint, ShardState
+
+__all__ = [
+    "MANIFEST_NAME",
+    "FEATURES_NAME",
+    "shard_file_name",
+    "write_shard_state",
+    "write_manifest",
+    "write_feature_function",
+    "load_checkpoint",
+]
+
+MANIFEST_NAME = "MANIFEST.hzs"
+FEATURES_NAME = "features.hzs"
+
+
+def shard_file_name(index: int) -> str:
+    """The file name of shard ``index``'s snapshot."""
+    return f"shard-{index:04d}.hzs"
+
+
+def write_shard_state(directory: Path | str, state: ShardState) -> int:
+    """Write one shard's state; returns the bytes written (for read pricing)."""
+    return write_json_frame(Path(directory) / shard_file_name(state.index), state.to_document())
+
+
+def write_manifest(directory: Path | str, manifest: CheckpointManifest) -> int:
+    """Write the manifest — the checkpoint's atomic commit point."""
+    return write_json_frame(Path(directory) / MANIFEST_NAME, manifest.to_document())
+
+
+def write_feature_function(directory: Path | str, feature_function: object) -> int:
+    """Pickle the feature function (corpus statistics included) into a frame."""
+    payload = pickle.dumps(feature_function, protocol=pickle.HIGHEST_PROTOCOL)
+    return write_frame(Path(directory) / FEATURES_NAME, payload)
+
+
+def load_checkpoint(path: Path | str) -> LoadedCheckpoint:
+    """Read a whole checkpoint directory back into memory, validating every frame."""
+    directory = Path(path)
+    if not directory.is_dir():
+        raise SnapshotError(f"checkpoint directory {directory} does not exist")
+    manifest = CheckpointManifest.from_document(read_json_frame(directory / MANIFEST_NAME))
+    if len(manifest.shard_files) != manifest.num_shards:
+        raise SnapshotCorruptionError(
+            f"checkpoint {directory} promises {manifest.num_shards} shards but its "
+            f"manifest lists {len(manifest.shard_files)} shard files"
+        )
+    shard_states: list[ShardState] = []
+    for name in manifest.shard_files:
+        file_path = directory / name
+        payload_bytes = file_path.stat().st_size if file_path.exists() else 0
+        shard_states.append(
+            ShardState.from_document(read_json_frame(file_path), payload_bytes=payload_bytes)
+        )
+    feature_function = None
+    if manifest.has_feature_function:
+        payload = read_frame(directory / FEATURES_NAME)
+        try:
+            feature_function = pickle.loads(payload)
+        except Exception as error:
+            raise SnapshotCorruptionError(
+                f"checkpoint {directory} has an unreadable feature function: {error}"
+            ) from error
+    return LoadedCheckpoint(
+        manifest=manifest, shard_states=shard_states, feature_function=feature_function
+    )

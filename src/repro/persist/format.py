@@ -1,0 +1,112 @@
+"""The on-disk snapshot frame: magic, version, length, CRC, payload.
+
+Every file a checkpoint writes — the manifest, one file per shard, the
+pickled feature function — is wrapped in the same self-describing frame::
+
+    offset  size  field
+    0       6     magic  b"HZSNAP"
+    6       2     format version (big-endian u16)
+    8       8     payload length in bytes (big-endian u64)
+    16      4     CRC-32 of the payload (big-endian u32)
+    20      n     payload bytes
+
+The frame makes the two crash shapes recovery must survive cheap to detect:
+a **truncated** file fails the length check (or the CRC if the tail of the
+payload itself is cut), and a **torn or bit-flipped** payload fails the CRC.
+Version skew between writer and reader raises
+:class:`~repro.exceptions.SnapshotVersionError` before any payload is parsed.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+from repro.exceptions import SnapshotCorruptionError, SnapshotVersionError
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "write_frame",
+    "read_frame",
+    "write_json_frame",
+    "read_json_frame",
+]
+
+MAGIC = b"HZSNAP"
+#: Bump on any incompatible change to the payload schemas in snapshot.py.
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct(">6sHQI")
+
+
+def write_frame(path: Path | str, payload: bytes, version: int = FORMAT_VERSION) -> int:
+    """Write ``payload`` to ``path`` wrapped in a snapshot frame.
+
+    The bytes land in a temporary sibling first and are moved into place with
+    an atomic rename, so a crash mid-write leaves either the old file or no
+    file — never a half-written frame under the final name.  Returns the total
+    number of bytes written (header + payload).
+    """
+    path = Path(path)
+    header = _HEADER.pack(MAGIC, version, len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_bytes(header + payload)
+    temp.replace(path)
+    return len(header) + len(payload)
+
+
+def read_frame(path: Path | str, expected_version: int = FORMAT_VERSION) -> bytes:
+    """Read and validate one frame; returns the payload bytes.
+
+    Raises :class:`SnapshotCorruptionError` on a missing/short header, bad
+    magic, truncated payload, or CRC mismatch, and
+    :class:`SnapshotVersionError` when the frame was written by a different
+    format version.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError as error:
+        raise SnapshotCorruptionError(f"snapshot file {path} is missing") from error
+    if len(raw) < _HEADER.size:
+        raise SnapshotCorruptionError(
+            f"snapshot file {path} is truncated: {len(raw)} bytes, "
+            f"need at least {_HEADER.size} for the header"
+        )
+    magic, version, length, crc = _HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise SnapshotCorruptionError(f"snapshot file {path} has bad magic {magic!r}")
+    if version != expected_version:
+        raise SnapshotVersionError(
+            f"snapshot file {path} is format version {version}, "
+            f"this reader understands version {expected_version}"
+        )
+    payload = raw[_HEADER.size :]
+    if len(payload) != length:
+        raise SnapshotCorruptionError(
+            f"snapshot file {path} is truncated: header promises {length} payload "
+            f"bytes, found {len(payload)}"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise SnapshotCorruptionError(f"snapshot file {path} failed its CRC check")
+    return payload
+
+
+def write_json_frame(path: Path | str, document: object, version: int = FORMAT_VERSION) -> int:
+    """Serialize ``document`` as compact JSON and write it as one frame."""
+    payload = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    return write_frame(path, payload, version=version)
+
+
+def read_json_frame(path: Path | str, expected_version: int = FORMAT_VERSION) -> object:
+    """Read one frame and parse its payload as JSON."""
+    payload = read_frame(path, expected_version=expected_version)
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SnapshotCorruptionError(
+            f"snapshot file {path} passed its CRC but holds unparseable JSON: {error}"
+        ) from error

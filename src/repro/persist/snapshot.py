@@ -1,0 +1,244 @@
+"""In-memory snapshot state and its JSON codecs.
+
+The layers below the serving subsystem export their state as plain Python
+structures holding live objects (:class:`~repro.learn.model.LinearModel`,
+:class:`~repro.linalg.SparseVector`); this module turns those into
+JSON-serializable documents and back.  Floats round-trip exactly (``json``
+emits shortest-round-trip ``repr`` forms), so a restored model answers reads
+bit-identically to the one that was checkpointed.
+
+Entity ids must be JSON-native scalars (str, int, float, bool) — the same
+values the SQL substrate stores as keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SnapshotError
+from repro.learn.model import LinearModel
+from repro.learn.sgd import TrainingExample
+from repro.linalg import SparseVector
+
+__all__ = [
+    "ShardState",
+    "CheckpointManifest",
+    "LoadedCheckpoint",
+    "encode_model",
+    "decode_model",
+    "encode_vector",
+    "decode_vector",
+    "encode_records",
+    "decode_records",
+    "encode_examples",
+    "decode_examples",
+]
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def _check_id(entity_id: object) -> object:
+    if entity_id is not None and not isinstance(entity_id, _SCALAR_TYPES):
+        raise SnapshotError(
+            f"entity id {entity_id!r} of type {type(entity_id).__name__} cannot be "
+            "snapshotted: ids must be JSON-native scalars"
+        )
+    return entity_id
+
+
+def encode_vector(vector: SparseVector) -> dict[str, float]:
+    """A sparse vector as ``{index: value}`` with stringified keys."""
+    return {str(index): value for index, value in vector.items()}
+
+
+def decode_vector(document: dict[str, float]) -> SparseVector:
+    vector = SparseVector()
+    for index, value in document.items():
+        vector[int(index)] = float(value)
+    return vector
+
+
+def encode_model(model: LinearModel) -> dict[str, object]:
+    """A linear model as ``{weights, bias, version}``."""
+    return {
+        "weights": encode_vector(model.weights),
+        "bias": model.bias,
+        "version": model.version,
+    }
+
+
+def decode_model(document: dict[str, object]) -> LinearModel:
+    return LinearModel(
+        weights=decode_vector(document["weights"]),
+        bias=float(document["bias"]),
+        version=int(document["version"]),
+    )
+
+
+def encode_records(records: list[tuple[object, SparseVector, float, int]]) -> list[list]:
+    """Entity records as ``[id, features, eps, label]`` rows (clustering order)."""
+    return [
+        [_check_id(entity_id), encode_vector(features), eps, label]
+        for entity_id, features, eps, label in records
+    ]
+
+
+def decode_records(rows: list[list]) -> list[tuple[object, SparseVector, float, int]]:
+    return [
+        (entity_id, decode_vector(features), float(eps), int(label))
+        for entity_id, features, eps, label in rows
+    ]
+
+
+def encode_examples(examples: list[TrainingExample]) -> list[list]:
+    """Retained training examples as ``[id, features, label]`` rows."""
+    return [
+        [_check_id(example.entity_id), encode_vector(example.features), example.label]
+        for example in examples
+    ]
+
+
+def decode_examples(rows: list[list]) -> list[TrainingExample]:
+    return [
+        TrainingExample(entity_id=entity_id, features=decode_vector(features), label=int(label))
+        for entity_id, features, label in rows
+    ]
+
+
+@dataclass
+class ShardState:
+    """One shard's exported state, as produced by ``ViewMaintainer.export_state``.
+
+    ``records`` carry the eps each entity was stored under *on that shard* —
+    shards reorganize independently, so eps values are only comparable within
+    a shard, which is why restore preserves the snapshot's shard assignment.
+    """
+
+    index: int
+    strategy: str
+    approach: str
+    records: list[tuple[object, SparseVector, float, int]]
+    current_model: LinearModel
+    max_feature_norm: float = 0.0
+    #: Hazy-only: the stored model the shard is clustered under and the
+    #: cumulative water band accumulated since its last reorganization.
+    stored_model: LinearModel | None = None
+    band_low: float = 0.0
+    band_high: float = 0.0
+    #: Hazy-only: Skiing accounting so the reorganization rhythm resumes
+    #: mid-stream instead of restarting from the bulk-load estimate.
+    skiing: dict[str, float] | None = None
+    #: Bytes of the frame this state was read from (restore charges its
+    #: sequential read against the shard's ledger); 0 when freshly exported.
+    payload_bytes: int = 0
+
+    def to_document(self) -> dict[str, object]:
+        document: dict[str, object] = {
+            "index": self.index,
+            "strategy": self.strategy,
+            "approach": self.approach,
+            "records": encode_records(self.records),
+            "current_model": encode_model(self.current_model),
+            "max_feature_norm": self.max_feature_norm,
+            "band_low": self.band_low,
+            "band_high": self.band_high,
+            "skiing": self.skiing,
+        }
+        if self.stored_model is not None:
+            document["stored_model"] = encode_model(self.stored_model)
+        return document
+
+    @classmethod
+    def from_document(cls, document: dict[str, object], payload_bytes: int = 0) -> "ShardState":
+        stored = document.get("stored_model")
+        return cls(
+            index=int(document["index"]),
+            strategy=str(document["strategy"]),
+            approach=str(document["approach"]),
+            records=decode_records(document["records"]),
+            current_model=decode_model(document["current_model"]),
+            max_feature_norm=float(document["max_feature_norm"]),
+            stored_model=decode_model(stored) if stored is not None else None,
+            band_low=float(document["band_low"]),
+            band_high=float(document["band_high"]),
+            skiing=document.get("skiing"),
+            payload_bytes=payload_bytes,
+        )
+
+
+@dataclass
+class CheckpointManifest:
+    """The checkpoint's commit record: global state plus the shard directory.
+
+    Written last (atomically): a checkpoint without a readable manifest is
+    treated as absent, so a crash mid-checkpoint can never produce a
+    half-restorable state.
+    """
+
+    view_name: str | None
+    epoch: int
+    model: LinearModel
+    trainer_steps: int
+    num_shards: int
+    shard_files: list[str]
+    examples: list[TrainingExample] = field(default_factory=list)
+    architecture: str | None = None
+    strategy: str | None = None
+    approach: str | None = None
+    #: The ``CREATE CLASSIFICATION VIEW`` definition as a plain dict, when the
+    #: checkpointed server was attached to an engine view (None standalone).
+    definition: dict[str, object] | None = None
+    positive_label: object = None
+    has_feature_function: bool = False
+
+    def to_document(self) -> dict[str, object]:
+        return {
+            "view_name": self.view_name,
+            "epoch": self.epoch,
+            "model": encode_model(self.model),
+            "trainer_steps": self.trainer_steps,
+            "num_shards": self.num_shards,
+            "shard_files": list(self.shard_files),
+            "examples": encode_examples(self.examples),
+            "architecture": self.architecture,
+            "strategy": self.strategy,
+            "approach": self.approach,
+            "definition": self.definition,
+            "positive_label": self.positive_label,
+            "has_feature_function": self.has_feature_function,
+        }
+
+    @classmethod
+    def from_document(cls, document: dict[str, object]) -> "CheckpointManifest":
+        return cls(
+            view_name=document.get("view_name"),
+            epoch=int(document["epoch"]),
+            model=decode_model(document["model"]),
+            trainer_steps=int(document["trainer_steps"]),
+            num_shards=int(document["num_shards"]),
+            shard_files=list(document["shard_files"]),
+            examples=decode_examples(document.get("examples", [])),
+            architecture=document.get("architecture"),
+            strategy=document.get("strategy"),
+            approach=document.get("approach"),
+            definition=document.get("definition"),
+            positive_label=document.get("positive_label"),
+            has_feature_function=bool(document.get("has_feature_function", False)),
+        )
+
+
+@dataclass
+class LoadedCheckpoint:
+    """Everything :func:`~repro.persist.checkpoint.load_checkpoint` read back."""
+
+    manifest: CheckpointManifest
+    shard_states: list[ShardState]
+    feature_function: object | None = None
+
+    @property
+    def entity_ids(self) -> set[object]:
+        """Every entity id present in the snapshot, across all shards."""
+        ids: set[object] = set()
+        for state in self.shard_states:
+            ids.update(entity_id for entity_id, _, _, _ in state.records)
+        return ids

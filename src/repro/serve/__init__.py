@@ -13,9 +13,11 @@ Module map
     :class:`~repro.serve.server.ViewServer` — the front-end.  Reads
     (``label_of``, ``all_members``, ``top_k``, ``classify``) and writes
     (``insert_entity``, ``insert_example``), epoch-tagged snapshot reads,
-    per-client :class:`~repro.serve.server.ClientSession` monotonicity, and
+    per-client :class:`~repro.serve.server.ClientSession` monotonicity,
     attachment to a live ``ClassificationView`` (SQL triggers divert into the
-    pipeline).
+    pipeline), and ``checkpoint(path)`` — a quiesce-free consistent snapshot
+    of the whole serving state (see :mod:`repro.persist`); ``restore``
+    warm-starts a server from one.
 ``sharding``
     :class:`~repro.serve.sharding.ShardSet` — the entity space
     hash-partitioned across N worker threads, one store + maintainer + cache

@@ -28,18 +28,30 @@ retraining inline.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from collections import OrderedDict
 from collections.abc import Callable, Iterable, Sequence
+from pathlib import Path
 
 from repro.core.maintainers.base import ViewMaintainer
 from repro.core.stores.base import EntityStore
+from repro.core.stores.hybrid import HybridEntityStore
+from repro.core.stores.mainmemory import InMemoryEntityStore
+from repro.core.stores.ondisk import OnDiskEntityStore
 from repro.db.buffer_pool import IOStatistics
 from repro.db.triggers import Trigger, TriggerEvent
 from repro.exceptions import KeyNotFoundError, MaintenanceError
 from repro.learn.model import LinearModel, sign
 from repro.learn.sgd import SGDTrainer, TrainingExample
 from repro.linalg import SparseVector
+from repro.persist.checkpoint import (
+    shard_file_name,
+    write_feature_function,
+    write_manifest,
+    write_shard_state,
+)
+from repro.persist.snapshot import CheckpointManifest, LoadedCheckpoint, ShardState
 from repro.serve.batcher import ReadBatcher
 from repro.serve.maintenance import MaintenanceWorker
 from repro.serve.requests import WriteKind, WriteOp, WriteTicket
@@ -152,27 +164,41 @@ class ViewServer:
         max_write_batch: int = 64,
         cache_capacity: int = 100_000,
         epoch_history: int = 256,
+        restored_shards: ShardSet | None = None,
+        initial_epoch: int = 0,
     ):
-        self.shards = ShardSet.build(
-            entities,
-            model,
-            store_factory=store_factory,
-            maintainer_factory=maintainer_factory,
-            num_shards=num_shards,
-            cache_capacity=cache_capacity,
-        )
+        if restored_shards is not None:
+            # Warm restart (see :meth:`restore`): the shards were rebuilt from
+            # a checkpoint; skip the bulk load and resume the epoch clock.
+            self.shards = restored_shards
+        else:
+            self.shards = ShardSet.build(
+                entities,
+                model,
+                store_factory=store_factory,
+                maintainer_factory=maintainer_factory,
+                num_shards=num_shards,
+                cache_capacity=cache_capacity,
+            )
         self.trainer = trainer
         self.feature_function = feature_function
         self.rw_lock = ReadWriteLock()
-        self.epoch_clock = EpochClock()
+        self.epoch_clock = EpochClock(start=initial_epoch)
         self._label_to_binary = label_to_binary if label_to_binary is not None else _default_binary
         self._entities_key = entities_key
         self._examples_key = examples_key
         self._examples_label = examples_label
         self._examples: list[TrainingExample] = list(initial_examples)
+        #: The retained examples as of the last *published* epoch.  Phase 1 of
+        #: a maintenance batch appends to ``_examples`` before the batch is
+        #: visible; checkpoints must only capture the published prefix, so this
+        #: tuple is refreshed under the write lock at each epoch publish.
+        self._published_examples: tuple[TrainingExample, ...] = tuple(self._examples)
         self._model_snapshot = model.copy()
         self._epoch_history = int(epoch_history)
-        self._epoch_models: OrderedDict[int, LinearModel] = OrderedDict({0: model.copy()})
+        self._epoch_models: OrderedDict[int, LinearModel] = OrderedDict(
+            {initial_epoch: model.copy()}
+        )
         self._feature_lock = threading.RLock()
         self._train_stats = IOStatistics()
         self._cost_model = self.shards.shards[0].maintainer.store.cost_model
@@ -323,6 +349,7 @@ class ViewServer:
         with self._feature_lock:
             self.feature_function.compute_stats_incremental(row)
             features = self.feature_function.compute_feature(row)
+        self._train_stats.charge(self._cost_model.featurize_cost(features.nnz()), "featurize")
         return row[self._entities_key], features
 
     def entity_key(self, row) -> object:
@@ -379,6 +406,7 @@ class ViewServer:
         """Worker hook (under the write lock): advance the clock, snapshot the model."""
         if final_model is not None:
             self._model_snapshot = final_model.copy()
+        self._published_examples = tuple(self._examples)
         epoch = self.epoch_clock.advance()
         self._epoch_models[epoch] = self._model_snapshot.copy()
         while len(self._epoch_models) > self._epoch_history:
@@ -388,6 +416,142 @@ class ViewServer:
     def record_mutations(self, entity_ops: Sequence[tuple[str, object]]) -> None:
         """Worker hook: log ordered entity churn so ``close`` can resync the view."""
         self._entity_ops.extend(entity_ops)
+
+    # ------------------------------------------------------------ checkpoint / recovery
+
+    def checkpoint(self, path: str | Path) -> dict[str, object]:
+        """Write a consistent snapshot of the whole serving state to ``path``.
+
+        The cut is **quiesce-free**: state is gathered while holding only the
+        *shared* side of the readers/writer lock, so concurrent reads keep
+        flowing — the maintenance worker's short apply phase is the only thing
+        excluded, which is exactly what makes the cut consistent (every shard,
+        the model, the epoch clock, and the retained examples all reflect the
+        same published epoch).  Per-shard serialization and file writes happen
+        on the shard worker threads, concurrently, after the lock is released;
+        the manifest is written last, atomically, as the commit point.
+
+        Returns a small info dict (``path``, ``epoch``, ``entities``,
+        ``bytes``).
+        """
+        if self._closed:
+            raise MaintenanceError("cannot checkpoint a closed server")
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self.rw_lock.read_locked():
+            epoch = self.epoch_clock.epoch
+            model = self._model_snapshot.copy()
+            examples = list(self._published_examples)
+            exports = [
+                shard.submit(shard.export_state_local) for shard in self.shards.shards
+            ]
+            states = [future.result() for future in exports]
+
+        shard_states = [
+            ShardState(
+                index=index,
+                strategy=state["strategy"],
+                approach=state["approach"],
+                records=state["records"],
+                current_model=state["current_model"],
+                max_feature_norm=state.get("max_feature_norm", 0.0),
+                stored_model=state.get("stored_model"),
+                band_low=state.get("band_low", 0.0),
+                band_high=state.get("band_high", 0.0),
+                skiing=state.get("skiing"),
+            )
+            for index, state in enumerate(states)
+        ]
+        writes = [
+            shard.submit(write_shard_state, directory, shard_state)
+            for shard, shard_state in zip(self.shards.shards, shard_states)
+        ]
+        total_bytes = sum(future.result() for future in writes)
+
+        has_features = self.feature_function is not None
+        if has_features:
+            with self._feature_lock:
+                total_bytes += write_feature_function(directory, self.feature_function)
+
+        definition = None
+        positive_label = None
+        if self._view is not None:
+            definition = dataclasses.asdict(self._view.definition)
+            definition["options"] = dict(definition.get("options") or {})
+            positive_label = self._view.positive_label
+        reference = self.shards.shards[0].maintainer
+        manifest = CheckpointManifest(
+            view_name=self._view.definition.view_name if self._view is not None else None,
+            epoch=epoch,
+            model=model,
+            trainer_steps=model.version,
+            num_shards=len(self.shards),
+            shard_files=[shard_file_name(state.index) for state in shard_states],
+            examples=examples,
+            architecture=_architecture_name(reference.store),
+            strategy=reference.strategy_name,
+            approach=reference.approach,
+            definition=definition,
+            positive_label=positive_label,
+            has_feature_function=has_features,
+        )
+        total_bytes += write_manifest(directory, manifest)
+        return {
+            "path": str(directory),
+            "epoch": epoch,
+            "entities": sum(len(state.records) for state in shard_states),
+            "bytes": total_bytes,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint: LoadedCheckpoint,
+        trainer: SGDTrainer,
+        store_factory: Callable[[], EntityStore],
+        maintainer_factory: Callable[[EntityStore], ViewMaintainer],
+        feature_function=None,
+        label_to_binary: Callable[[object], int] | None = None,
+        entities_key: str = "id",
+        examples_key: str = "id",
+        examples_label: str = "label",
+        cache_capacity: int = 100_000,
+        **server_options,
+    ) -> "ViewServer":
+        """Warm-start a server from a loaded checkpoint.
+
+        Shard stores are rebuilt via ``import_state`` — no featurization, no
+        dot products, no re-sort — the epoch clock resumes at the snapshot
+        epoch, and the trainer is rewound to the published model.  The shard
+        count always comes from the snapshot (eps values are only meaningful
+        on the shard that stored them).
+        """
+        manifest = checkpoint.manifest
+        shard_set = ShardSet.restore(
+            [_maintainer_state(state) for state in checkpoint.shard_states],
+            store_factory=store_factory,
+            maintainer_factory=maintainer_factory,
+            cache_capacity=cache_capacity,
+        )
+        trainer.load_state(manifest.model, manifest.trainer_steps)
+        if feature_function is None:
+            feature_function = checkpoint.feature_function
+        return cls(
+            entities=(),
+            model=manifest.model.copy(),
+            trainer=trainer,
+            store_factory=store_factory,
+            maintainer_factory=maintainer_factory,
+            feature_function=feature_function,
+            label_to_binary=label_to_binary,
+            entities_key=entities_key,
+            examples_key=examples_key,
+            examples_label=examples_label,
+            initial_examples=manifest.examples,
+            restored_shards=shard_set,
+            initial_epoch=manifest.epoch,
+            **server_options,
+        )
 
     # ------------------------------------------------------------ view attachment
 
@@ -454,19 +618,39 @@ class ViewServer:
         try:
             if self._view is not None:
                 view = self._view
-                # Replay entity churn in arrival order: an entity inserted and
-                # later deleted while serving must end up absent, not resurrected.
-                for action, payload in self._entity_ops:
-                    if action == "remove":
-                        try:
-                            view.maintainer.remove_entity(payload)
-                        except KeyNotFoundError:
-                            pass
-                    else:
-                        entity_id, features = payload
-                        view.maintainer.add_entity(entity_id, features)
-                view._examples[:] = self._examples
-                view.maintainer.apply_model(self.trainer.model.copy())
+                if not view.maintainer._loaded:
+                    # Warm-restored view: its direct maintainer was never
+                    # bulk-loaded (that is the whole point of the warm start).
+                    # Hand back a fresh load from the served shards' current
+                    # contents under the final model.
+                    entities = [
+                        (entity_id, features, eps, label)
+                        for state in (
+                            shard.call(shard.export_state_local)
+                            for shard in self.shards.shards
+                        )
+                        for entity_id, features, eps, label in state["records"]
+                    ]
+                    view.maintainer.bulk_load(
+                        ((entity_id, features) for entity_id, features, _, _ in entities),
+                        self.trainer.model.copy(),
+                    )
+                    view._examples[:] = self._examples
+                else:
+                    # Replay entity churn in arrival order: an entity inserted
+                    # and later deleted while serving must end up absent, not
+                    # resurrected.
+                    for action, payload in self._entity_ops:
+                        if action == "remove":
+                            try:
+                                view.maintainer.remove_entity(payload)
+                            except KeyNotFoundError:
+                                pass
+                        else:
+                            entity_id, features = payload
+                            view.maintainer.add_entity(entity_id, features)
+                    view._examples[:] = self._examples
+                    view.maintainer.apply_model(self.trainer.model.copy())
         finally:
             # Even if resync fails, never leave the view wired to a dead server.
             for table in self._dispatched_tables:
@@ -506,6 +690,35 @@ class ViewServer:
             "simulated_seconds": self.simulated_seconds(),
             "simulated_read_seconds": self.simulated_read_seconds(),
         }
+
+
+def _architecture_name(store: EntityStore) -> str:
+    """The engine-facing architecture name of a store instance."""
+    if isinstance(store, HybridEntityStore):
+        return "hybrid"
+    if isinstance(store, OnDiskEntityStore):
+        return "ondisk"
+    if isinstance(store, InMemoryEntityStore):
+        return "mainmemory"
+    return type(store).__name__
+
+
+def _maintainer_state(state: ShardState) -> dict[str, object]:
+    """Map a decoded :class:`ShardState` onto ``ViewMaintainer.import_state`` input."""
+    document: dict[str, object] = {
+        "strategy": state.strategy,
+        "approach": state.approach,
+        "records": state.records,
+        "current_model": state.current_model,
+        "max_feature_norm": state.max_feature_norm,
+        "payload_bytes": state.payload_bytes,
+    }
+    if state.stored_model is not None:
+        document["stored_model"] = state.stored_model
+        document["band_low"] = state.band_low
+        document["band_high"] = state.band_high
+        document["skiing"] = state.skiing
+    return document
 
 
 def _default_binary(label_value: object) -> int:

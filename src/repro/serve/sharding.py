@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import zlib
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
 
@@ -36,8 +37,14 @@ __all__ = ["Shard", "ShardSet", "shard_index"]
 
 
 def shard_index(entity_id: object, num_shards: int) -> int:
-    """The partition an entity key belongs to (stable within a process)."""
-    return hash(entity_id) % num_shards
+    """The partition an entity key belongs to (stable **across** processes).
+
+    Keyed on CRC-32 of the key's ``repr`` rather than ``hash()``: Python
+    randomizes string hashes per process, and the checkpoint/recovery
+    subsystem snapshots state *per shard* — a restored process must route
+    every entity to the shard whose snapshot holds it.
+    """
+    return zlib.crc32(repr(entity_id).encode("utf-8")) % num_shards
 
 
 class Shard:
@@ -135,6 +142,14 @@ class Shard:
         """Insert a new entity into this partition."""
         return self.maintainer.add_entity(entity_id, features)
 
+    def export_state_local(self) -> dict[str, object]:
+        """This partition's maintainer state (checkpoint write path)."""
+        return self.maintainer.export_state()
+
+    def import_state_local(self, state: dict[str, object]) -> None:
+        """Restore this partition's maintainer from a snapshot (warm restart)."""
+        self.maintainer.import_state(state)
+
     def remove_entity_local(self, entity_id: object) -> None:
         """Delete an entity from this partition (and its cache entry)."""
         self.cache.evict(entity_id)
@@ -175,6 +190,34 @@ class ShardSet:
             for shard, partition in zip(shards, partitions)
         ]
         for future in loads:
+            future.result()
+        return cls(shards)
+
+    @classmethod
+    def restore(
+        cls,
+        shard_states: Sequence[dict[str, object]],
+        store_factory: Callable[[], EntityStore],
+        maintainer_factory: Callable[[EntityStore], ViewMaintainer],
+        cache_capacity: int = 100_000,
+    ) -> "ShardSet":
+        """Rebuild a sharded view from per-shard snapshot states (warm restart).
+
+        ``shard_states[i]`` restores shard ``i`` — assignment is preserved
+        from the snapshot because eps values are only comparable within the
+        shard that stored them (each shard reorganizes independently), and
+        :func:`shard_index` is process-stable so routing still agrees.
+        Imports run concurrently, one per shard worker.
+        """
+        shards = [
+            Shard(index, maintainer_factory(store_factory()), cache_capacity=cache_capacity)
+            for index in range(len(shard_states))
+        ]
+        imports = [
+            shard.submit(shard.import_state_local, state)
+            for shard, state in zip(shards, shard_states)
+        ]
+        for future in imports:
             future.result()
         return cls(shards)
 

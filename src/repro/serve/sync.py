@@ -96,9 +96,11 @@ class EpochClock:
     each maintenance batch that becomes visible advances the clock by one.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("epoch clock cannot start below 0")
         self._condition = threading.Condition()
-        self._epoch = 0
+        self._epoch = int(start)
 
     @property
     def epoch(self) -> int:

@@ -8,7 +8,6 @@ the statistics row the Figure 3 benchmark prints.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError

@@ -1,0 +1,120 @@
+"""Unit tests for the benchmark-trajectory comparison helper."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare_reports, flatten_metrics, main
+
+
+def report(**figures) -> dict:
+    return {"generated_at": "2026-01-01T00:00:00Z", "figures": figures}
+
+
+def figure(rows) -> dict:
+    return {"title": "t", "elapsed_seconds": 12.5, "rows": rows}
+
+
+BASELINE = report(
+    fig4a=figure([{"cell": "mm/hazy", "simulated_ops_per_s": 100.0, "wall_ops_per_s": 5.0}]),
+    fig4b=figure([{"scans_per_s": 4.0, "snapshot_consistent": True, "avg_read_batch": 6.0}]),
+)
+
+
+class TestFlatten:
+    def test_flattens_numeric_cells(self):
+        metrics = flatten_metrics(BASELINE)
+        assert metrics == {
+            "fig4a[0].simulated_ops_per_s": 100.0,
+            "fig4b[0].scans_per_s": 4.0,
+        }
+
+    def test_drops_wall_clock_booleans_strings_and_timing_artifacts(self):
+        metrics = flatten_metrics(BASELINE)
+        assert not any("wall" in name or "elapsed" in name for name in metrics)
+        assert "fig4b[0].snapshot_consistent" not in metrics
+        assert "fig4b[0].avg_read_batch" not in metrics  # batcher timing artifact
+        assert "fig4a[0].cell" not in metrics
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        assert compare_reports(BASELINE, json.loads(json.dumps(BASELINE))) == []
+
+    def test_drift_within_tolerance_passes(self):
+        current = report(
+            fig4a=figure([{"cell": "mm/hazy", "simulated_ops_per_s": 115.0}]),
+            fig4b=figure([{"scans_per_s": 4.5}]),
+        )
+        assert compare_reports(BASELINE, current, tolerance=0.2) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        current = report(
+            fig4a=figure([{"cell": "mm/hazy", "simulated_ops_per_s": 70.0}]),
+            fig4b=figure([{"scans_per_s": 4.0}]),
+        )
+        deviations = compare_reports(BASELINE, current, tolerance=0.2)
+        assert [d.metric for d in deviations] == ["fig4a[0].simulated_ops_per_s"]
+        assert deviations[0].relative_change == pytest.approx(-0.3)
+
+    def test_improvement_beyond_tolerance_also_flags(self):
+        current = report(
+            fig4a=figure([{"cell": "mm/hazy", "simulated_ops_per_s": 200.0}]),
+            fig4b=figure([{"scans_per_s": 4.0}]),
+        )
+        assert len(compare_reports(BASELINE, current, tolerance=0.2)) == 1
+
+    def test_missing_metric_is_a_deviation(self):
+        current = report(fig4b=figure([{"scans_per_s": 4.0}]))
+        deviations = compare_reports(BASELINE, current)
+        assert [d.metric for d in deviations] == ["fig4a[0].simulated_ops_per_s"]
+        assert "missing" in deviations[0].describe()
+
+    def test_new_metric_does_not_fail(self):
+        current = report(
+            fig4a=figure(
+                [{"cell": "mm/hazy", "simulated_ops_per_s": 100.0, "extra_metric": 1.0}]
+            ),
+            fig4b=figure([{"scans_per_s": 4.0}]),
+        )
+        assert compare_reports(BASELINE, current) == []
+
+    def test_zero_baseline_does_not_divide_by_zero(self):
+        base = report(f=figure([{"metric": 0.0}]))
+        current = report(f=figure([{"metric": 0.5}]))
+        deviations = compare_reports(base, current)
+        assert len(deviations) == 1
+
+
+class TestCli:
+    def write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_cli_ok(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        current = self.write(tmp_path, "current.json", BASELINE)
+        assert main([base, current]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_cli_regression_exits_nonzero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", BASELINE)
+        current = self.write(
+            tmp_path,
+            "current.json",
+            report(
+                fig4a=figure([{"cell": "mm/hazy", "simulated_ops_per_s": 10.0}]),
+                fig4b=figure([{"scans_per_s": 4.0}]),
+            ),
+        )
+        assert main([base, current]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_cli_rejects_non_report(self, tmp_path):
+        bad = self.write(tmp_path, "bad.json", {"rows": []})
+        good = self.write(tmp_path, "good.json", BASELINE)
+        with pytest.raises(SystemExit, match="figures"):
+            main([bad, good])

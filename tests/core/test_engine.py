@@ -65,7 +65,7 @@ class TestCreateClassificationView:
 
     def test_duplicate_view_rejected(self):
         db, _ = build_database()
-        engine = HazyEngine(db)
+        HazyEngine(db)
         db.execute(VIEW_DDL)
         with pytest.raises(ViewDefinitionError):
             db.execute(VIEW_DDL)
@@ -157,7 +157,7 @@ class TestIncrementalMaintenanceThroughSQL:
 
     def test_example_for_unknown_entity_rejected(self):
         db, _ = build_database()
-        engine = HazyEngine(db)
+        HazyEngine(db)
         db.execute(VIEW_DDL)
         with pytest.raises(ViewDefinitionError):
             db.execute("INSERT INTO example_papers (id, label) VALUES (123456, 'database')")

@@ -84,7 +84,9 @@ def _simple_separable() -> list[TrainingExample]:
 
 class TestModelSelection:
     def test_leave_one_out_zero_error_on_easy_data(self):
-        factory = lambda: SGDTrainer(loss="svm", learning_rate=0.5, decay=0.0)
+        def factory():
+            return SGDTrainer(loss="svm", learning_rate=0.5, decay=0.0)
+
         error = leave_one_out_error(factory, _simple_separable(), epochs=5)
         assert error == pytest.approx(0.0)
 
@@ -97,7 +99,9 @@ class TestModelSelection:
             cross_validation_error(SGDTrainer, _simple_separable()[:3], folds=5)
 
     def test_cross_validation_low_error_on_easy_data(self):
-        factory = lambda: SGDTrainer(loss="svm", learning_rate=0.5, decay=0.0)
+        def factory():
+            return SGDTrainer(loss="svm", learning_rate=0.5, decay=0.0)
+
         error = cross_validation_error(factory, _simple_separable(), folds=5, epochs=5)
         assert error <= 0.2
 

@@ -1,0 +1,93 @@
+"""Frame-level tests: round trips and every crash shape the format must catch."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import SnapshotCorruptionError, SnapshotVersionError
+from repro.persist.format import (
+    FORMAT_VERSION,
+    read_frame,
+    read_json_frame,
+    write_frame,
+    write_json_frame,
+)
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self, tmp_path):
+        path = tmp_path / "frame.hzs"
+        payload = b"\x00\x01binary payload\xff" * 100
+        written = write_frame(path, payload)
+        assert written == path.stat().st_size
+        assert read_frame(path) == payload
+
+    def test_json_round_trip_preserves_floats_exactly(self, tmp_path):
+        path = tmp_path / "frame.hzs"
+        document = {"eps": [0.1 + 0.2, 1e-300, -3.141592653589793], "label": -1}
+        write_json_frame(path, document)
+        assert read_json_frame(path) == document
+
+    def test_empty_payload(self, tmp_path):
+        path = tmp_path / "frame.hzs"
+        write_frame(path, b"")
+        assert read_frame(path) == b""
+
+
+class TestCrashShapes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotCorruptionError, match="missing"):
+            read_frame(tmp_path / "nope.hzs")
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "frame.hzs"
+        write_frame(path, b"payload")
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(SnapshotCorruptionError, match="truncated"):
+            read_frame(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "frame.hzs"
+        write_frame(path, b"a long enough payload to cut")
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 5])
+        with pytest.raises(SnapshotCorruptionError, match="truncated"):
+            read_frame(path)
+
+    def test_bit_flip_fails_crc(self, tmp_path):
+        path = tmp_path / "frame.hzs"
+        write_frame(path, b"sensitive state bytes")
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0x40
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotCorruptionError, match="CRC"):
+            read_frame(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "frame.hzs"
+        write_frame(path, b"payload")
+        raw = bytearray(path.read_bytes())
+        raw[0:6] = b"NOTSNP"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotCorruptionError, match="magic"):
+            read_frame(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "frame.hzs"
+        write_frame(path, b"payload", version=FORMAT_VERSION + 1)
+        with pytest.raises(SnapshotVersionError, match="version"):
+            read_frame(path)
+
+    def test_valid_crc_but_bad_json(self, tmp_path):
+        path = tmp_path / "frame.hzs"
+        write_frame(path, b"this is not json")
+        with pytest.raises(SnapshotCorruptionError, match="JSON"):
+            read_json_frame(path)
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "frame.hzs"
+        write_json_frame(path, {"ok": True})
+        assert [p.name for p in tmp_path.iterdir()] == ["frame.hzs"]
+        assert json.loads(read_frame(path)) == {"ok": True}

@@ -65,7 +65,6 @@ def test_reorganization_clears_everything():
 
 
 def test_no_band_means_no_hits():
-    state = FakeShardState()
     cache = WaterBandResultCache(
         band_supplier=lambda: None, reorg_supplier=lambda: 0, capacity=10
     )
