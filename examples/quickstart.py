@@ -1,10 +1,11 @@
-"""Quickstart: declare and query a classification view through SQL.
+"""Quickstart: the whole system through one connection and plain SQL.
 
-This walks through the paper's Example 2.1: a ``Papers`` table, a label
+This walks through the paper's Example 2.1 — a ``Papers`` table, a label
 vocabulary, a training-example table, and a ``CREATE CLASSIFICATION VIEW``
-statement.  Training examples are then inserted with ordinary SQL ``INSERT``
-statements and the view is queried with ordinary ``SELECT`` statements — Hazy
-keeps the view's contents up to date behind the scenes.
+statement — using :func:`repro.connect`, the declarative front door.  Training
+examples arrive as ordinary SQL ``INSERT`` statements and the view is queried
+with ordinary ``SELECT`` statements; Hazy keeps the view's contents up to date
+behind the scenes.
 
 Run with::
 
@@ -13,31 +14,30 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Database, HazyEngine
+import repro
 from repro.workloads import SparseCorpusGenerator
 
 
 def main() -> None:
-    # 1. An ordinary relational database with the application's tables.
-    db = Database()
-    db.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
-    db.execute("CREATE TABLE paper_area (label text PRIMARY KEY)")
-    db.execute("CREATE TABLE example_papers (id integer PRIMARY KEY, label text)")
-    db.execute("INSERT INTO paper_area (label) VALUES ('database'), ('other')")
+    # 1. One connection: database + engine behind a cursor-style API.
+    conn = repro.connect()
+    conn.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
+    conn.execute("CREATE TABLE paper_area (label text PRIMARY KEY)")
+    conn.execute("CREATE TABLE example_papers (id integer PRIMARY KEY, label text)")
+    conn.execute("INSERT INTO paper_area (label) VALUES ('database'), ('other')")
 
     # Populate the Papers table with a small synthetic corpus (a stand-in for
     # papers crawled from the Web, as in DBLife).
     corpus = SparseCorpusGenerator(
         vocabulary_size=500, nonzeros_per_document=12, positive_fraction=0.35, seed=42
     ).generate_list(300)
-    db.executemany(
+    conn.executemany(
         "INSERT INTO papers (id, title) VALUES (?, ?)",
         [(doc.entity_id, doc.text) for doc in corpus],
     )
 
-    # 2. Attach the Hazy engine and declare the classification view.
-    engine = HazyEngine(db, architecture="mainmemory", strategy="hazy", approach="eager")
-    db.execute(
+    # 2. Declare the classification view — pure DDL, no objects to wire up.
+    conn.execute(
         """
         CREATE CLASSIFICATION VIEW Labeled_Papers KEY id
         ENTITIES FROM Papers KEY id
@@ -47,31 +47,46 @@ def main() -> None:
         USING SVM
         """
     )
-    view = engine.view("Labeled_Papers")
-    print(f"view created over {db.execute('SELECT COUNT(*) FROM Labeled_Papers').scalar()} papers")
+    total = conn.execute("SELECT COUNT(*) FROM Labeled_Papers").scalar()
+    print(f"view created over {total} papers")
 
     # 3. User feedback arrives as ordinary INSERTs into the example table.
-    for doc in corpus[:120]:
-        label = "database" if doc.label == 1 else "other"
-        db.execute(
-            "INSERT INTO example_papers (id, label) VALUES (?, ?)", (doc.entity_id, label)
-        )
-    print(f"absorbed {view.maintainer.stats.updates} training examples")
-    print(f"reorganizations so far: {view.maintainer.stats.reorganizations}")
+    conn.executemany(
+        "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+        [
+            (doc.entity_id, "database" if doc.label == 1 else "other")
+            for doc in corpus[:120]
+        ],
+    )
 
     # 4. Query the view with plain SQL.
-    database_papers = db.execute(
+    database_papers = conn.execute(
         "SELECT COUNT(*) FROM Labeled_Papers WHERE class = 'database'"
     ).scalar()
     print(f"papers currently labeled 'database': {database_papers}")
 
     # Single Entity read ("is paper 7 a database paper?").
-    row = db.execute("SELECT class FROM Labeled_Papers WHERE id = 7").rows[0]
-    print(f"paper 7 is labeled: {row['class']}")
+    label = conn.execute("SELECT class FROM Labeled_Papers WHERE id = 7").scalar()
+    print(f"paper 7 is labeled: {label}")
+
+    # EXPLAIN shows the cost model's plan for the read before running it.
+    plan = conn.execute("EXPLAIN SELECT class FROM Labeled_Papers WHERE id = 7").fetchone()
+    print(
+        f"plan: {plan['access_path']} ({plan['choice']}), "
+        f"~{plan['estimated_seconds']:.2e} simulated seconds"
+    )
 
     # 5. Measure the classifier against the generator's ground truth.
-    correct = sum(1 for doc in corpus if view.label_of(doc.entity_id) == doc.label)
+    correct = sum(
+        1
+        for doc in corpus
+        if conn.execute(
+            "SELECT class FROM Labeled_Papers WHERE id = ?", (doc.entity_id,)
+        ).scalar()
+        == ("database" if doc.label == 1 else "not_database")
+    )
     print(f"agreement with ground truth: {correct}/{len(corpus)}")
+    conn.close()
 
 
 if __name__ == "__main__":

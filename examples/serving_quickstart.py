@@ -1,11 +1,17 @@
-"""Serving quickstart: put a classification view behind a concurrent server.
+"""Serving quickstart: the full serving lifecycle in SQL alone.
 
-Builds the same Papers view as ``examples/quickstart.py``, then hands it to
-the serving subsystem: ``engine.serve()`` shards the entity space across
-worker threads, coalesces concurrent reads through the request batcher, and
-maintains the view from a background pipeline — ordinary SQL ``INSERT``
-statements now *enqueue* maintenance work instead of retraining inline, and
-client sessions get monotonic read-your-writes semantics.
+Builds the same Papers view as ``examples/quickstart.py``, then drives the
+serving subsystem entirely through the declarative surface:
+
+* ``SERVE VIEW ... WITH (...)`` shards the entity space across worker threads
+  and starts the request batcher + background maintenance pipeline;
+* concurrent clients are just extra :func:`repro.connect` connections — each
+  one gets its own monotonic read-your-writes session, and its ``SELECT`` /
+  ``INSERT`` statements route through the server automatically;
+* ``CHECKPOINT VIEW ... TO`` takes a consistent snapshot while reads keep
+  flowing, and after a "crash" a fresh process warm-starts the view with
+  ``RESTORE VIEW ... FROM`` — no refeaturization, bit-identical answers;
+* ``STOP SERVING`` hands the view back to the direct maintainer, consistent.
 
 Run with::
 
@@ -14,63 +20,82 @@ Run with::
 
 from __future__ import annotations
 
+import tempfile
 import threading
+from pathlib import Path
 
-from repro import Database, HazyEngine
+import repro
 from repro.workloads import SparseCorpusGenerator
 
+VIEW_DDL = """
+    CREATE CLASSIFICATION VIEW Labeled_Papers KEY id
+    ENTITIES FROM Papers KEY id
+    LABELS FROM Paper_Area LABEL label
+    EXAMPLES FROM Example_Papers KEY id LABEL label
+    FEATURE FUNCTION tf_bag_of_words
+    USING SVM
+"""
 
-def main() -> None:
-    # 1. The application's tables and the classification view (Example 2.1).
-    db = Database()
-    db.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
-    db.execute("CREATE TABLE paper_area (label text PRIMARY KEY)")
-    db.execute("CREATE TABLE example_papers (id integer PRIMARY KEY, label text)")
-    db.execute("INSERT INTO paper_area (label) VALUES ('database'), ('other')")
-    corpus = SparseCorpusGenerator(
-        vocabulary_size=500, nonzeros_per_document=12, positive_fraction=0.35, seed=42
-    ).generate_list(400)
-    db.executemany(
+
+def build_base_tables(conn, corpus) -> None:
+    conn.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
+    conn.execute("CREATE TABLE paper_area (label text PRIMARY KEY)")
+    conn.execute("CREATE TABLE example_papers (id integer PRIMARY KEY, label text)")
+    conn.execute("INSERT INTO paper_area (label) VALUES ('database'), ('other')")
+    conn.executemany(
         "INSERT INTO papers (id, title) VALUES (?, ?)",
         [(doc.entity_id, doc.text) for doc in corpus],
     )
-    engine = HazyEngine(db, architecture="mainmemory", strategy="hazy", approach="eager")
-    db.execute(
-        """
-        CREATE CLASSIFICATION VIEW Labeled_Papers KEY id
-        ENTITIES FROM Papers KEY id
-        LABELS FROM Paper_Area LABEL label
-        EXAMPLES FROM Example_Papers KEY id LABEL label
-        FEATURE FUNCTION tf_bag_of_words
-        USING SVM
-        """
+
+
+def main() -> None:
+    corpus = SparseCorpusGenerator(
+        vocabulary_size=500, nonzeros_per_document=12, positive_fraction=0.35, seed=42
+    ).generate_list(400)
+
+    # 1. The application's tables and the classification view (Example 2.1).
+    conn = repro.connect()
+    build_base_tables(conn, corpus)
+    conn.execute(VIEW_DDL)
+    conn.executemany(
+        "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+        [
+            (doc.entity_id, "database" if doc.label == 1 else "other")
+            for doc in corpus[:60]
+        ],
     )
-    for doc in corpus[:60]:
-        db.execute(
-            "INSERT INTO example_papers (id, label) VALUES (?, ?)",
-            (doc.entity_id, "database" if doc.label == 1 else "other"),
-        )
 
-    # 2. Start serving: 4 shards, batched reads, background maintenance.
-    server = engine.serve("Labeled_Papers", num_shards=4)
-    print(f"serving {server.shards.count()} entities over {len(server.shards)} shards")
+    # 2. Start serving — declaratively.  The adaptive batcher tunes its own
+    #    coalescing window from the observed arrival rate.
+    info = conn.execute(
+        "SERVE VIEW Labeled_Papers WITH (shards = 4, adaptive_batching = true)"
+    ).fetchone()
+    print(f"serving {info['view']} over {info['shards']} shards")
 
-    # 3. Concurrent clients: readers hammer label_of while a writer streams
-    #    feedback through the SQL trigger -> queue -> batched-apply pipeline.
+    # 3. Concurrent clients: each one is just another connection.  Readers
+    #    hammer point SELECTs (coalesced by the batcher); a writer streams
+    #    feedback as INSERTs and immediately re-reads its own writes.
     def reader(offset: int) -> None:
-        session = server.session()
+        client = repro.connect(engine=conn.engine)
         for step in range(200):
             doc = corpus[(offset + step * 13) % len(corpus)]
-            session.label_of(doc.entity_id)
+            client.execute(
+                "SELECT class FROM Labeled_Papers WHERE id = ?", (doc.entity_id,)
+            ).scalar()
+        client.close()
 
     def writer() -> None:
-        session = server.session()
+        client = repro.connect(engine=conn.engine)
         for doc in corpus[60:120]:
-            session.insert_example(
-                doc.entity_id, "database" if doc.label == 1 else "other"
+            client.execute(
+                "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+                (doc.entity_id, "database" if doc.label == 1 else "other"),
             )
-            # Read-your-writes: this read reflects the example just queued.
-            session.label_of(doc.entity_id)
+            # Read-your-writes: this SELECT reflects the INSERT just queued.
+            client.execute(
+                "SELECT class FROM Labeled_Papers WHERE id = ?", (doc.entity_id,)
+            ).scalar()
+        client.close()
 
     threads = [threading.Thread(target=reader, args=(i * 37,)) for i in range(4)]
     threads.append(threading.Thread(target=writer))
@@ -78,30 +103,51 @@ def main() -> None:
         thread.start()
     for thread in threads:
         thread.join()
-    server.flush()
 
-    # 4. Reads while serving: batched single reads, scatter/gather queries.
+    server = conn.engine.view("Labeled_Papers").server
     stats = server.stats()
     print(f"epoch after maintenance: {stats['epoch']}")
     print(f"read batching: {stats['batcher']}")
-    print(f"result cache: {stats['cache']}")
-    print(f"maintenance: {stats['maintenance']}")
-    database_papers, epoch = server.all_members_tagged(1)
-    print(f"papers labeled 'database' at epoch {epoch}: {len(database_papers)}")
-    print(f"top-3 most-database papers: {server.top_k(3, label=1)}")
-    print(
-        "ad-hoc classify (unstored row):",
-        server.classify({"id": -1, "title": "transaction processing in database systems"}),
+
+    # 4. Scatter/gather reads and the cost model's view of them.
+    count = conn.execute(
+        "SELECT COUNT(*) FROM Labeled_Papers WHERE class = 'database'"
+    ).scalar()
+    print(f"papers labeled 'database': {count}")
+    top = conn.execute(
+        "SELECT id, margin FROM Labeled_Papers ORDER BY margin DESC LIMIT 3"
+    ).fetchall()
+    print(f"top-3 most-database papers: {[(row['id'], round(row['margin'], 3)) for row in top]}")
+    plan = conn.execute("EXPLAIN SELECT id FROM Labeled_Papers WHERE class = 'database'").fetchone()
+    print(f"plan: {plan['access_path']}, ~{plan['estimated_seconds']:.2e} simulated seconds")
+
+    # 5. Checkpoint while serving (reads keep flowing), then "crash".
+    checkpoint_dir = Path(tempfile.mkdtemp(prefix="hazy-ckpt-")) / "labeled_papers"
+    info = conn.execute(f"CHECKPOINT VIEW Labeled_Papers TO '{checkpoint_dir}'").fetchone()
+    print(f"checkpoint: epoch {info['epoch']}, {info['entities']} entities, {info['bytes']} bytes")
+    answers_before = conn.execute("SELECT id, class FROM Labeled_Papers ORDER BY id").fetchall()
+    conn.close()  # quiesces the served view — the "kill"
+
+    # 6. A fresh process: recreate the durable base tables, RESTORE the view.
+    conn2 = repro.connect()
+    build_base_tables(conn2, corpus)
+    conn2.executemany(
+        "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+        [
+            (doc.entity_id, "database" if doc.label == 1 else "other")
+            for doc in corpus[:120]
+        ],
     )
+    restored = conn2.execute(f"RESTORE VIEW Labeled_Papers FROM '{checkpoint_dir}'").fetchone()
+    print(f"restored: serving again from epoch {restored['epoch']}")
+    answers_after = conn2.execute("SELECT id, class FROM Labeled_Papers ORDER BY id").fetchall()
+    print(f"bit-identical answers after restore: {answers_after == answers_before}")
 
-    # 5. SQL still works while serving (SELECTs go through the server).
-    count = db.execute("SELECT COUNT(*) FROM Labeled_Papers WHERE class = 'database'").scalar()
-    print(f"SQL count of database papers: {count}")
-
-    # 6. Hand the view back; the direct maintainer is resynced and consistent.
-    server.close()
-    correct = sum(1 for doc in corpus if engine.view("Labeled_Papers").label_of(doc.entity_id) == doc.label)
-    print(f"agreement with ground truth after close: {correct}/{len(corpus)}")
+    # 7. Hand the view back; plain SQL keeps working on the direct maintainer.
+    conn2.execute("STOP SERVING Labeled_Papers")
+    total = conn2.execute("SELECT COUNT(*) FROM Labeled_Papers").scalar()
+    print(f"stopped serving; direct view still answers over {total} papers")
+    conn2.close()
 
 
 if __name__ == "__main__":

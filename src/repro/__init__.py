@@ -12,29 +12,42 @@ The public API is organized as:
 * :mod:`repro.core` — the incremental view-maintenance machinery: water-band
   bounds, the Skiing strategy, the three architectures and four maintenance
   strategies, and the :class:`~repro.core.engine.HazyEngine`;
+* :mod:`repro.serve` — the concurrent serving subsystem;
+* :mod:`repro.persist` — checkpoint / warm-restart;
 * :mod:`repro.workloads` — synthetic stand-ins for the paper's data sets;
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
 
-Quickstart::
+The front door is :func:`repro.connect`: one connection, everything in SQL —
+including the serving lifecycle::
 
-    from repro import Database, HazyEngine
+    import repro
 
-    db = Database()
-    db.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
-    db.execute("CREATE TABLE paper_area (label text PRIMARY KEY)")
-    db.execute("CREATE TABLE example_papers (id integer PRIMARY KEY, label text)")
-    engine = HazyEngine(db)
-    db.execute("INSERT INTO paper_area (label) VALUES ('database')")
+    conn = repro.connect()
+    conn.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
+    conn.execute("CREATE TABLE paper_area (label text PRIMARY KEY)")
+    conn.execute("CREATE TABLE example_papers (id integer PRIMARY KEY, label text)")
+    conn.execute("INSERT INTO paper_area (label) VALUES ('database')")
     # ... insert papers ...
-    db.execute(
+    conn.execute(
         "CREATE CLASSIFICATION VIEW labeled_papers KEY id "
         "ENTITIES FROM papers KEY id "
         "LABELS FROM paper_area LABEL label "
         "EXAMPLES FROM example_papers KEY id LABEL label "
         "FEATURE FUNCTION tf_bag_of_words USING SVM"
     )
-    db.execute("INSERT INTO example_papers (id, label) VALUES (1, 'database')")
-    db.execute("SELECT COUNT(*) FROM labeled_papers WHERE class = 'database'")
+    conn.execute("SERVE VIEW labeled_papers WITH (shards = 4)")
+    conn.execute("INSERT INTO example_papers (id, label) VALUES (1, 'database')")
+    conn.execute("SELECT COUNT(*) FROM labeled_papers WHERE class = 'database'").scalar()
+    conn.execute("CHECKPOINT VIEW labeled_papers TO '/tmp/ckpt'")
+    conn.close()  # quiesces every served view
+
+    # later, in a fresh process over the same base tables:
+    conn = repro.connect()
+    # ... recreate base tables ...
+    conn.execute("RESTORE VIEW labeled_papers FROM '/tmp/ckpt'")
+
+``Database`` + ``HazyEngine`` remain available as the imperative surface the
+facade is built on.
 """
 
 from repro.core import (
@@ -50,6 +63,7 @@ from repro.core import (
     OnDiskEntityStore,
     SkiingStrategy,
 )
+from repro.connection import Connection, Cursor, connect
 from repro.db import CostModel, Database
 from repro.exceptions import HazyError
 from repro.learn import LinearModel, SGDTrainer, TrainingExample
@@ -60,6 +74,9 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "HazyError",
+    "connect",
+    "Connection",
+    "Cursor",
     "Database",
     "CostModel",
     "SparseVector",

@@ -1,0 +1,301 @@
+"""``repro.connect()``: the single declarative front door to the system.
+
+The paper's thesis is that classification views are first-class *declarative*
+objects inside the DBMS.  This module makes the whole reproduction usable that
+way: one :func:`connect` call yields a :class:`Connection` whose
+cursor-style ``execute``/``executemany`` speak the full SQL surface — DDL,
+DML, ``CREATE CLASSIFICATION VIEW``, the serving lifecycle (``SERVE VIEW``,
+``STOP SERVING``, ``CHECKPOINT VIEW ... TO``, ``RESTORE VIEW ... FROM``) and
+``EXPLAIN`` — with no other objects to juggle.
+
+Per-connection consistency
+--------------------------
+
+Each connection owns a :class:`~repro.serve.sync.SessionRegistry`: every
+SELECT it issues against a *served* view runs on that connection's
+:class:`~repro.serve.server.ClientSession`, and every INSERT/UPDATE/DELETE it
+issues against a served view's base tables registers the write's visibility
+ticket with the same session.  The result is monotonic read-your-writes
+*through plain SQL*: a connection that inserts a training example and then
+SELECTs the view observes the example applied; two different connections are
+two independent timelines.
+
+Lifecycle
+---------
+
+``close()`` quiesces: when the connection created its engine (the normal
+``repro.connect()`` path) every served view is handed back consistent via
+``server.close()`` before the connection refuses further statements.  A
+connection wrapping a caller-supplied engine (``connect(engine=...)``) only
+releases its sessions — serving lifecycle stays with the engine's owner, so
+worker connections in a multi-threaded client can come and go freely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.core.engine import HazyEngine
+from repro.db.costmodel import CostModel
+from repro.db.database import Database
+from repro.db.sql.ast import Delete, Insert, Statement, Update
+from repro.db.sql.executor import ResultSet
+from repro.db.sql.parser import parse
+from repro.exceptions import ConfigurationError
+from repro.features import FeatureFunctionRegistry
+from repro.serve.sync import SessionRegistry
+
+__all__ = ["connect", "Connection", "Cursor"]
+
+
+class Cursor:
+    """A DB-API-flavoured cursor over one connection.
+
+    ``execute`` returns the cursor itself (as in :mod:`sqlite3`), so the
+    quickstart reads naturally::
+
+        count = conn.execute("SELECT COUNT(*) FROM labeled_papers").scalar()
+        for row in conn.execute("SELECT id, class FROM labeled_papers"):
+            ...
+    """
+
+    def __init__(self, connection: "Connection") -> None:
+        self.connection = connection
+        self.rows: list[dict[str, object]] = []
+        self.rowcount: int = -1
+        self.statement_type: str = ""
+        self._cursor_position = 0
+
+    # -- execution ---------------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence[object] | None = None) -> "Cursor":
+        """Run one SQL statement; the cursor then holds its result rows."""
+        result = self.connection._execute(sql, parameters)
+        self._load(result)
+        return self
+
+    def executemany(self, sql: str, parameter_rows: Sequence[Sequence[object]]) -> "Cursor":
+        """Run a prepared statement once per parameter row."""
+        total = self.connection._executemany(sql, parameter_rows)
+        self._load(ResultSet(rowcount=total, statement_type="EXECUTEMANY"))
+        return self
+
+    def _load(self, result: ResultSet) -> None:
+        self.rows = result.rows
+        self.rowcount = result.rowcount
+        self.statement_type = result.statement_type
+        self._cursor_position = 0
+
+    # -- result access -----------------------------------------------------------------
+
+    @property
+    def description(self) -> list[str]:
+        """Column names of the current result set (empty for DML/DDL)."""
+        return list(self.rows[0].keys()) if self.rows else []
+
+    def fetchone(self) -> dict[str, object] | None:
+        """Next result row, or None when exhausted."""
+        if self._cursor_position >= len(self.rows):
+            return None
+        row = self.rows[self._cursor_position]
+        self._cursor_position += 1
+        return row
+
+    def fetchmany(self, size: int = 1) -> list[dict[str, object]]:
+        """Up to ``size`` further result rows."""
+        chunk = self.rows[self._cursor_position : self._cursor_position + size]
+        self._cursor_position += len(chunk)
+        return chunk
+
+    def fetchall(self) -> list[dict[str, object]]:
+        """Every remaining result row."""
+        remaining = self.rows[self._cursor_position :]
+        self._cursor_position = len(self.rows)
+        return remaining
+
+    def scalar(self) -> object:
+        """First column of the first row (e.g. a COUNT(*) value)."""
+        if not self.rows:
+            raise ConfigurationError("result set is empty")
+        return next(iter(self.rows[0].values()))
+
+    def __iter__(self) -> Iterator[dict[str, object]]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+
+class Connection:
+    """One client's handle on the database + engine pair.
+
+    Build it with :func:`connect`; use :meth:`execute` / :meth:`executemany`
+    for everything.  The underlying :class:`~repro.db.database.Database` and
+    :class:`~repro.core.engine.HazyEngine` remain reachable as ``.database``
+    and ``.engine`` for tooling, but the quickstart never needs them.
+    """
+
+    def __init__(self, database: Database, engine: HazyEngine, owns_engine: bool) -> None:
+        self.database = database
+        self.engine = engine
+        self._owns_engine = owns_engine
+        self._sessions = SessionRegistry()
+        self._closed = False
+
+    # -- statement execution ------------------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        """A fresh cursor over this connection."""
+        self._require_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, parameters: Sequence[object] | None = None) -> Cursor:
+        """Parse and run one SQL statement; returns a cursor holding the result."""
+        return self.cursor().execute(sql, parameters)
+
+    def executemany(self, sql: str, parameter_rows: Sequence[Sequence[object]]) -> Cursor:
+        """Run a prepared statement once per parameter row."""
+        return self.cursor().executemany(sql, parameter_rows)
+
+    def _execute(self, sql: str, parameters: Sequence[object] | None) -> ResultSet:
+        self._require_open()
+        statement = parse(sql)
+        result = self.database.executor.execute(statement, parameters, self._sessions)
+        self._harvest_write_tickets(statement)
+        return result
+
+    def _executemany(self, sql: str, parameter_rows: Sequence[Sequence[object]]) -> int:
+        self._require_open()
+        statement = parse(sql)  # parsed only to know the DML target for ticket harvest
+        total = self.database.executemany(sql, parameter_rows, self._sessions)
+        self._harvest_write_tickets(statement)
+        return total
+
+    def _harvest_write_tickets(self, statement: Statement) -> None:
+        """Bind diverted-write tickets to this connection's sessions.
+
+        DML against a served view's base tables enqueues maintenance work; the
+        server parks the resulting ticket in a thread-local.  Claiming it here
+        (on the same thread that executed the statement) gives this
+        connection's next read of that view read-your-writes semantics.
+        """
+        if not isinstance(statement, (Insert, Update, Delete)):
+            return
+        table = statement.table.lower()
+        for view in self.engine.served_views():
+            server = view.server
+            if table not in server.source_table_names():
+                continue
+            ticket = server.take_session_ticket()
+            if ticket is not None:
+                self._sessions.note_write(view.name, server, ticket)
+
+    # -- session access -----------------------------------------------------------------
+
+    def session(self, view_name: str):
+        """This connection's :class:`~repro.serve.server.ClientSession` for a served view."""
+        self._require_open()
+        view = self.engine.view(view_name)
+        if view.server is None:
+            raise ConfigurationError(f"view {view_name!r} is not being served")
+        return self._sessions.session_for(view.name, view.server)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError("connection is closed")
+
+    def close(self, timeout: float | None = None) -> None:
+        """Quiesce and invalidate this connection (idempotent).
+
+        A connection that owns its engine closes every served view — the
+        pipeline drains and each view is handed back consistent — so
+        ``connect() ... close()`` never leaks background threads.  Wrapping
+        connections only release their sessions.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._sessions.clear()
+        if self._owns_engine:
+            for view in self.engine.served_views():
+                view.server.close(timeout=timeout)
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(
+    database: Database | None = None,
+    engine: HazyEngine | None = None,
+    *,
+    cost_model: CostModel | None = None,
+    buffer_pool_pages: int | None = None,
+    registry: FeatureFunctionRegistry | None = None,
+    architecture: str | None = None,
+    strategy: str | None = None,
+    approach: str | None = None,
+    **engine_options,
+) -> Connection:
+    """Open a connection to a (new or existing) Hazy database.
+
+    With no arguments this builds a fresh in-process stack — a
+    :class:`~repro.db.database.Database` plus a
+    :class:`~repro.core.engine.HazyEngine` — and the returned connection owns
+    its lifecycle (``close()`` quiesces any served views).  Pass ``database=``
+    to attach an engine to an existing database, or ``engine=`` to open an
+    additional connection over an existing engine (e.g. one connection per
+    client thread, each with its own session timeline).
+
+    ``architecture`` / ``strategy`` / ``approach`` and any extra keyword
+    arguments configure the engine exactly as :class:`HazyEngine` does; they
+    are rejected when ``engine=`` is supplied.
+    """
+    if engine is not None:
+        if database is not None and engine.database is not database:
+            raise ConfigurationError(
+                "connect(database=..., engine=...) requires the engine to be "
+                "attached to that same database"
+            )
+        if cost_model is not None or buffer_pool_pages is not None:
+            raise ConfigurationError(
+                "cost_model/buffer_pool_pages configure a new database; they "
+                "cannot be combined with engine="
+            )
+        if (
+            registry is not None
+            or architecture is not None
+            or strategy is not None
+            or approach is not None
+            or engine_options
+        ):
+            raise ConfigurationError(
+                "engine options cannot be combined with an existing engine="
+            )
+        return Connection(engine.database, engine, owns_engine=False)
+    if database is None:
+        database = Database(cost_model=cost_model, buffer_pool_pages=buffer_pool_pages)
+    elif cost_model is not None or buffer_pool_pages is not None:
+        raise ConfigurationError(
+            "cost_model/buffer_pool_pages configure a new database; they "
+            "cannot be combined with database="
+        )
+    engine = HazyEngine(
+        database,
+        registry=registry,
+        architecture=architecture if architecture is not None else "mainmemory",
+        strategy=strategy if strategy is not None else "hazy",
+        approach=approach if approach is not None else "eager",
+        **engine_options,
+    )
+    return Connection(database, engine, owns_engine=True)

@@ -29,9 +29,23 @@ from repro.core.stores import (
 from repro.core.view import ClassificationViewDefinition
 from repro.db.buffer_pool import BufferPool, IOStatistics
 from repro.db.database import Database
-from repro.db.sql.ast import CreateClassificationView
+from repro.db.sql.ast import (
+    CheckpointView,
+    CreateClassificationView,
+    RestoreView,
+    Select,
+    ServeView,
+    Statement,
+    StopServing,
+)
+from repro.db.sql.executor import ResultSet, classify_view_read
 from repro.db.triggers import Trigger, TriggerEvent
-from repro.exceptions import ConfigurationError, SnapshotMismatchError, ViewDefinitionError
+from repro.exceptions import (
+    ConfigurationError,
+    KeyNotFoundError,
+    SnapshotMismatchError,
+    ViewDefinitionError,
+)
 from repro.features import FeatureFunction, FeatureFunctionRegistry, default_registry
 from repro.learn.sgd import SGDTrainer, TrainingExample
 from repro.linalg import SparseVector
@@ -464,6 +478,8 @@ class HazyEngine:
         self.views: dict[str, ClassificationView] = {}
         database.executor.set_classification_view_handler(self._handle_create_statement)
         database.executor.set_classification_view_reader(self._read_view_rows)
+        database.executor.set_serving_handler(self._handle_serving_statement)
+        database.executor.set_served_read_handler(self._served_select)
 
     # -- factories ----------------------------------------------------------------------------
 
@@ -588,6 +604,185 @@ class HazyEngine:
         )
         server.attach_view(view)
         return server
+
+    # -- declarative serving surface (the SQL front door) -------------------------------------------
+
+    #: ``WITH (...)`` option names accepted by SERVE VIEW / RESTORE VIEW and the
+    #: ``ViewServer`` keyword each maps to.
+    _INT_SERVER_OPTIONS = {
+        "shards": "num_shards",
+        "num_shards": "num_shards",
+        "max_read_batch": "max_read_batch",
+        "queue_capacity": "queue_capacity",
+        "max_write_batch": "max_write_batch",
+        "cache_capacity": "cache_capacity",
+        "epoch_history": "epoch_history",
+    }
+    _FLOAT_SERVER_OPTIONS = {
+        "max_wait_s": "read_batch_wait_s",
+        "read_batch_wait_s": "read_batch_wait_s",
+    }
+
+    def _server_options(self, options: Mapping[str, object]) -> dict[str, object]:
+        """Map declarative ``WITH`` options onto ``ViewServer`` keyword arguments."""
+        mapped: dict[str, object] = {}
+        adaptive = False
+        for name, value in options.items():
+            key = name.lower()
+            if key in self._INT_SERVER_OPTIONS:
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ConfigurationError(f"option {name!r} expects an integer, got {value!r}")
+                mapped[self._INT_SERVER_OPTIONS[key]] = value
+            elif key in self._FLOAT_SERVER_OPTIONS:
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ConfigurationError(f"option {name!r} expects a number, got {value!r}")
+                mapped[self._FLOAT_SERVER_OPTIONS[key]] = float(value)
+            elif key == "adaptive_batching":
+                if not isinstance(value, bool):
+                    raise ConfigurationError(
+                        f"option {name!r} expects true or false, got {value!r}"
+                    )
+                if value:
+                    adaptive = True
+            else:
+                known = sorted(
+                    {*self._INT_SERVER_OPTIONS, *self._FLOAT_SERVER_OPTIONS, "adaptive_batching"}
+                )
+                raise ConfigurationError(f"unknown serving option {name!r}; known: {known}")
+        if adaptive:
+            if "read_batch_wait_s" in mapped:
+                raise ConfigurationError(
+                    "adaptive_batching derives the batching window itself; "
+                    "it cannot be combined with max_wait_s"
+                )
+            mapped["read_batch_wait_s"] = "adaptive"
+        return mapped
+
+    def serve_view(self, name: str, options: Mapping[str, object] | None = None):
+        """``SERVE VIEW name WITH (...)``: start serving with declarative options."""
+        return self.serve(name, **self._server_options(options or {}))
+
+    def stop_serving(self, name: str) -> ClassificationView:
+        """``STOP SERVING name``: quiesce the server, hand the view back consistent."""
+        view = self.view(name)
+        server = view.server
+        if server is None:
+            raise ViewDefinitionError(f"view {name!r} is not being served")
+        server.close()
+        return view
+
+    def checkpoint_view(self, name: str, path: str) -> dict[str, object]:
+        """``CHECKPOINT VIEW name TO path``: consistent snapshot of a served view."""
+        view = self.view(name)
+        server = view.server
+        if server is None:
+            raise ViewDefinitionError(
+                f"view {name!r} is not being served; SERVE VIEW it before CHECKPOINT"
+            )
+        return server.checkpoint(path)
+
+    def restore_view(self, name: str, path: str, options: Mapping[str, object] | None = None):
+        """``RESTORE VIEW name FROM path``: warm-start serving from a checkpoint."""
+        mapped = self._server_options(options or {})
+        mapped.pop("num_shards", None)  # shard assignment comes from the snapshot
+        return self.serve(name, restore_from=path, **mapped)
+
+    def served_views(self) -> list[ClassificationView]:
+        """Every view currently behind a server (lifecycle management)."""
+        return [view for view in self.views.values() if view.server is not None]
+
+    def _handle_serving_statement(self, statement: Statement) -> ResultSet:
+        """Executor hook: run one serving lifecycle statement, return its result row."""
+        if isinstance(statement, ServeView):
+            server = self.serve_view(statement.view, statement.options)
+            row = {
+                "view": self.view(statement.view).name,
+                "status": "serving",
+                "shards": len(server.shards),
+                "epoch": server.epoch,
+            }
+            return ResultSet(rows=[row], rowcount=1, statement_type="SERVE VIEW")
+        if isinstance(statement, StopServing):
+            view = self.stop_serving(statement.view)
+            return ResultSet(
+                rows=[{"view": view.name, "status": "stopped"}],
+                rowcount=1,
+                statement_type="STOP SERVING",
+            )
+        if isinstance(statement, CheckpointView):
+            info = self.checkpoint_view(statement.view, statement.path)
+            row = {"view": self.view(statement.view).name, **info}
+            return ResultSet(rows=[row], rowcount=1, statement_type="CHECKPOINT VIEW")
+        if isinstance(statement, RestoreView):
+            from repro.persist.checkpoint import describe_checkpoint
+
+            server = self.restore_view(statement.view, statement.path, statement.options)
+            summary = describe_checkpoint(statement.path)
+            row = {
+                "view": self.view(statement.view).name,
+                "status": "serving",
+                "restored_from": statement.path,
+                "shards": len(server.shards),
+                "epoch": server.epoch,
+                "checkpoint_epoch": summary["epoch"],
+                "examples": summary["examples"],
+            }
+            return ResultSet(rows=[row], rowcount=1, statement_type="RESTORE VIEW")
+        raise ConfigurationError(
+            f"unsupported serving statement {type(statement).__name__}"
+        )  # pragma: no cover - executor routes only the four statements
+
+    def _served_select(self, name: str, select: Select, context: object) -> list | None:
+        """Executor hook: answer a SELECT against a *served* view through the server.
+
+        Point lookups go through the request batcher, All Members and top-k
+        reads scatter/gather across the shards, and everything else
+        materializes one coherent epoch via ``contents()``.  When the caller
+        supplies a connection context (see :func:`repro.connect`), reads run
+        on that connection's session — monotonic read-your-writes.  Returns
+        None when the view is not served, falling back to the direct path.
+        """
+        view = self.views.get(name.lower())
+        if view is None:
+            return None
+        server = view.server
+        if server is None:
+            return None
+        session = None
+        if context is not None and hasattr(context, "session_for"):
+            session = context.session_for(name, server)
+        reader = session if session is not None else server
+        key_column = view.definition.view_key
+        kind, operand = classify_view_read(select, list(select.where), key_column)
+        if kind == "point":
+            try:
+                label = reader.label_of(operand)
+            except KeyNotFoundError:
+                return []
+            return [{key_column: operand, "class": view.from_binary_label(label)}]
+        if kind == "members":
+            try:
+                label = view.to_binary_label(operand)
+            except ConfigurationError:
+                return []  # the class value maps to no known label
+            display = view.from_binary_label(label)
+            return [
+                {key_column: entity_id, "class": display}
+                for entity_id in reader.all_members(label)
+            ]
+        if kind == "topk":
+            return [
+                {
+                    key_column: entity_id,
+                    "class": view.from_binary_label(1),
+                    "margin": margin,
+                }
+                for entity_id, margin in reader.top_k(operand, label=1)
+            ]
+        return [
+            {key_column: entity_id, "class": view.from_binary_label(label)}
+            for entity_id, label in reader.contents().items()
+        ]
 
     # -- warm restart -------------------------------------------------------------------------------
 

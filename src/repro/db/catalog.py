@@ -102,6 +102,19 @@ class Catalog:
         """Sorted classification view names."""
         return sorted(self._classification_views)
 
+    def object_kind(self, name: str) -> str | None:
+        """Which namespace a name lives in: ``"table"``, ``"view"``,
+        ``"classification_view"``, or None when unknown.  Used by the SQL
+        front-end to pick an access path without trial-and-error lookups."""
+        key = name.lower()
+        if key in self._tables:
+            return "table"
+        if key in self._views:
+            return "view"
+        if key in self._classification_views:
+            return "classification_view"
+        return None
+
     def resolve(self, name: str) -> object:
         """Return whichever catalog object (table/view/classification view) matches."""
         key = name.lower()

@@ -85,16 +85,32 @@ class Database:
 
     # -- SQL -------------------------------------------------------------------------------
 
-    def execute(self, sql: str, parameters: tuple | list | None = None) -> ResultSet:
-        """Parse and execute one SQL statement."""
-        return self.executor.execute(parse(sql), parameters)
+    def execute(
+        self,
+        sql: str,
+        parameters: tuple | list | None = None,
+        context: object = None,
+    ) -> ResultSet:
+        """Parse and execute one SQL statement.
 
-    def executemany(self, sql: str, parameter_rows: Sequence[Sequence[object]]) -> int:
+        ``context`` is an opaque per-connection object (see
+        :func:`repro.connect`) giving served-view reads that connection's
+        session semantics; plain ``Database.execute`` calls leave it None and
+        read served views without session tracking.
+        """
+        return self.executor.execute(parse(sql), parameters, context)
+
+    def executemany(
+        self,
+        sql: str,
+        parameter_rows: Sequence[Sequence[object]],
+        context: object = None,
+    ) -> int:
         """Execute a prepared statement once per parameter row; returns total rowcount."""
         statement = parse(sql)
         total = 0
         for parameters in parameter_rows:
-            total += self.executor.execute(statement, parameters).rowcount
+            total += self.executor.execute(statement, parameters, context).rowcount
         return total
 
     # -- convenience ------------------------------------------------------------------------

@@ -15,6 +15,11 @@ __all__ = [
     "Update",
     "Delete",
     "CreateClassificationView",
+    "ServeView",
+    "StopServing",
+    "CheckpointView",
+    "RestoreView",
+    "Explain",
 ]
 
 
@@ -129,3 +134,47 @@ class CreateClassificationView(Statement):
     feature_function: str
     method: str | None = None
     options: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ServeView(Statement):
+    """``SERVE VIEW name [WITH (option = literal, ...)]``.
+
+    Puts a classification view behind the concurrent serving front-end;
+    ``options`` carries the ``WITH`` clause verbatim (``shards``,
+    ``max_read_batch``, ``max_wait_s``, ``adaptive_batching``, ...).
+    """
+
+    view: str
+    options: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class StopServing(Statement):
+    """``STOP SERVING name`` — quiesce the server and hand the view back."""
+
+    view: str
+
+
+@dataclass(frozen=True)
+class CheckpointView(Statement):
+    """``CHECKPOINT VIEW name TO 'path'`` — consistent snapshot of a served view."""
+
+    view: str
+    path: str
+
+
+@dataclass(frozen=True)
+class RestoreView(Statement):
+    """``RESTORE VIEW name FROM 'path' [WITH (...)]`` — warm-start serving."""
+
+    view: str
+    path: str
+    options: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    """``EXPLAIN <statement>`` — deterministic cost-model plan, nothing executed."""
+
+    statement: Statement

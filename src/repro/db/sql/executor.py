@@ -2,26 +2,64 @@
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.db.schema import Column, TableSchema
 from repro.db.sql.ast import (
     PLACEHOLDER,
+    CheckpointView,
     Comparison,
     CreateClassificationView,
     CreateTable,
     Delete,
     DropTable,
+    Explain,
     Insert,
+    RestoreView,
     Select,
+    ServeView,
     Statement,
+    StopServing,
     Update,
 )
 from repro.db.types import DataType
 from repro.exceptions import SQLExecutionError
 
-__all__ = ["ResultSet", "SQLExecutor"]
+__all__ = ["ResultSet", "SQLExecutor", "classify_view_read"]
+
+
+#: Statement types handled by the serving extension (the Hazy engine).
+_SERVING_STATEMENTS = (ServeView, StopServing, CheckpointView, RestoreView)
+
+
+def classify_view_read(
+    select: Select, where: Sequence[Comparison], key_column: str
+) -> tuple[str, object]:
+    """Decide how a SELECT against a classification view should be answered.
+
+    Returns one of ``("point", key)`` — a Single Entity read on the view key;
+    ``("members", class_value)`` — an All Members read; ``("topk", k)`` — a
+    ranked read (``ORDER BY margin DESC LIMIT k``; ascending order asks for
+    the *lowest* margins, which ``top_k`` cannot answer, so it stays a scan);
+    or ``("scan", None)`` — a full materialization.  Shared by the served-read
+    router and ``EXPLAIN`` so the plan printed is the plan executed.
+    """
+    if (
+        select.order_by is not None
+        and select.order_by.lower() == "margin"
+        and select.descending
+        and select.limit is not None
+        and not where
+    ):
+        return ("topk", select.limit)
+    if len(where) == 1 and where[0].operator == "=":
+        column = where[0].column.lower()
+        if column == key_column.lower():
+            return ("point", where[0].value)
+        if column == "class":
+            return ("members", where[0].value)
+    return ("scan", None)
 
 
 @dataclass
@@ -49,6 +87,11 @@ class ResultSet:
 ClassificationViewHandler = Callable[[CreateClassificationView], None]
 #: Row provider for SELECTs against a classification view (installed by the engine).
 ClassificationViewReader = Callable[[str], Iterable[Mapping[str, object]]]
+#: Handler for SERVE VIEW / STOP SERVING / CHECKPOINT VIEW / RESTORE VIEW.
+ServingStatementHandler = Callable[[Statement], "ResultSet"]
+#: Router for SELECTs against *served* views: (name, bound select, context)
+#: -> rows, or None to fall back to the full-materialization reader.
+ServedReadHandler = Callable[[str, Select, object], list | None]
 
 
 class SQLExecutor:
@@ -58,6 +101,8 @@ class SQLExecutor:
         self._database = database
         self._classification_view_handler: ClassificationViewHandler | None = None
         self._classification_view_reader: ClassificationViewReader | None = None
+        self._serving_handler: ServingStatementHandler | None = None
+        self._served_read_handler: ServedReadHandler | None = None
 
     # -- extension hooks (the Hazy engine registers these) -----------------------------
 
@@ -69,10 +114,29 @@ class SQLExecutor:
         """Install the callback that produces rows for classification views."""
         self._classification_view_reader = reader
 
+    def set_serving_handler(self, handler: ServingStatementHandler) -> None:
+        """Install the callback executing the serving lifecycle statements."""
+        self._serving_handler = handler
+
+    def set_served_read_handler(self, handler: ServedReadHandler) -> None:
+        """Install the router answering SELECTs against served views."""
+        self._served_read_handler = handler
+
     # -- entry point ---------------------------------------------------------------------
 
-    def execute(self, statement: Statement, parameters: tuple | list | None = None) -> ResultSet:
-        """Execute one parsed statement, binding ``?`` placeholders from ``parameters``."""
+    def execute(
+        self,
+        statement: Statement,
+        parameters: tuple | list | None = None,
+        context: object = None,
+    ) -> ResultSet:
+        """Execute one parsed statement, binding ``?`` placeholders from ``parameters``.
+
+        ``context`` is an opaque per-connection object (see
+        :class:`repro.connection.Connection`) threaded through to the served
+        read router so that reads against served views get that connection's
+        monotonic read-your-writes session.
+        """
         parameters = list(parameters or [])
         if isinstance(statement, CreateTable):
             return self._execute_create_table(statement)
@@ -83,11 +147,15 @@ class SQLExecutor:
         if isinstance(statement, Insert):
             return self._execute_insert(statement, parameters)
         if isinstance(statement, Select):
-            return self._execute_select(statement, parameters)
+            return self._execute_select(statement, parameters, context)
         if isinstance(statement, Update):
             return self._execute_update(statement, parameters)
         if isinstance(statement, Delete):
             return self._execute_delete(statement, parameters)
+        if isinstance(statement, _SERVING_STATEMENTS):
+            return self._execute_serving_statement(statement)
+        if isinstance(statement, Explain):
+            return self._execute_explain(statement, parameters)
         raise SQLExecutionError(f"unsupported statement type {type(statement).__name__}")
 
     # -- DDL ----------------------------------------------------------------------------
@@ -194,21 +262,41 @@ class SQLExecutor:
 
     def _rows_for(self, table_name: str) -> Iterable[Mapping[str, object]]:
         catalog = self._database.catalog
-        if catalog.has_table(table_name):
+        kind = catalog.object_kind(table_name)
+        if kind == "table":
             return catalog.table(table_name).scan()
-        if catalog.has_classification_view(table_name):
+        if kind == "classification_view":
             if self._classification_view_reader is None:
                 raise SQLExecutionError(
                     f"classification view {table_name!r} exists but no engine is attached"
                 )
             return self._classification_view_reader(table_name)
-        if catalog.has_view(table_name):
+        if kind == "view":
             return catalog.view(table_name)()
         raise SQLExecutionError(f"no table or view named {table_name!r}")
 
-    def _execute_select(self, statement: Select, parameters: list) -> ResultSet:
+    def _execute_select(
+        self, statement: Select, parameters: list, context: object = None
+    ) -> ResultSet:
         where, _ = self._bind_where(statement.where, parameters, 0)
-        matching = [dict(row) for row in self._rows_for(statement.table) if self._matches(row, where)]
+        source: Iterable[Mapping[str, object]] | None = None
+        if (
+            self._served_read_handler is not None
+            and self._database.catalog.has_classification_view(statement.table)
+        ):
+            bound = Select(
+                table=statement.table,
+                columns=statement.columns,
+                where=tuple(where),
+                order_by=statement.order_by,
+                descending=statement.descending,
+                limit=statement.limit,
+                count=statement.count,
+            )
+            source = self._served_read_handler(statement.table, bound, context)
+        if source is None:
+            source = self._rows_for(statement.table)
+        matching = [dict(row) for row in source if self._matches(row, where)]
         if statement.order_by is not None:
             column = statement.order_by
 
@@ -272,3 +360,155 @@ class SQLExecutor:
         for key in keys_to_delete:
             table.delete_by_key(key)
         return ResultSet(rowcount=len(keys_to_delete), statement_type="DELETE")
+
+    # -- serving lifecycle ---------------------------------------------------------------
+
+    def _execute_serving_statement(self, statement: Statement) -> ResultSet:
+        if self._serving_handler is None:
+            raise SQLExecutionError(
+                f"{type(statement).__name__} requires a Hazy engine; "
+                "construct repro.core.HazyEngine over this database (or use "
+                "repro.connect()) first"
+            )
+        return self._serving_handler(statement)
+
+    # -- EXPLAIN -------------------------------------------------------------------------
+
+    def _execute_explain(self, statement: Explain, parameters: list) -> ResultSet:
+        """Print the deterministic cost-model plan for a statement, executing nothing."""
+        inner = statement.statement
+        if isinstance(inner, Select):
+            row = self._explain_select(inner, parameters)
+        elif isinstance(inner, (Insert, Update, Delete)):
+            row = {
+                "statement": type(inner).__name__.upper(),
+                "target": inner.table,
+                "access_path": "dml",
+                "choice": None,
+                "estimated_seconds": None,
+                "detail": "DML statements run triggers; cost depends on attached views",
+            }
+        else:
+            row = {
+                "statement": type(inner).__name__,
+                "target": getattr(inner, "table", getattr(inner, "view", None)),
+                "access_path": "ddl",
+                "choice": None,
+                "estimated_seconds": None,
+                "detail": "no cost estimate for this statement type",
+            }
+        return ResultSet(rows=[row], rowcount=1, statement_type="EXPLAIN")
+
+    def _explain_select(self, statement: Select, parameters: list) -> dict[str, object]:
+        where, _ = self._bind_where(statement.where, parameters, 0)
+        catalog = self._database.catalog
+        name = statement.table
+        kind = catalog.object_kind(name)
+        if kind == "classification_view":
+            return self._explain_view_read(
+                name, catalog.classification_view(name), statement, where
+            )
+        if kind == "table":
+            table = catalog.table(name)
+            cost_model = self._database.cost_model
+            pk = table.schema.primary_key
+            point = (
+                pk is not None
+                and len(where) == 1
+                and where[0].operator == "="
+                and where[0].column.lower() == pk.lower()
+            )
+            if point:
+                estimate = cost_model.statement_overhead + cost_model.random_page_read
+                return {
+                    "statement": "SELECT",
+                    "target": table.name,
+                    "access_path": "table-point",
+                    "choice": "point",
+                    "estimated_seconds": estimate,
+                    "detail": f"primary-key hash lookup on {pk!r} (1 random page)",
+                }
+            estimate = cost_model.statement_overhead + cost_model.scan_cost(
+                table.page_count(), table.row_count()
+            )
+            return {
+                "statement": "SELECT",
+                "target": table.name,
+                "access_path": "table-scan",
+                "choice": "scan",
+                "estimated_seconds": estimate,
+                "detail": (
+                    f"sequential scan of {table.page_count()} pages / "
+                    f"{table.row_count()} tuples"
+                ),
+            }
+        if kind == "view":
+            return {
+                "statement": "SELECT",
+                "target": name,
+                "access_path": "logical-view",
+                "choice": "scan",
+                "estimated_seconds": None,
+                "detail": "logical views materialize through an opaque callable",
+            }
+        raise SQLExecutionError(f"no table or view named {name!r}")
+
+    def _explain_view_read(
+        self, name: str, view, statement: Select, where: list[Comparison]
+    ) -> dict[str, object]:
+        """Cost-model estimate for a read against a classification view.
+
+        Mirrors :func:`classify_view_read` (so the printed plan matches the
+        executed one) and the point-vs-scan choice of
+        :meth:`~repro.core.maintainers.base.ViewMaintainer.read_many`.
+        """
+        kind, operand = classify_view_read(statement, where, view.definition.view_key)
+        server = view.server
+        if server is None:
+            store = view.maintainer.store
+            cost_model = store.cost_model
+            if kind == "point":
+                point_cost = store.point_read_cost_estimate()
+                scan_cost = store.scan_cost_estimate()
+                choice = "point" if point_cost <= scan_cost else "scan"
+                estimate = cost_model.statement_overhead + min(point_cost, scan_cost)
+                detail = "direct maintainer read_single (view is not served)"
+            else:
+                choice = "scan"
+                estimate = cost_model.statement_overhead + store.scan_cost_estimate()
+                detail = f"direct maintainer {kind} read (view is not served)"
+            return {
+                "statement": "SELECT",
+                "target": name,
+                "access_path": f"view-{kind}",
+                "choice": choice,
+                "estimated_seconds": estimate,
+                "detail": detail,
+            }
+        shards = server.shards
+        cost_model = shards.shards[0].maintainer.store.cost_model
+        if kind == "point":
+            store = shards.shard_for(operand).maintainer.store
+            point_cost = store.point_read_cost_estimate()
+            scan_cost = store.scan_cost_estimate()
+            choice = "point" if point_cost <= scan_cost else "scan"
+            estimate = cost_model.statement_overhead + min(point_cost, scan_cost)
+            detail = (
+                f"batched read on shard {shards.shard_for(operand).index} "
+                f"of {len(shards)}; statement overhead amortized per coalesced batch"
+            )
+        else:
+            scan_total = sum(
+                shard.maintainer.store.scan_cost_estimate() for shard in shards.shards
+            )
+            choice = "scan"
+            estimate = cost_model.statement_overhead + scan_total
+            detail = f"scatter/gather {kind} across {len(shards)} shards"
+        return {
+            "statement": "SELECT",
+            "target": name,
+            "access_path": f"served-{kind}",
+            "choice": choice,
+            "estimated_seconds": estimate,
+            "detail": detail,
+        }

@@ -30,7 +30,8 @@ KEYWORDS = frozenset(
         "where", "and", "or", "not", "null", "primary", "key", "update", "set",
         "delete", "order", "by", "asc", "desc", "limit", "count", "classification",
         "view", "entities", "labels", "label", "examples", "feature", "function",
-        "using", "as", "true", "false",
+        "using", "as", "true", "false", "serve", "serving", "stop", "checkpoint",
+        "restore", "to", "with", "explain",
     }
 )
 
@@ -85,7 +86,11 @@ def tokenize(sql: str) -> list[Token]:
                 pieces.append(sql[end])
                 end += 1
             if end >= length:
-                raise SQLSyntaxError(f"unterminated string literal at position {index}")
+                raise SQLSyntaxError(
+                    f"unterminated string literal at position {index}",
+                    position=index,
+                    token=sql[index],
+                )
             tokens.append(Token(TokenType.STRING, "".join(pieces), index))
             index = end + 1
             continue
@@ -119,6 +124,10 @@ def tokenize(sql: str) -> list[Token]:
             tokens.append(Token(token_type, word, index))
             index = end
             continue
-        raise SQLSyntaxError(f"unexpected character {char!r} at position {index}")
+        raise SQLSyntaxError(
+            f"unexpected character {char!r} at position {index}",
+            position=index,
+            token=char,
+        )
     tokens.append(Token(TokenType.END, "", length))
     return tokens

@@ -4,15 +4,20 @@ from __future__ import annotations
 
 from repro.db.sql.ast import (
     PLACEHOLDER,
+    CheckpointView,
     ColumnDefinition,
     Comparison,
     CreateClassificationView,
     CreateTable,
     Delete,
     DropTable,
+    Explain,
     Insert,
+    RestoreView,
     Select,
+    ServeView,
     Statement,
+    StopServing,
     Update,
 )
 from repro.db.sql.lexer import Token, TokenType, tokenize
@@ -49,7 +54,9 @@ class _Parser:
         if not token.matches_keyword(*keywords):
             raise SQLSyntaxError(
                 f"expected {' or '.join(k.upper() for k in keywords)} "
-                f"but found {token.value!r} at position {token.position}"
+                f"but found {token.value!r} at position {token.position}",
+                position=token.position,
+                token=token.value,
             )
         return token
 
@@ -57,7 +64,9 @@ class _Parser:
         token = self._advance()
         if token.type is not TokenType.PUNCTUATION or token.value != symbol:
             raise SQLSyntaxError(
-                f"expected {symbol!r} but found {token.value!r} at position {token.position}"
+                f"expected {symbol!r} but found {token.value!r} at position {token.position}",
+                position=token.position,
+                token=token.value,
             )
         return token
 
@@ -65,7 +74,20 @@ class _Parser:
         token = self._advance()
         if token.type not in (TokenType.IDENTIFIER, TokenType.KEYWORD):
             raise SQLSyntaxError(
-                f"expected an identifier but found {token.value!r} at position {token.position}"
+                f"expected an identifier but found {token.value!r} at position {token.position}",
+                position=token.position,
+                token=token.value,
+            )
+        return token.value
+
+    def _expect_string(self, what: str) -> str:
+        token = self._advance()
+        if token.type is not TokenType.STRING:
+            raise SQLSyntaxError(
+                f"expected a string literal ({what}) but found {token.value!r} "
+                f"at position {token.position}",
+                position=token.position,
+                token=token.value,
             )
         return token.value
 
@@ -107,34 +129,58 @@ class _Parser:
             return True
         if token.matches_keyword("false"):
             return False
-        raise SQLSyntaxError(f"expected a literal but found {token.value!r} at {token.position}")
+        raise SQLSyntaxError(
+            f"expected a literal but found {token.value!r} at position {token.position}",
+            position=token.position,
+            token=token.value,
+        )
 
     # -- statements ------------------------------------------------------------------------
 
     def parse_statement(self) -> Statement:
         """Parse exactly one statement and ensure nothing trails it."""
-        token = self._peek()
-        if token.matches_keyword("create"):
-            statement = self._parse_create()
-        elif token.matches_keyword("drop"):
-            statement = self._parse_drop()
-        elif token.matches_keyword("insert"):
-            statement = self._parse_insert()
-        elif token.matches_keyword("select"):
-            statement = self._parse_select()
-        elif token.matches_keyword("update"):
-            statement = self._parse_update()
-        elif token.matches_keyword("delete"):
-            statement = self._parse_delete()
-        else:
-            raise SQLSyntaxError(f"unsupported statement starting with {token.value!r}")
+        statement = self._parse_statement_body()
         self._accept_punctuation(";")
         trailing = self._peek()
         if trailing.type is not TokenType.END:
             raise SQLSyntaxError(
-                f"unexpected trailing input {trailing.value!r} at position {trailing.position}"
+                f"unexpected trailing input {trailing.value!r} at position {trailing.position}",
+                position=trailing.position,
+                token=trailing.value,
             )
         return statement
+
+    def _parse_statement_body(self) -> Statement:
+        token = self._peek()
+        if token.matches_keyword("create"):
+            return self._parse_create()
+        if token.matches_keyword("drop"):
+            return self._parse_drop()
+        if token.matches_keyword("insert"):
+            return self._parse_insert()
+        if token.matches_keyword("select"):
+            return self._parse_select()
+        if token.matches_keyword("update"):
+            return self._parse_update()
+        if token.matches_keyword("delete"):
+            return self._parse_delete()
+        if token.matches_keyword("serve"):
+            return self._parse_serve()
+        if token.matches_keyword("stop"):
+            return self._parse_stop_serving()
+        if token.matches_keyword("checkpoint"):
+            return self._parse_checkpoint()
+        if token.matches_keyword("restore"):
+            return self._parse_restore()
+        if token.matches_keyword("explain"):
+            self._advance()
+            return Explain(statement=self._parse_statement_body())
+        raise SQLSyntaxError(
+            f"unsupported statement starting with {token.value!r} "
+            f"at position {token.position}",
+            position=token.position,
+            token=token.value,
+        )
 
     def _parse_create(self) -> Statement:
         self._expect_keyword("create")
@@ -256,7 +302,10 @@ class _Parser:
             operator_token = self._advance()
             if operator_token.type is not TokenType.OPERATOR:
                 raise SQLSyntaxError(
-                    f"expected a comparison operator at position {operator_token.position}"
+                    f"expected a comparison operator but found {operator_token.value!r} "
+                    f"at position {operator_token.position}",
+                    position=operator_token.position,
+                    token=operator_token.value,
                 )
             operator = "!=" if operator_token.value == "<>" else operator_token.value
             value = self._parse_literal()
@@ -296,9 +345,15 @@ class _Parser:
                 self._accept_keyword("asc")
         limit: int | None = None
         if self._accept_keyword("limit"):
+            literal_token = self._peek()
             literal = self._parse_literal()
             if not isinstance(literal, int):
-                raise SQLSyntaxError("LIMIT expects an integer literal")
+                raise SQLSyntaxError(
+                    f"LIMIT expects an integer literal, found {literal_token.value!r} "
+                    f"at position {literal_token.position}",
+                    position=literal_token.position,
+                    token=literal_token.value,
+                )
             limit = literal
         return Select(
             table=table,
@@ -319,7 +374,12 @@ class _Parser:
             column = self._expect_identifier()
             operator = self._advance()
             if operator.type is not TokenType.OPERATOR or operator.value != "=":
-                raise SQLSyntaxError(f"expected '=' in SET clause at {operator.position}")
+                raise SQLSyntaxError(
+                    f"expected '=' in SET clause but found {operator.value!r} "
+                    f"at position {operator.position}",
+                    position=operator.position,
+                    token=operator.value,
+                )
             assignments.append((column, self._parse_literal()))
             if not self._accept_punctuation(","):
                 break
@@ -332,3 +392,56 @@ class _Parser:
         table = self._expect_identifier()
         where = self._parse_where()
         return Delete(table=table, where=where)
+
+    # -- serving statements ------------------------------------------------------------------
+
+    def _parse_with_options(self) -> dict[str, object]:
+        """``WITH (name = literal, ...)`` — empty dict when absent."""
+        if not self._accept_keyword("with"):
+            return {}
+        self._expect_punctuation("(")
+        options: dict[str, object] = {}
+        while True:
+            name = self._expect_identifier()
+            operator = self._advance()
+            if operator.type is not TokenType.OPERATOR or operator.value != "=":
+                raise SQLSyntaxError(
+                    f"expected '=' in WITH clause but found {operator.value!r} "
+                    f"at position {operator.position}",
+                    position=operator.position,
+                    token=operator.value,
+                )
+            options[name.lower()] = self._parse_literal()
+            if not self._accept_punctuation(","):
+                break
+        self._expect_punctuation(")")
+        return options
+
+    def _parse_serve(self) -> ServeView:
+        self._expect_keyword("serve")
+        self._expect_keyword("view")
+        view = self._expect_identifier()
+        options = self._parse_with_options()
+        return ServeView(view=view, options=options)
+
+    def _parse_stop_serving(self) -> StopServing:
+        self._expect_keyword("stop")
+        self._expect_keyword("serving")
+        return StopServing(view=self._expect_identifier())
+
+    def _parse_checkpoint(self) -> CheckpointView:
+        self._expect_keyword("checkpoint")
+        self._expect_keyword("view")
+        view = self._expect_identifier()
+        self._expect_keyword("to")
+        path = self._expect_string("checkpoint path")
+        return CheckpointView(view=view, path=path)
+
+    def _parse_restore(self) -> RestoreView:
+        self._expect_keyword("restore")
+        self._expect_keyword("view")
+        view = self._expect_identifier()
+        self._expect_keyword("from")
+        path = self._expect_string("checkpoint path")
+        options = self._parse_with_options()
+        return RestoreView(view=view, path=path, options=options)

@@ -51,7 +51,20 @@ class SQLError(DatabaseError):
 
 
 class SQLSyntaxError(SQLError):
-    """The SQL text could not be tokenized or parsed."""
+    """The SQL text could not be tokenized or parsed.
+
+    Carries machine-readable diagnostics alongside the message: ``position``
+    is the 0-based character offset of the offending token in the input and
+    ``token`` is its text (both None when the error is not anchored to one
+    token, e.g. an unterminated string reported at its opening quote).
+    """
+
+    def __init__(
+        self, message: str, position: int | None = None, token: str | None = None
+    ) -> None:
+        super().__init__(message)
+        self.position = position
+        self.token = token
 
 
 class SQLExecutionError(SQLError):

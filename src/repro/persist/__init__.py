@@ -24,6 +24,7 @@ replays only the base-table churn that happened after the checkpoint.
 from repro.persist.checkpoint import (
     FEATURES_NAME,
     MANIFEST_NAME,
+    describe_checkpoint,
     load_checkpoint,
     shard_file_name,
     write_feature_function,
@@ -54,6 +55,7 @@ __all__ = [
     "FEATURES_NAME",
     "shard_file_name",
     "load_checkpoint",
+    "describe_checkpoint",
     "write_shard_state",
     "write_manifest",
     "write_feature_function",

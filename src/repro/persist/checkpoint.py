@@ -35,6 +35,7 @@ __all__ = [
     "write_manifest",
     "write_feature_function",
     "load_checkpoint",
+    "describe_checkpoint",
 ]
 
 MANIFEST_NAME = "MANIFEST.hzs"
@@ -60,6 +61,28 @@ def write_feature_function(directory: Path | str, feature_function: object) -> i
     """Pickle the feature function (corpus statistics included) into a frame."""
     payload = pickle.dumps(feature_function, protocol=pickle.HIGHEST_PROTOCOL)
     return write_frame(Path(directory) / FEATURES_NAME, payload)
+
+
+def describe_checkpoint(path: Path | str) -> dict[str, object]:
+    """Summarize a checkpoint by reading (and validating) only its manifest.
+
+    Cheap inspection for tooling and the SQL ``RESTORE VIEW`` result row: no
+    shard payloads are decoded and no feature function is unpickled.
+    """
+    directory = Path(path)
+    if not directory.is_dir():
+        raise SnapshotError(f"checkpoint directory {directory} does not exist")
+    manifest = CheckpointManifest.from_document(read_json_frame(directory / MANIFEST_NAME))
+    return {
+        "path": str(directory),
+        "view": manifest.view_name,
+        "epoch": manifest.epoch,
+        "num_shards": manifest.num_shards,
+        "examples": len(manifest.examples),
+        "architecture": manifest.architecture,
+        "strategy": manifest.strategy,
+        "approach": manifest.approach,
+    }
 
 
 def load_checkpoint(path: Path | str) -> LoadedCheckpoint:

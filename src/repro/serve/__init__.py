@@ -45,21 +45,23 @@ Module map
     handed back to producers.
 """
 
-from repro.serve.batcher import ReadBatcher
+from repro.serve.batcher import AdaptiveBatchWindow, ReadBatcher
 from repro.serve.cache import WaterBandResultCache
 from repro.serve.maintenance import MaintenanceWorker
 from repro.serve.requests import WriteKind, WriteOp, WriteTicket
 from repro.serve.server import ClientSession, ViewServer
 from repro.serve.sharding import Shard, ShardSet, shard_index
-from repro.serve.sync import EpochClock, ReadWriteLock
+from repro.serve.sync import EpochClock, ReadWriteLock, SessionRegistry
 
 __all__ = [
     "ViewServer",
     "ClientSession",
+    "SessionRegistry",
     "ShardSet",
     "Shard",
     "shard_index",
     "ReadBatcher",
+    "AdaptiveBatchWindow",
     "MaintenanceWorker",
     "WaterBandResultCache",
     "ReadWriteLock",

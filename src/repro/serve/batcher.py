@@ -13,6 +13,13 @@ under concurrency requests pile up behind the executing batch and the next
 round drains them together — throughput rises exactly when it matters.  A
 positive ``max_wait_s`` additionally holds the first request of a round open
 for stragglers, trading a bounded latency hit for fuller batches.
+
+With ``adaptive=True`` the window is not configured at all: an
+:class:`AdaptiveBatchWindow` tracks an EWMA of observed inter-arrival times
+and sizes the wait to what would plausibly fill a batch — near zero when
+requests are sparse (a lone client never waits for stragglers that are not
+coming), approaching ``max_wait_cap_s`` only when arrivals are dense enough
+that a short hold genuinely coalesces work.
 """
 
 from __future__ import annotations
@@ -23,9 +30,69 @@ import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future
 
-__all__ = ["ReadBatcher"]
+__all__ = ["ReadBatcher", "AdaptiveBatchWindow"]
 
 _SHUTDOWN = object()
+
+
+class AdaptiveBatchWindow:
+    """Derives a batching window from an EWMA of request inter-arrival times.
+
+    The policy, with ``a`` the smoothed inter-arrival time:
+
+    * no arrivals observed yet → window 0 (never penalize the first client);
+    * ``a >= max_wait_cap_s`` → window 0 — at that rate even a full cap-length
+      hold would coalesce at most one extra request, so waiting is pure
+      latency;
+    * otherwise → ``min(a * (max_batch - 1), max_wait_cap_s)`` — long enough
+      to plausibly fill a batch at the observed rate, never above the cap.
+
+    The window is therefore always inside ``[0, max_wait_cap_s]`` (the bound
+    the unit tests pin), and observation is O(1) per request under one lock.
+    """
+
+    def __init__(
+        self, max_batch: int, max_wait_cap_s: float = 0.002, alpha: float = 0.2
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_cap_s < 0:
+            raise ValueError("max_wait_cap_s must be >= 0")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._max_batch = int(max_batch)
+        self.max_wait_cap_s = float(max_wait_cap_s)
+        self._alpha = float(alpha)
+        self._lock = threading.Lock()
+        self._last_arrival: float | None = None
+        self._interarrival_s: float | None = None
+
+    def observe(self, now: float) -> None:
+        """Fold one request arrival (monotonic timestamp) into the EWMA."""
+        with self._lock:
+            if self._last_arrival is not None:
+                delta = max(0.0, now - self._last_arrival)
+                if self._interarrival_s is None:
+                    self._interarrival_s = delta
+                else:
+                    self._interarrival_s = (
+                        self._alpha * delta + (1.0 - self._alpha) * self._interarrival_s
+                    )
+            self._last_arrival = now
+
+    @property
+    def interarrival_s(self) -> float | None:
+        """The smoothed inter-arrival estimate (None until two arrivals)."""
+        with self._lock:
+            return self._interarrival_s
+
+    def window_s(self) -> float:
+        """The wait the collector should use for the next round."""
+        with self._lock:
+            interarrival = self._interarrival_s
+        if interarrival is None or interarrival >= self.max_wait_cap_s:
+            return 0.0
+        return min(interarrival * (self._max_batch - 1), self.max_wait_cap_s)
 
 
 class ReadBatcher:
@@ -43,6 +110,12 @@ class ReadBatcher:
     max_wait_s:
         How long the collector holds a round open for more arrivals once it
         has at least one request.  0 = drain-only (no added latency).
+        Ignored when ``adaptive`` is set.
+    adaptive:
+        Derive the wait from an :class:`AdaptiveBatchWindow` over observed
+        arrival rates instead of the fixed ``max_wait_s``.
+    max_wait_cap_s / ewma_alpha:
+        Bound and smoothing factor for the adaptive window.
     """
 
     def __init__(
@@ -50,12 +123,18 @@ class ReadBatcher:
         execute_batch: Callable[[Sequence[object]], dict[object, object]],
         max_batch: int = 64,
         max_wait_s: float = 0.0,
+        adaptive: bool = False,
+        max_wait_cap_s: float = 0.002,
+        ewma_alpha: float = 0.2,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self._execute_batch = execute_batch
         self._max_batch = int(max_batch)
         self._max_wait_s = float(max_wait_s)
+        self.window = (
+            AdaptiveBatchWindow(max_batch, max_wait_cap_s, ewma_alpha) if adaptive else None
+        )
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
         self.rounds = 0
@@ -72,6 +151,8 @@ class ReadBatcher:
         """Enqueue one read; the future resolves to ``execute_batch``'s value for it."""
         if self._closed:
             raise RuntimeError("batcher is closed")
+        if self.window is not None:
+            self.window.observe(time.monotonic())
         future: Future = Future()
         self._queue.put((key, future))
         return future
@@ -88,7 +169,8 @@ class ReadBatcher:
         if item is _SHUTDOWN:
             return None
         batch = [item]
-        deadline = time.monotonic() + self._max_wait_s
+        wait_s = self.window.window_s() if self.window is not None else self._max_wait_s
+        deadline = time.monotonic() + wait_s
         while len(batch) < self._max_batch:
             remaining = deadline - time.monotonic()
             try:
@@ -153,9 +235,12 @@ class ReadBatcher:
 
     def stats(self) -> dict[str, float]:
         """Coalescing counters (average batch size is the interesting one)."""
-        return {
+        stats: dict[str, float] = {
             "rounds": self.rounds,
             "requests": self.requests,
             "largest_batch": self.largest_batch,
             "avg_batch": self.requests / self.rounds if self.rounds else 0.0,
         }
+        if self.window is not None:
+            stats["adaptive_window_s"] = self.window.window_s()
+        return stats

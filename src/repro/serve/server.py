@@ -77,8 +77,11 @@ class ClientSession:
 
     def _before_read(self) -> None:
         if self._pending is not None:
-            self.last_epoch = max(self.last_epoch, self._pending.wait())
-            self._pending = None
+            # Clear the ticket before waiting: if the write failed, its error
+            # surfaces on this read (read-your-writes of the failure) and the
+            # session then recovers instead of re-raising forever.
+            ticket, self._pending = self._pending, None
+            self.last_epoch = max(self.last_epoch, ticket.wait())
 
     def _observe(self, epoch: int) -> None:
         if epoch < self.last_epoch:
@@ -109,6 +112,11 @@ class ClientSession:
         self._observe(epoch)
         return ranked
 
+    def contents(self) -> dict[object, int]:
+        """Full-view read (one coherent epoch) that waits for this session's writes."""
+        self._before_read()
+        return self._server.contents()
+
     def insert_example(self, entity_id: object, label_value: object) -> WriteTicket:
         """Queue a training example; subsequent session reads see it applied."""
         ticket = self._server.insert_example(entity_id, label_value)
@@ -120,6 +128,11 @@ class ClientSession:
         ticket = self._server.insert_entity(row)
         self._pending = ticket
         return ticket
+
+    def note_write(self, ticket: WriteTicket) -> None:
+        """Register a write issued outside this session (e.g. a SQL INSERT
+        executed on this session's connection) for read-your-writes."""
+        self._pending = ticket
 
 
 class ViewServer:
@@ -159,7 +172,7 @@ class ViewServer:
         initial_examples: Sequence[TrainingExample] = (),
         num_shards: int = 4,
         max_read_batch: int = 64,
-        read_batch_wait_s: float = 0.0,
+        read_batch_wait_s: float | str = 0.0,
         queue_capacity: int = 4096,
         max_write_batch: int = 64,
         cache_capacity: int = 100_000,
@@ -211,9 +224,16 @@ class ViewServer:
         self._dispatched_tables: list = []
         self._trigger_kinds: dict[str, WriteKind] = {}
         self._ticket_local = threading.local()
-        self.batcher = ReadBatcher(
-            self._execute_read_batch, max_batch=max_read_batch, max_wait_s=read_batch_wait_s
-        )
+        if read_batch_wait_s == "adaptive":
+            self.batcher = ReadBatcher(
+                self._execute_read_batch, max_batch=max_read_batch, adaptive=True
+            )
+        else:
+            self.batcher = ReadBatcher(
+                self._execute_read_batch,
+                max_batch=max_read_batch,
+                max_wait_s=float(read_batch_wait_s),
+            )
         self.worker = MaintenanceWorker(
             self, queue_capacity=queue_capacity, max_batch=max_write_batch
         )
@@ -337,6 +357,27 @@ class ViewServer:
     def flush(self, timeout: float | None = None) -> int:
         """Barrier: block until every previously queued write is visible."""
         return self.worker.flush(timeout=timeout)
+
+    def take_session_ticket(self) -> WriteTicket | None:
+        """Claim the ticket of the last diverted write issued on this thread.
+
+        SQL DML against the view's base tables reaches the maintenance queue
+        through the trigger dispatcher, which parks the resulting ticket in a
+        thread-local; the connection layer claims it here (exactly once) to
+        give its per-connection session read-your-writes over plain SQL.
+        """
+        ticket = getattr(self._ticket_local, "ticket", None)
+        self._ticket_local.ticket = None
+        return ticket
+
+    def source_table_names(self) -> tuple[str, ...]:
+        """Lower-cased base-table names feeding this server (attached mode)."""
+        if self._view is None:
+            return ()
+        return (
+            self._view.definition.entities_table.lower(),
+            self._view.definition.examples_table.lower(),
+        )
 
     # ------------------------------------------- host protocol (maintenance worker)
 

@@ -12,6 +12,11 @@ Two small pieces:
   the maintenance worker after each fully applied batch.  Readers tag results
   with the epoch they observed, write tickets resolve to the epoch at which
   the write became visible, and ``wait_for`` implements read-your-writes.
+* :class:`SessionRegistry` — one client-side session per served view,
+  lazily created and re-created when a view is re-served.  This is the
+  "context" object :func:`repro.connect` threads through the SQL executor so
+  that every SELECT a connection issues against a served view observes that
+  connection's monotonic read-your-writes timeline.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 
-__all__ = ["ReadWriteLock", "EpochClock"]
+__all__ = ["ReadWriteLock", "EpochClock", "SessionRegistry"]
 
 
 class ReadWriteLock:
@@ -118,3 +123,34 @@ class EpochClock:
         """Block until the clock reaches ``epoch``; False on timeout."""
         with self._condition:
             return self._condition.wait_for(lambda: self._epoch >= epoch, timeout=timeout)
+
+
+class SessionRegistry:
+    """Per-connection map from served view name to its live ``ClientSession``.
+
+    A session belongs to one ``ViewServer`` incarnation: when a view is
+    stopped and served again (or restored from a checkpoint), the stale
+    session is silently replaced — the new server's epoch clock may have
+    restarted, so carrying the old session's watermark across would raise
+    spurious monotonicity violations.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, object] = {}
+
+    def session_for(self, name: str, server):
+        """The session bound to ``name``, creating/replacing it as needed."""
+        key = name.lower()
+        session = self._sessions.get(key)
+        if session is None or session._server is not server:
+            session = server.session()
+            self._sessions[key] = session
+        return session
+
+    def note_write(self, name: str, server, ticket) -> None:
+        """Record a write ticket so the view's next session read waits for it."""
+        self.session_for(name, server).note_write(ticket)
+
+    def clear(self) -> None:
+        """Drop every session (connection close)."""
+        self._sessions.clear()

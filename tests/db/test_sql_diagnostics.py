@@ -1,0 +1,123 @@
+"""Parse-error diagnostics: every syntax error reports the offending token
+and its character position, machine-readably."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.sql.parser import parse
+from repro.exceptions import SQLSyntaxError
+
+
+def parse_error(sql: str) -> SQLSyntaxError:
+    with pytest.raises(SQLSyntaxError) as excinfo:
+        parse(sql)
+    return excinfo.value
+
+
+class TestServingStatementDiagnostics:
+    def test_serve_missing_view_keyword(self):
+        sql = "SERVE TABLE papers"
+        error = parse_error(sql)
+        assert error.token == "TABLE"
+        assert error.position == sql.index("TABLE")
+        assert "expected VIEW" in str(error)
+        assert f"position {error.position}" in str(error)
+
+    def test_serve_with_missing_equals(self):
+        sql = "SERVE VIEW v WITH (shards 4)"
+        error = parse_error(sql)
+        assert error.token == "4"
+        assert error.position == sql.index("4)")
+        assert "WITH clause" in str(error)
+
+    def test_serve_with_non_literal_value(self):
+        sql = "SERVE VIEW v WITH (shards = lots)"
+        error = parse_error(sql)
+        assert error.token == "lots"
+        assert error.position == sql.index("lots")
+
+    def test_stop_without_serving(self):
+        sql = "STOP THE SERVER"
+        error = parse_error(sql)
+        assert error.token == "THE"
+        assert error.position == sql.index("THE")
+        assert "expected SERVING" in str(error)
+
+    def test_checkpoint_missing_to(self):
+        sql = "CHECKPOINT VIEW v INTO '/tmp/x'"
+        error = parse_error(sql)
+        assert error.token == "INTO"
+        assert error.position == sql.index("INTO")
+
+    def test_checkpoint_path_must_be_string(self):
+        sql = "CHECKPOINT VIEW v TO ckpath"
+        error = parse_error(sql)
+        assert error.token == "ckpath"
+        assert error.position == sql.index("ckpath")
+        assert "string literal" in str(error)
+
+    def test_restore_missing_from(self):
+        sql = "RESTORE VIEW v '/tmp/x'"
+        error = parse_error(sql)
+        assert error.token == "/tmp/x"
+        assert error.position == sql.index("'/tmp/x'")
+        assert "expected FROM" in str(error)
+
+    def test_restore_trailing_garbage(self):
+        sql = "RESTORE VIEW v FROM '/tmp/x' quickly"
+        error = parse_error(sql)
+        assert error.token == "quickly"
+        assert error.position == sql.index("quickly")
+        assert "trailing" in str(error)
+
+
+class TestPreExistingStatementDiagnostics:
+    def test_unknown_statement_start(self):
+        sql = "VACUUM papers"
+        error = parse_error(sql)
+        assert error.token == "VACUUM"
+        assert error.position == 0
+
+    def test_select_missing_from(self):
+        sql = "SELECT id papers"
+        error = parse_error(sql)
+        assert error.token == "papers"
+        assert error.position == sql.index("papers")
+
+    def test_insert_missing_values_keyword(self):
+        sql = "INSERT INTO t (a) VALUE (1)"
+        error = parse_error(sql)
+        assert error.token == "VALUE"
+        assert error.position == sql.index("VALUE")
+
+    def test_where_missing_operator(self):
+        sql = "SELECT * FROM t WHERE id 5"
+        error = parse_error(sql)
+        assert error.token == "5"
+        assert error.position == sql.index("5")
+        assert "comparison operator" in str(error)
+
+    def test_limit_requires_integer(self):
+        sql = "SELECT * FROM t LIMIT 'ten'"
+        error = parse_error(sql)
+        assert error.token == "ten"
+        assert error.position == sql.index("'ten'")
+
+    def test_update_set_missing_equals(self):
+        sql = "UPDATE t SET a 1"
+        error = parse_error(sql)
+        assert error.token == "1"
+        assert error.position == sql.index("1")
+        assert "SET clause" in str(error)
+
+    def test_lexer_unexpected_character(self):
+        sql = "SELECT * FROM t WHERE id = @"
+        error = parse_error(sql)
+        assert error.token == "@"
+        assert error.position == sql.index("@")
+
+    def test_lexer_unterminated_string(self):
+        sql = "SELECT * FROM t WHERE name = 'open"
+        error = parse_error(sql)
+        assert error.position == sql.index("'open")

@@ -1,0 +1,286 @@
+"""The declarative serving surface: SERVE / STOP SERVING / CHECKPOINT /
+RESTORE / EXPLAIN statements and SELECT routing through the ViewServer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import HazyEngine
+from repro.db.database import Database
+from repro.db.sql.ast import (
+    CheckpointView,
+    Explain,
+    RestoreView,
+    Select,
+    ServeView,
+    StopServing,
+)
+from repro.db.sql.parser import parse
+from repro.exceptions import ConfigurationError, SQLExecutionError, ViewDefinitionError
+from repro.workloads.synth_text import SparseCorpusGenerator
+
+VIEW_DDL = (
+    "CREATE CLASSIFICATION VIEW labeled_papers KEY id "
+    "ENTITIES FROM papers KEY id "
+    "LABELS FROM paper_area LABEL label "
+    "EXAMPLES FROM example_papers KEY id LABEL label "
+    "FEATURE FUNCTION tf_bag_of_words USING SVM"
+)
+
+
+def build_portal(count: int = 80, seed: int = 11):
+    db = Database()
+    db.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
+    db.execute("CREATE TABLE paper_area (label text PRIMARY KEY)")
+    db.execute("CREATE TABLE example_papers (id integer PRIMARY KEY, label text)")
+    db.execute("INSERT INTO paper_area (label) VALUES ('database'), ('other')")
+    documents = SparseCorpusGenerator(
+        vocabulary_size=300, nonzeros_per_document=10, positive_fraction=0.4, seed=seed
+    ).generate_list(count)
+    db.executemany(
+        "INSERT INTO papers (id, title) VALUES (?, ?)",
+        [(doc.entity_id, doc.text) for doc in documents],
+    )
+    engine = HazyEngine(db)
+    db.execute(VIEW_DDL)
+    for doc in documents[:30]:
+        db.execute(
+            "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+            (doc.entity_id, "database" if doc.label == 1 else "other"),
+        )
+    return db, engine, documents
+
+
+class TestParsing:
+    def test_serve_view_defaults(self):
+        statement = parse("SERVE VIEW labeled_papers")
+        assert isinstance(statement, ServeView)
+        assert statement.view == "labeled_papers"
+        assert statement.options == {}
+
+    def test_serve_view_with_options(self):
+        statement = parse(
+            "SERVE VIEW v WITH (shards = 8, max_wait_s = 0.002, adaptive_batching = true)"
+        )
+        assert statement.options == {
+            "shards": 8,
+            "max_wait_s": 0.002,
+            "adaptive_batching": True,
+        }
+
+    def test_stop_serving(self):
+        statement = parse("STOP SERVING v;")
+        assert isinstance(statement, StopServing)
+        assert statement.view == "v"
+
+    def test_checkpoint_view(self):
+        statement = parse("CHECKPOINT VIEW v TO '/tmp/ck'")
+        assert isinstance(statement, CheckpointView)
+        assert (statement.view, statement.path) == ("v", "/tmp/ck")
+
+    def test_restore_view_with_options(self):
+        statement = parse("RESTORE VIEW v FROM '/tmp/ck' WITH (max_read_batch = 32)")
+        assert isinstance(statement, RestoreView)
+        assert statement.path == "/tmp/ck"
+        assert statement.options == {"max_read_batch": 32}
+
+    def test_explain_wraps_any_statement(self):
+        statement = parse("EXPLAIN SELECT * FROM t WHERE id = 3")
+        assert isinstance(statement, Explain)
+        assert isinstance(statement.statement, Select)
+
+
+class TestExecutionWithoutEngine:
+    def test_serving_statements_require_engine(self):
+        db = Database()
+        for sql in (
+            "SERVE VIEW v",
+            "STOP SERVING v",
+            "CHECKPOINT VIEW v TO '/tmp/x'",
+            "RESTORE VIEW v FROM '/tmp/x'",
+        ):
+            with pytest.raises(SQLExecutionError, match="requires a Hazy engine"):
+                db.execute(sql)
+
+
+class TestServingLifecycle:
+    def test_serve_select_stop_roundtrip(self):
+        db, engine, documents = build_portal()
+        row = db.execute("SERVE VIEW labeled_papers WITH (shards = 2)").rows[0]
+        assert row["status"] == "serving"
+        assert row["shards"] == 2
+        view = engine.view("labeled_papers")
+        assert view.server is not None
+
+        # Point lookup routes through the batcher; answer matches the server.
+        doc = documents[0]
+        sql_class = db.execute(
+            "SELECT class FROM labeled_papers WHERE id = ?", (doc.entity_id,)
+        ).scalar()
+        assert sql_class == view.from_binary_label(view.server.label_of(doc.entity_id))
+
+        # All Members scatter/gathers; count matches the server's view.
+        count = db.execute(
+            "SELECT COUNT(*) FROM labeled_papers WHERE class = 'database'"
+        ).scalar()
+        assert count == len(view.server.all_members(1))
+
+        # Top-k via the margin virtual column.
+        ranked = db.execute(
+            "SELECT id, margin FROM labeled_papers ORDER BY margin DESC LIMIT 3"
+        ).rows
+        assert [r["id"] for r in ranked] == [eid for eid, _ in view.server.top_k(3, 1)]
+
+        # Ascending margin order is NOT a top-k read (top_k answers highest
+        # margins only); it must not silently return the same rows reversed.
+        with pytest.raises(SQLExecutionError, match="ORDER BY"):
+            db.execute("SELECT id FROM labeled_papers ORDER BY margin ASC LIMIT 3")
+
+        stopped = db.execute("STOP SERVING labeled_papers").rows[0]
+        assert stopped["status"] == "stopped"
+        assert view.server is None
+        # Reads still work through the direct maintainer afterwards.
+        assert db.execute("SELECT COUNT(*) FROM labeled_papers").scalar() == len(documents)
+
+    def test_serve_unknown_option_rejected(self):
+        db, engine, _ = build_portal(count=20)
+        with pytest.raises(ConfigurationError, match="unknown serving option"):
+            db.execute("SERVE VIEW labeled_papers WITH (bogus = 1)")
+        assert engine.view("labeled_papers").server is None
+
+    def test_adaptive_batching_conflicts_with_fixed_window(self):
+        db, engine, _ = build_portal(count=20)
+        # Rejected in either option order — never silently resolved.
+        for options in (
+            "adaptive_batching = true, max_wait_s = 0.001",
+            "max_wait_s = 0.001, adaptive_batching = true",
+        ):
+            with pytest.raises(ConfigurationError, match="adaptive_batching"):
+                db.execute(f"SERVE VIEW labeled_papers WITH ({options})")
+        assert engine.view("labeled_papers").server is None
+        # adaptive_batching = false is just "use the default window".
+        db.execute("SERVE VIEW labeled_papers WITH (adaptive_batching = false)")
+        assert engine.view("labeled_papers").server.batcher.window is None
+        db.execute("STOP SERVING labeled_papers")
+
+    def test_stop_serving_unserved_view_fails(self):
+        db, _, _ = build_portal(count=20)
+        with pytest.raises(ViewDefinitionError, match="not being served"):
+            db.execute("STOP SERVING labeled_papers")
+
+    def test_checkpoint_requires_serving(self, tmp_path):
+        db, _, _ = build_portal(count=20)
+        with pytest.raises(ViewDefinitionError, match="not being served"):
+            db.execute(f"CHECKPOINT VIEW labeled_papers TO '{tmp_path / 'ck'}'")
+
+    def test_checkpoint_and_restore_via_sql(self, tmp_path):
+        db, engine, documents = build_portal()
+        db.execute("SERVE VIEW labeled_papers WITH (shards = 2)")
+        directory = tmp_path / "ck"
+        info = db.execute(f"CHECKPOINT VIEW labeled_papers TO '{directory}'").rows[0]
+        assert info["entities"] == len(documents)
+        before = db.execute("SELECT id, class FROM labeled_papers ORDER BY id").rows
+        db.execute("STOP SERVING labeled_papers")
+
+        # A fresh process: same base tables, new engine, RESTORE instead of CREATE.
+        db2 = Database()
+        db2.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
+        db2.execute("CREATE TABLE paper_area (label text PRIMARY KEY)")
+        db2.execute("CREATE TABLE example_papers (id integer PRIMARY KEY, label text)")
+        db2.execute("INSERT INTO paper_area (label) VALUES ('database'), ('other')")
+        db2.executemany(
+            "INSERT INTO papers (id, title) VALUES (?, ?)",
+            [(doc.entity_id, doc.text) for doc in documents],
+        )
+        db2.executemany(
+            "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+            [
+                (doc.entity_id, "database" if doc.label == 1 else "other")
+                for doc in documents[:30]
+            ],
+        )
+        engine2 = HazyEngine(db2)
+        restored = db2.execute(f"RESTORE VIEW labeled_papers FROM '{directory}'").rows[0]
+        assert restored["status"] == "serving"
+        after = db2.execute("SELECT id, class FROM labeled_papers ORDER BY id").rows
+        assert after == before
+        assert engine2.view("labeled_papers").server is not None
+        db2.execute("STOP SERVING labeled_papers")
+
+
+class TestExplain:
+    def test_explain_table_point_and_scan(self):
+        db, _, documents = build_portal(count=20)
+        point = db.execute("EXPLAIN SELECT * FROM papers WHERE id = 1").rows[0]
+        assert point["access_path"] == "table-point"
+        assert point["estimated_seconds"] > 0
+        scan = db.execute("EXPLAIN SELECT * FROM papers").rows[0]
+        assert scan["access_path"] == "table-scan"
+        assert scan["estimated_seconds"] > 0
+        # The estimates are the cost model's, not guesses: a scan prices the
+        # table's actual pages and tuples, a point read one random page.
+        table = db.table("papers")
+        expected = db.cost_model.statement_overhead + db.cost_model.scan_cost(
+            table.page_count(), table.row_count()
+        )
+        assert scan["estimated_seconds"] == pytest.approx(expected)
+
+    def test_explain_view_unserved_vs_served(self):
+        db, _, _ = build_portal(count=20)
+        unserved = db.execute("EXPLAIN SELECT class FROM labeled_papers WHERE id = 1").rows[0]
+        assert unserved["access_path"] == "view-point"
+        assert unserved["choice"] in ("point", "scan")
+        assert unserved["estimated_seconds"] > 0
+
+        db.execute("SERVE VIEW labeled_papers WITH (shards = 2)")
+        served = db.execute("EXPLAIN SELECT class FROM labeled_papers WHERE id = 1").rows[0]
+        assert served["access_path"] == "served-point"
+        members = db.execute(
+            "EXPLAIN SELECT COUNT(*) FROM labeled_papers WHERE class = 'database'"
+        ).rows[0]
+        assert members["access_path"] == "served-members"
+        topk = db.execute(
+            "EXPLAIN SELECT id FROM labeled_papers ORDER BY margin DESC LIMIT 5"
+        ).rows[0]
+        assert topk["access_path"] == "served-topk"
+        db.execute("STOP SERVING labeled_papers")
+
+    def test_explain_is_deterministic_and_side_effect_free(self):
+        db, _, _ = build_portal(count=20)
+        first = db.execute("EXPLAIN SELECT class FROM labeled_papers WHERE id = 1").rows
+        second = db.execute("EXPLAIN SELECT class FROM labeled_papers WHERE id = 1").rows
+        assert first == second
+
+    def test_explain_dml(self):
+        db, _, _ = build_portal(count=20)
+        row = db.execute("EXPLAIN INSERT INTO papers (id, title) VALUES (999, 'x')").rows[0]
+        assert row["statement"] == "INSERT"
+        # Nothing was inserted.
+        assert db.execute("SELECT COUNT(*) FROM papers WHERE id = 999").scalar() == 0
+
+
+class TestServedSessionSemantics:
+    def test_sql_read_your_writes_through_context(self):
+        db, engine, documents = build_portal()
+        db.execute("SERVE VIEW labeled_papers WITH (shards = 2)")
+        from repro.serve.sync import SessionRegistry
+
+        context = SessionRegistry()
+        doc = documents[40]
+        db.execute(
+            "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+            (doc.entity_id, "database" if doc.label == 1 else "other"),
+            context=context,
+        )
+        server = engine.view("labeled_papers").server
+        ticket = server.take_session_ticket()
+        assert ticket is not None  # the diverted trigger parked the write's ticket
+        context.note_write("labeled_papers", server, ticket)
+        db.execute(
+            "SELECT class FROM labeled_papers WHERE id = ?",
+            (doc.entity_id,),
+            context=context,
+        )
+        session = context.session_for("labeled_papers", server)
+        assert session.last_epoch >= 1  # the read waited for the write's epoch
+        db.execute("STOP SERVING labeled_papers")

@@ -6,7 +6,7 @@ import threading
 
 import pytest
 
-from repro.serve.batcher import ReadBatcher
+from repro.serve.batcher import AdaptiveBatchWindow, ReadBatcher
 
 
 def test_single_read_resolves():
@@ -97,3 +97,83 @@ def test_closed_batcher_rejects_submissions():
     batcher.close()
     with pytest.raises(RuntimeError):
         batcher.submit(1)
+
+
+class TestAdaptiveBatchWindow:
+    """Pins the adaptation bounds: the derived wait is always in [0, cap]."""
+
+    CAP = 0.002
+
+    def feed(self, window: AdaptiveBatchWindow, interarrival: float, count: int = 50):
+        now = 100.0
+        for _ in range(count):
+            window.observe(now)
+            now += interarrival
+        return window
+
+    def test_no_arrivals_means_no_wait(self):
+        window = AdaptiveBatchWindow(max_batch=64, max_wait_cap_s=self.CAP)
+        assert window.window_s() == 0.0
+        window.observe(1.0)  # a single arrival still gives no inter-arrival estimate
+        assert window.window_s() == 0.0
+
+    def test_sparse_arrivals_collapse_to_zero_wait(self):
+        # Inter-arrival above the cap: even a full hold coalesces ~1 request.
+        window = self.feed(
+            AdaptiveBatchWindow(max_batch=64, max_wait_cap_s=self.CAP), interarrival=0.05
+        )
+        assert window.window_s() == 0.0
+
+    def test_dense_arrivals_scale_with_rate_and_never_exceed_cap(self):
+        dense = self.feed(
+            AdaptiveBatchWindow(max_batch=64, max_wait_cap_s=self.CAP), interarrival=1e-5
+        )
+        denser = self.feed(
+            AdaptiveBatchWindow(max_batch=64, max_wait_cap_s=self.CAP), interarrival=1e-6
+        )
+        assert 0.0 < denser.window_s() <= dense.window_s() <= self.CAP
+        # At 10us inter-arrival a 64-batch plausibly fills in 63 * 10us.
+        assert dense.window_s() == pytest.approx(63 * 1e-5)
+
+    def test_window_always_within_bounds_across_regimes(self):
+        window = AdaptiveBatchWindow(max_batch=32, max_wait_cap_s=self.CAP, alpha=0.5)
+        now = 0.0
+        for interarrival in (1e-6, 0.5, 1e-5, 0.1, 1e-4, 1e-3, 10.0, 1e-7):
+            for _ in range(10):
+                window.observe(now)
+                now += interarrival
+            assert 0.0 <= window.window_s() <= self.CAP
+
+    def test_ewma_tracks_rate_changes(self):
+        window = AdaptiveBatchWindow(max_batch=64, max_wait_cap_s=self.CAP, alpha=0.2)
+        self.feed(window, interarrival=1e-6)
+        fast = window.interarrival_s
+        self.feed(window, interarrival=1e-3, count=100)
+        assert window.interarrival_s > fast
+
+    def test_max_batch_one_never_waits(self):
+        window = self.feed(
+            AdaptiveBatchWindow(max_batch=1, max_wait_cap_s=self.CAP), interarrival=1e-6
+        )
+        assert window.window_s() == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatchWindow(max_batch=0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchWindow(max_batch=4, max_wait_cap_s=-1.0)
+        with pytest.raises(ValueError):
+            AdaptiveBatchWindow(max_batch=4, alpha=0.0)
+
+
+def test_adaptive_batcher_reports_window_and_serves():
+    batcher = ReadBatcher(
+        lambda keys: {key: key * 2 for key in keys}, max_batch=8, adaptive=True
+    )
+    try:
+        assert batcher.read(3, timeout=5) == 6
+        stats = batcher.stats()
+        assert "adaptive_window_s" in stats
+        assert 0.0 <= stats["adaptive_window_s"] <= batcher.window.max_wait_cap_s
+    finally:
+        batcher.close()
