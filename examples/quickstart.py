@@ -69,11 +69,12 @@ def main() -> None:
     label = conn.execute("SELECT class FROM Labeled_Papers WHERE id = 7").scalar()
     print(f"paper 7 is labeled: {label}")
 
-    # EXPLAIN shows the cost model's plan for the read before running it.
-    plan = conn.execute("EXPLAIN SELECT class FROM Labeled_Papers WHERE id = 7").fetchone()
+    # EXPLAIN shows the plan the executor will walk before running it.
+    plan = conn.execute("EXPLAIN SELECT class FROM Labeled_Papers WHERE id = 7").fetchall()
+    access = plan[-1]
     print(
-        f"plan: {plan['access_path']} ({plan['choice']}), "
-        f"~{plan['estimated_seconds']:.2e} simulated seconds"
+        f"plan: {access['node'].strip()}, "
+        f"~{access['estimated_seconds']:.2e} simulated seconds"
     )
 
     # 5. Measure the classifier against the generator's ground truth.

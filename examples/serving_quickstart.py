@@ -118,8 +118,9 @@ def main() -> None:
         "SELECT id, margin FROM Labeled_Papers ORDER BY margin DESC LIMIT 3"
     ).fetchall()
     print(f"top-3 most-database papers: {[(row['id'], round(row['margin'], 3)) for row in top]}")
-    plan = conn.execute("EXPLAIN SELECT id FROM Labeled_Papers WHERE class = 'database'").fetchone()
-    print(f"plan: {plan['access_path']}, ~{plan['estimated_seconds']:.2e} simulated seconds")
+    plan = conn.execute("EXPLAIN SELECT id FROM Labeled_Papers WHERE class = 'database'").fetchall()
+    access = plan[-1]
+    print(f"plan: {access['node'].strip()}, ~{access['estimated_seconds']:.2e} simulated seconds")
 
     # 5. Checkpoint while serving (reads keep flowing), then "crash".
     checkpoint_dir = Path(tempfile.mkdtemp(prefix="hazy-ckpt-")) / "labeled_papers"

@@ -8,6 +8,20 @@ DML, ``CREATE CLASSIFICATION VIEW``, the serving lifecycle (``SERVE VIEW``,
 ``STOP SERVING``, ``CHECKPOINT VIEW ... TO``, ``RESTORE VIEW ... FROM``) and
 ``EXPLAIN`` — with no other objects to juggle.
 
+Prepared statements
+-------------------
+
+``execute(sql, params)`` treats every SQL string as a prepared statement:
+each connection keeps an LRU cache (``plan_cache_size`` entries, default 128)
+keyed on the SQL text holding the parsed AST *and*, for SELECTs, the planned
+:class:`~repro.db.sql.planner.SelectPlan`.  Re-executing the same text —
+including through ``executemany`` — re-binds the ``?`` parameters without
+re-parsing or re-planning.  Statements that change what a plan may assume
+(DDL, ``CREATE CLASSIFICATION VIEW``, the serving lifecycle verbs) clear the
+cache; plans are additionally serving-state tolerant at execution time, so a
+plan cached by one connection stays correct when another connection serves or
+stops serving a view.
+
 Per-connection consistency
 --------------------------
 
@@ -33,19 +47,58 @@ worker connections in a multi-threaded client can come and go freely.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Iterator, Sequence
 
 from repro.core.engine import HazyEngine
 from repro.db.costmodel import CostModel
 from repro.db.database import Database
-from repro.db.sql.ast import Delete, Insert, Statement, Update
+from repro.db.sql.ast import (
+    CheckpointView,
+    CreateClassificationView,
+    CreateTable,
+    Delete,
+    DropTable,
+    Insert,
+    RestoreView,
+    Select,
+    ServeView,
+    Statement,
+    StopServing,
+    Update,
+)
 from repro.db.sql.executor import ResultSet
 from repro.db.sql.parser import parse
 from repro.exceptions import ConfigurationError
 from repro.features import FeatureFunctionRegistry
 from repro.serve.sync import SessionRegistry
 
-__all__ = ["connect", "Connection", "Cursor"]
+__all__ = ["connect", "Connection", "Cursor", "PreparedStatement"]
+
+#: Statements whose execution may invalidate cached plans (schema or serving
+#: topology changes).  CheckpointView is included for symmetry with the other
+#: lifecycle verbs even though it leaves plans valid — the cache refills in
+#: one statement and correctness beats cleverness here.
+_CACHE_INVALIDATING = (
+    CreateTable,
+    DropTable,
+    CreateClassificationView,
+    ServeView,
+    StopServing,
+    CheckpointView,
+    RestoreView,
+)
+
+
+class PreparedStatement:
+    """One cached compilation: the parsed AST plus, for SELECTs, its plan."""
+
+    __slots__ = ("sql", "statement", "plan")
+
+    def __init__(self, sql: str, statement: Statement, plan) -> None:
+        self.sql = sql
+        self.statement = statement
+        self.plan = plan
 
 
 class Cursor:
@@ -136,12 +189,20 @@ class Connection:
     and ``.engine`` for tooling, but the quickstart never needs them.
     """
 
-    def __init__(self, database: Database, engine: HazyEngine, owns_engine: bool) -> None:
+    def __init__(
+        self,
+        database: Database,
+        engine: HazyEngine,
+        owns_engine: bool,
+        plan_cache_size: int = 128,
+    ) -> None:
         self.database = database
         self.engine = engine
         self._owns_engine = owns_engine
         self._sessions = SessionRegistry()
         self._closed = False
+        self._plan_cache_size = int(plan_cache_size)
+        self._statements: OrderedDict[str, PreparedStatement] = OrderedDict()
 
     # -- statement execution ------------------------------------------------------------
 
@@ -158,18 +219,55 @@ class Connection:
         """Run a prepared statement once per parameter row."""
         return self.cursor().executemany(sql, parameter_rows)
 
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse (and for SELECTs, plan) once; cached by SQL text in LRU order."""
+        self._require_open()
+        cached = self._statements.get(sql)
+        if cached is not None:
+            self._statements.move_to_end(sql)
+            if (
+                cached.plan is not None
+                and cached.plan.catalog_version != self.database.catalog.version
+            ):
+                # DDL on another connection sharing this engine moved the
+                # catalog; refresh the plan once here so the hot path does
+                # not re-plan on every execution forever.
+                cached.plan = self.database.executor.plan_select(cached.statement)
+            return cached
+        statement = parse(sql)
+        plan = None
+        if isinstance(statement, Select):
+            plan = self.database.executor.plan_select(statement)
+        prepared = PreparedStatement(sql, statement, plan)
+        if self._plan_cache_size > 0:
+            self._statements[sql] = prepared
+            while len(self._statements) > self._plan_cache_size:
+                self._statements.popitem(last=False)
+        return prepared
+
+    def _invalidate_plans(self, statement: Statement) -> None:
+        """Drop cached plans after statements that change schema or serving state."""
+        if isinstance(statement, _CACHE_INVALIDATING):
+            self._statements.clear()
+
     def _execute(self, sql: str, parameters: Sequence[object] | None) -> ResultSet:
         self._require_open()
-        statement = parse(sql)
-        result = self.database.executor.execute(statement, parameters, self._sessions)
-        self._harvest_write_tickets(statement)
+        prepared = self.prepare(sql)
+        result = self.database.executor.execute(
+            prepared.statement, parameters, self._sessions, plan=prepared.plan
+        )
+        self._invalidate_plans(prepared.statement)
+        self._harvest_write_tickets(prepared.statement)
         return result
 
     def _executemany(self, sql: str, parameter_rows: Sequence[Sequence[object]]) -> int:
         self._require_open()
-        statement = parse(sql)  # parsed only to know the DML target for ticket harvest
-        total = self.database.executemany(sql, parameter_rows, self._sessions)
-        self._harvest_write_tickets(statement)
+        prepared = self.prepare(sql)
+        total = self.database.executor.execute_many(
+            prepared.statement, parameter_rows, self._sessions, plan=prepared.plan
+        )
+        self._invalidate_plans(prepared.statement)
+        self._harvest_write_tickets(prepared.statement)
         return total
 
     def _harvest_write_tickets(self, statement: Statement) -> None:
@@ -223,6 +321,7 @@ class Connection:
         if self._closed:
             return
         self._closed = True
+        self._statements.clear()
         self._sessions.clear()
         if self._owns_engine:
             for view in self.engine.served_views():
@@ -245,6 +344,7 @@ def connect(
     architecture: str | None = None,
     strategy: str | None = None,
     approach: str | None = None,
+    plan_cache_size: int = 128,
     **engine_options,
 ) -> Connection:
     """Open a connection to a (new or existing) Hazy database.
@@ -259,7 +359,9 @@ def connect(
 
     ``architecture`` / ``strategy`` / ``approach`` and any extra keyword
     arguments configure the engine exactly as :class:`HazyEngine` does; they
-    are rejected when ``engine=`` is supplied.
+    are rejected when ``engine=`` is supplied.  ``plan_cache_size`` bounds the
+    per-connection prepared-statement LRU (parsed AST + SELECT plan per SQL
+    text; 0 disables caching).
     """
     if engine is not None:
         if database is not None and engine.database is not database:
@@ -282,7 +384,9 @@ def connect(
             raise ConfigurationError(
                 "engine options cannot be combined with an existing engine="
             )
-        return Connection(engine.database, engine, owns_engine=False)
+        return Connection(
+            engine.database, engine, owns_engine=False, plan_cache_size=plan_cache_size
+        )
     if database is None:
         database = Database(cost_model=cost_model, buffer_pool_pages=buffer_pool_pages)
     elif cost_model is not None or buffer_pool_pages is not None:
@@ -298,4 +402,4 @@ def connect(
         approach=approach if approach is not None else "eager",
         **engine_options,
     )
-    return Connection(database, engine, owns_engine=True)
+    return Connection(database, engine, owns_engine=True, plan_cache_size=plan_cache_size)

@@ -33,16 +33,14 @@ from repro.db.sql.ast import (
     CheckpointView,
     CreateClassificationView,
     RestoreView,
-    Select,
     ServeView,
     Statement,
     StopServing,
 )
-from repro.db.sql.executor import ResultSet, classify_view_read
+from repro.db.sql.executor import ResultSet
 from repro.db.triggers import Trigger, TriggerEvent
 from repro.exceptions import (
     ConfigurationError,
-    KeyNotFoundError,
     SnapshotMismatchError,
     ViewDefinitionError,
 )
@@ -477,9 +475,10 @@ class HazyEngine:
         self._trainer_factory = trainer_factory
         self.views: dict[str, ClassificationView] = {}
         database.executor.set_classification_view_handler(self._handle_create_statement)
-        database.executor.set_classification_view_reader(self._read_view_rows)
         database.executor.set_serving_handler(self._handle_serving_statement)
-        database.executor.set_served_read_handler(self._served_select)
+        # SELECTs against classification views need no reader hook: the
+        # planner resolves the view object through the catalog and its plan
+        # nodes read the maintainer or the ViewServer directly.
 
     # -- factories ----------------------------------------------------------------------------
 
@@ -732,58 +731,6 @@ class HazyEngine:
             f"unsupported serving statement {type(statement).__name__}"
         )  # pragma: no cover - executor routes only the four statements
 
-    def _served_select(self, name: str, select: Select, context: object) -> list | None:
-        """Executor hook: answer a SELECT against a *served* view through the server.
-
-        Point lookups go through the request batcher, All Members and top-k
-        reads scatter/gather across the shards, and everything else
-        materializes one coherent epoch via ``contents()``.  When the caller
-        supplies a connection context (see :func:`repro.connect`), reads run
-        on that connection's session — monotonic read-your-writes.  Returns
-        None when the view is not served, falling back to the direct path.
-        """
-        view = self.views.get(name.lower())
-        if view is None:
-            return None
-        server = view.server
-        if server is None:
-            return None
-        session = None
-        if context is not None and hasattr(context, "session_for"):
-            session = context.session_for(name, server)
-        reader = session if session is not None else server
-        key_column = view.definition.view_key
-        kind, operand = classify_view_read(select, list(select.where), key_column)
-        if kind == "point":
-            try:
-                label = reader.label_of(operand)
-            except KeyNotFoundError:
-                return []
-            return [{key_column: operand, "class": view.from_binary_label(label)}]
-        if kind == "members":
-            try:
-                label = view.to_binary_label(operand)
-            except ConfigurationError:
-                return []  # the class value maps to no known label
-            display = view.from_binary_label(label)
-            return [
-                {key_column: entity_id, "class": display}
-                for entity_id in reader.all_members(label)
-            ]
-        if kind == "topk":
-            return [
-                {
-                    key_column: entity_id,
-                    "class": view.from_binary_label(1),
-                    "margin": margin,
-                }
-                for entity_id, margin in reader.top_k(operand, label=1)
-            ]
-        return [
-            {key_column: entity_id, "class": view.from_binary_label(label)}
-            for entity_id, label in reader.contents().items()
-        ]
-
     # -- warm restart -------------------------------------------------------------------------------
 
     def _serve_restored(self, name: str, path: str, **server_options):
@@ -956,6 +903,3 @@ class HazyEngine:
             options=dict(statement.options),
         )
         self.create_view(definition)
-
-    def _read_view_rows(self, name: str) -> Iterator[Mapping[str, object]]:
-        return self.view(name).rows()

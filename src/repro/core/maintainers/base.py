@@ -18,7 +18,27 @@ from repro.exceptions import KeyNotFoundError, MaintenanceError
 from repro.learn.model import LinearModel
 from repro.linalg import SparseVector
 
-__all__ = ["ViewMaintainer"]
+__all__ = ["ViewMaintainer", "key_in_range"]
+
+
+def key_in_range(
+    key: object,
+    low: object | None,
+    high: object | None,
+    include_low: bool = True,
+    include_high: bool = True,
+) -> bool:
+    """Whether an entity key lies inside the (possibly half-open) range.
+
+    ``None`` bounds are unbounded.  Keys compare with Python semantics — the
+    SQL layer only pushes ranges over a view's key column, whose values share
+    one type.
+    """
+    if low is not None and (key < low or (key == low and not include_low)):
+        return False
+    if high is not None and (key > high or (key == high and not include_high)):
+        return False
+    return True
 
 
 class ViewMaintainer(ABC):
@@ -190,6 +210,36 @@ class ViewMaintainer(ABC):
             raise KeyNotFoundError(f"no entity with id {missing!r}")
         self.stats.record_batched_read(len(results), self.store.cost_snapshot() - start)
         return results
+
+    def read_range(
+        self,
+        label: int = 1,
+        low: object | None = None,
+        high: object | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[object]:
+        """Members of class ``label`` whose entity *key* lies in the range.
+
+        This is the pushed-down form of ``WHERE class = x AND <key> <op> k``:
+        one scan of the store that classifies only the in-range candidates,
+        instead of materializing the whole view and post-filtering.  The key
+        filter runs *before* :meth:`classify_record`, so lazy strategies pay
+        dot products only for tuples that can appear in the answer.
+        """
+        self._require_loaded()
+        start = self.store.cost_snapshot()
+        self.store.charge_statement_overhead()
+        members: list[object] = []
+        touched = 0
+        for record in self.store.scan_all():
+            if not key_in_range(record.entity_id, low, high, include_low, include_high):
+                continue
+            touched += 1
+            if self.classify_record(record) == label:
+                members.append(record.entity_id)
+        self.stats.record_range_read(touched, self.store.cost_snapshot() - start)
+        return members
 
     def count_members(self, label: int = 1) -> int:
         """Number of entities in the class (executes an All Members read)."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 
 from repro.core.bounds import WaterBandTracker, holder_pair_for_norm
-from repro.core.maintainers.base import ViewMaintainer
+from repro.core.maintainers.base import ViewMaintainer, key_in_range
 from repro.core.skiing import SkiingStrategy
 from repro.core.stores.base import EntityStore
 from repro.exceptions import MaintenanceError
@@ -340,4 +340,53 @@ class HazyLazyMaintainer(_HazyMaintainerBase):
         scan_cost = self.store.cost_snapshot() - start
         self.skiing.record_lazy_waste(touched, len(members), scan_cost)
         self.stats.record_all_members(touched, scan_cost)
+        return members
+
+    def read_range(
+        self,
+        label: int = 1,
+        low: object | None = None,
+        high: object | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[object]:
+        """Band-pruned range read over the eps-clustered store.
+
+        Like :meth:`read_all_members`, only the tuples that could possibly be
+        in the class are scanned (everything above the low water for the
+        positive class); the key filter runs before the band check, so dot
+        products are paid only for in-range tuples the band cannot decide.
+        The scan's wasted fraction feeds the same Skiing accounting as All
+        Members reads, so a range-only workload still triggers
+        reorganization when re-clustering pays for itself.
+        """
+        self._require_loaded()
+        tracker = self._require_tracker()
+        if self.skiing.should_reorganize():
+            self._reorganize()
+        band = tracker.band()
+        start = self.store.cost_snapshot()
+        self.store.charge_statement_overhead()
+        if label == 1:
+            candidates = self.store.scan_eps_at_least(band.low)
+        else:
+            candidates = self.store.scan_eps_at_most(band.high)
+        members: list[object] = []
+        touched = 0
+        for record in candidates:
+            if not key_in_range(record.entity_id, low, high, include_low, include_high):
+                continue
+            touched += 1
+            if label == 1 and band.certain_positive(record.eps):
+                members.append(record.entity_id)
+                continue
+            if label == -1 and band.certain_negative(record.eps):
+                members.append(record.entity_id)
+                continue
+            self.store.charge_dot_product(record.features)
+            if sign(self.current_model.margin(record.features)) == label:
+                members.append(record.entity_id)
+        scan_cost = self.store.cost_snapshot() - start
+        self.skiing.record_lazy_waste(touched, len(members), scan_cost)
+        self.stats.record_range_read(touched, scan_cost)
         return members

@@ -25,6 +25,7 @@ class MaintenanceStatistics:
     batched_reads: int = 0
     batch_rounds: int = 0
     all_member_reads: int = 0
+    range_reads: int = 0
     tuples_scanned_for_reads: int = 0
     epsmap_hits: int = 0
     buffer_hits: int = 0
@@ -72,6 +73,12 @@ class MaintenanceStatistics:
         self.tuples_scanned_for_reads += tuples_scanned
         self.simulated_read_seconds += cost
 
+    def record_range_read(self, tuples_scanned: int, cost: float = 0.0) -> None:
+        """One pushed-down key-range read that touched ``tuples_scanned`` tuples."""
+        self.range_reads += 1
+        self.tuples_scanned_for_reads += tuples_scanned
+        self.simulated_read_seconds += cost
+
     # -- derived ----------------------------------------------------------------------
 
     def average_band_size(self) -> float:
@@ -99,6 +106,7 @@ class MaintenanceStatistics:
             "batched_reads": self.batched_reads,
             "batch_rounds": self.batch_rounds,
             "all_member_reads": self.all_member_reads,
+            "range_reads": self.range_reads,
             "tuples_scanned_for_reads": self.tuples_scanned_for_reads,
             "epsmap_hits": self.epsmap_hits,
             "buffer_hits": self.buffer_hits,

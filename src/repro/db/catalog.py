@@ -23,6 +23,18 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, ViewFunction] = {}
         self._classification_views: dict[str, object] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every namespace change.
+
+        Cached query plans record the version they were built against; the
+        executor re-plans when it moved, so a plan cached by one connection
+        can never silently read a table or view another connection dropped
+        or replaced.
+        """
+        return self._version
 
     # -- tables ---------------------------------------------------------------------
 
@@ -32,6 +44,7 @@ class Catalog:
         if key in self._tables or key in self._views or key in self._classification_views:
             raise CatalogError(f"object {table.name!r} already exists")
         self._tables[key] = table
+        self._version += 1
 
     def table(self, name: str) -> Table:
         """Look up a table by name."""
@@ -49,6 +62,7 @@ class Catalog:
         if name.lower() not in self._tables:
             raise CatalogError(f"no table named {name!r}")
         del self._tables[name.lower()]
+        self._version += 1
 
     def table_names(self) -> list[str]:
         """Sorted table names."""
@@ -62,6 +76,7 @@ class Catalog:
         if key in self._tables or key in self._views or key in self._classification_views:
             raise CatalogError(f"object {name!r} already exists")
         self._views[key] = producer
+        self._version += 1
 
     def view(self, name: str) -> ViewFunction:
         """Look up a logical view by name."""
@@ -82,10 +97,14 @@ class Catalog:
         if key in self._tables or key in self._views or key in self._classification_views:
             raise CatalogError(f"object {name!r} already exists")
         self._classification_views[key] = view
+        self._version += 1
 
     def unregister_classification_view(self, name: str) -> bool:
         """Remove a classification view registration (engine rollback path)."""
-        return self._classification_views.pop(name.lower(), None) is not None
+        removed = self._classification_views.pop(name.lower(), None) is not None
+        if removed:
+            self._version += 1
+        return removed
 
     def classification_view(self, name: str) -> object:
         """Look up a classification view by name."""

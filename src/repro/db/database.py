@@ -106,12 +106,12 @@ class Database:
         parameter_rows: Sequence[Sequence[object]],
         context: object = None,
     ) -> int:
-        """Execute a prepared statement once per parameter row; returns total rowcount."""
-        statement = parse(sql)
-        total = 0
-        for parameters in parameter_rows:
-            total += self.executor.execute(statement, parameters, context).rowcount
-        return total
+        """Execute a prepared statement once per parameter row; returns total rowcount.
+
+        The statement is parsed once and (for SELECTs) planned once; each
+        execution only re-binds the ``?`` parameters.
+        """
+        return self.executor.execute_many(parse(sql), parameter_rows, context)
 
     # -- convenience ------------------------------------------------------------------------
 

@@ -5,13 +5,35 @@ The dialect covers what the paper's examples and experiments need:
 * ``CREATE TABLE`` / ``DROP TABLE``
 * ``INSERT INTO ... VALUES`` (with ``?`` placeholders for prepared statements)
 * ``SELECT`` with ``*``, column lists or ``COUNT(*)``, ``WHERE`` conjunctions
-  of simple comparisons, ``ORDER BY`` and ``LIMIT``
+  of simple comparisons (columns optionally qualified as ``t.col``),
+  ``ORDER BY``, ``LIMIT``, and a single inner equi-join
+  (``FROM t JOIN v ON t.id = v.id``)
 * ``UPDATE ... SET ... WHERE`` and ``DELETE FROM ... WHERE``
 * ``CREATE CLASSIFICATION VIEW`` — the model-based view DDL of Example 2.1
+* the serving lifecycle verbs (``SERVE VIEW`` / ``STOP SERVING`` /
+  ``CHECKPOINT VIEW ... TO`` / ``RESTORE VIEW ... FROM``)
+* ``EXPLAIN`` and ``EXPLAIN ANALYZE``
 
-Parsing produces plain dataclass AST nodes (:mod:`repro.db.sql.ast`); the
-executor (:mod:`repro.db.sql.executor`) evaluates them against a
-:class:`~repro.db.database.Database`.
+The read path is **plan-first**; the pipeline is::
+
+    SQL text --tokenize/parse--> AST            (lexer.py, parser.py, ast.py)
+        --Planner.plan_select--> logical plan    (planner.py: access-path choice,
+                                                  predicate pushdown, validation)
+        --cost annotation-----> physical plan    (plan.py: SeqScan, IndexRange,
+                                                  ServedPointRead, ServedScatterGather,
+                                                  ServedRangeScan, TopK, Filter,
+                                                  Project, HashJoin, Limit, ...)
+        --SQLExecutor---------> rows             (executor.py walks the tree)
+
+``EXPLAIN`` prints exactly the tree the executor would walk; ``EXPLAIN
+ANALYZE`` walks it and reports actual vs estimated simulated seconds per
+node.  Planning errors (unknown columns, ambiguous join references,
+unsupported read shapes) surface at plan time as
+:class:`~repro.exceptions.SQLPlanningError` carrying the parser's
+machine-readable ``position``/``token`` diagnostics.  The connection layer
+(:mod:`repro.connection`) caches ``SelectPlan`` objects per SQL text, so
+repeated statements re-bind ``?`` parameters without re-parsing or
+re-planning.
 """
 
 from repro.db.sql.ast import (
@@ -21,12 +43,16 @@ from repro.db.sql.ast import (
     CreateTable,
     Delete,
     DropTable,
+    Explain,
     Insert,
+    Join,
     Select,
     Update,
 )
 from repro.db.sql.lexer import Token, TokenType, tokenize
 from repro.db.sql.parser import parse
+from repro.db.sql.plan import PlanNode
+from repro.db.sql.planner import Planner, SelectPlan
 from repro.db.sql.executor import SQLExecutor
 
 __all__ = [
@@ -35,6 +61,9 @@ __all__ = [
     "TokenType",
     "parse",
     "SQLExecutor",
+    "Planner",
+    "SelectPlan",
+    "PlanNode",
     "CreateTable",
     "DropTable",
     "ColumnDefinition",
@@ -43,5 +72,7 @@ __all__ = [
     "Update",
     "Delete",
     "Comparison",
+    "Join",
+    "Explain",
     "CreateClassificationView",
 ]

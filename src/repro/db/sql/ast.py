@@ -11,6 +11,7 @@ __all__ = [
     "DropTable",
     "Insert",
     "Comparison",
+    "Join",
     "Select",
     "Update",
     "Delete",
@@ -71,16 +72,44 @@ PLACEHOLDER = object()
 
 @dataclass(frozen=True)
 class Comparison:
-    """A simple predicate ``column op literal`` (op in =, !=, <, <=, >, >=)."""
+    """A simple predicate ``column op literal`` (op in =, !=, <, <=, >, >=).
+
+    ``column`` may be qualified (``t.id``) in join queries.  ``position`` is
+    the character offset of the column token in the source text (excluded
+    from equality) so the planner can attach machine-readable diagnostics to
+    semantic errors, mirroring :class:`~repro.exceptions.SQLSyntaxError`.
+    """
 
     column: str
     operator: str
     value: object
+    position: int | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class Join:
+    """``JOIN table ON left = right`` — a single inner equi-join.
+
+    The two ON references may be qualified with either source's name; the
+    planner resolves which side each belongs to.
+    """
+
+    table: str
+    left_column: str
+    right_column: str
+    table_position: int | None = field(default=None, compare=False)
+    left_position: int | None = field(default=None, compare=False)
+    right_position: int | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
 class Select(Statement):
-    """``SELECT columns FROM table [WHERE ...] [ORDER BY ...] [LIMIT n]``."""
+    """``SELECT columns FROM table [JOIN t ON ...] [WHERE ...] [ORDER BY ...] [LIMIT n]``.
+
+    ``column_positions`` parallels ``columns`` with each column token's
+    character offset (empty for ``*`` / COUNT); positions are excluded from
+    equality and exist only for plan-time diagnostics.
+    """
 
     table: str
     columns: tuple[str, ...]  # ("*",) or explicit column names
@@ -89,6 +118,10 @@ class Select(Statement):
     descending: bool = False
     limit: int | None = None
     count: bool = False  # True for SELECT COUNT(*)
+    join: Join | None = None
+    column_positions: tuple[int, ...] = field(default=(), compare=False)
+    order_by_position: int | None = field(default=None, compare=False)
+    table_position: int | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -175,6 +208,12 @@ class RestoreView(Statement):
 
 @dataclass(frozen=True)
 class Explain(Statement):
-    """``EXPLAIN <statement>`` — deterministic cost-model plan, nothing executed."""
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    Plain EXPLAIN prints the deterministic cost-model plan without executing
+    anything; EXPLAIN ANALYZE executes the plan and reports actual next to
+    estimated simulated seconds per plan node (SELECT only).
+    """
 
     statement: Statement
+    analyze: bool = False

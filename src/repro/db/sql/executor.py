@@ -1,8 +1,19 @@
-"""Execution of parsed SQL statements against a Database."""
+"""Execution of parsed SQL statements against a Database.
+
+Reads are **plan-first**: every ``SELECT`` — base table, unserved view,
+served view, joins — is compiled by the :class:`~repro.db.sql.planner.Planner`
+into a :class:`~repro.db.sql.planner.SelectPlan` of typed
+:mod:`~repro.db.sql.plan` nodes and executed by walking that tree; the
+executor itself contains no statement-shape dispatch.  ``EXPLAIN`` prints the
+same plan the executor would run; ``EXPLAIN ANALYZE`` runs it and reports
+actual vs estimated simulated seconds per node.  DML and DDL execute directly
+(their cost is dominated by triggers and maintained views, not access-path
+choice).
+"""
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.db.schema import Column, TableSchema
@@ -23,43 +34,16 @@ from repro.db.sql.ast import (
     StopServing,
     Update,
 )
+from repro.db.sql.plan import compare_values
+from repro.db.sql.planner import Planner, SelectPlan
 from repro.db.types import DataType
 from repro.exceptions import SQLExecutionError
 
-__all__ = ["ResultSet", "SQLExecutor", "classify_view_read"]
+__all__ = ["ResultSet", "SQLExecutor"]
 
 
 #: Statement types handled by the serving extension (the Hazy engine).
 _SERVING_STATEMENTS = (ServeView, StopServing, CheckpointView, RestoreView)
-
-
-def classify_view_read(
-    select: Select, where: Sequence[Comparison], key_column: str
-) -> tuple[str, object]:
-    """Decide how a SELECT against a classification view should be answered.
-
-    Returns one of ``("point", key)`` — a Single Entity read on the view key;
-    ``("members", class_value)`` — an All Members read; ``("topk", k)`` — a
-    ranked read (``ORDER BY margin DESC LIMIT k``; ascending order asks for
-    the *lowest* margins, which ``top_k`` cannot answer, so it stays a scan);
-    or ``("scan", None)`` — a full materialization.  Shared by the served-read
-    router and ``EXPLAIN`` so the plan printed is the plan executed.
-    """
-    if (
-        select.order_by is not None
-        and select.order_by.lower() == "margin"
-        and select.descending
-        and select.limit is not None
-        and not where
-    ):
-        return ("topk", select.limit)
-    if len(where) == 1 and where[0].operator == "=":
-        column = where[0].column.lower()
-        if column == key_column.lower():
-            return ("point", where[0].value)
-        if column == "class":
-            return ("members", where[0].value)
-    return ("scan", None)
 
 
 @dataclass
@@ -85,13 +69,8 @@ class ResultSet:
 
 #: Handler invoked for CREATE CLASSIFICATION VIEW; installed by the Hazy engine.
 ClassificationViewHandler = Callable[[CreateClassificationView], None]
-#: Row provider for SELECTs against a classification view (installed by the engine).
-ClassificationViewReader = Callable[[str], Iterable[Mapping[str, object]]]
 #: Handler for SERVE VIEW / STOP SERVING / CHECKPOINT VIEW / RESTORE VIEW.
 ServingStatementHandler = Callable[[Statement], "ResultSet"]
-#: Router for SELECTs against *served* views: (name, bound select, context)
-#: -> rows, or None to fall back to the full-materialization reader.
-ServedReadHandler = Callable[[str, Select, object], list | None]
 
 
 class SQLExecutor:
@@ -99,10 +78,9 @@ class SQLExecutor:
 
     def __init__(self, database) -> None:  # Database; untyped to avoid an import cycle
         self._database = database
+        self._planner = Planner(database)
         self._classification_view_handler: ClassificationViewHandler | None = None
-        self._classification_view_reader: ClassificationViewReader | None = None
         self._serving_handler: ServingStatementHandler | None = None
-        self._served_read_handler: ServedReadHandler | None = None
 
     # -- extension hooks (the Hazy engine registers these) -----------------------------
 
@@ -110,17 +88,15 @@ class SQLExecutor:
         """Install the callback that materializes ``CREATE CLASSIFICATION VIEW``."""
         self._classification_view_handler = handler
 
-    def set_classification_view_reader(self, reader: ClassificationViewReader) -> None:
-        """Install the callback that produces rows for classification views."""
-        self._classification_view_reader = reader
-
     def set_serving_handler(self, handler: ServingStatementHandler) -> None:
         """Install the callback executing the serving lifecycle statements."""
         self._serving_handler = handler
 
-    def set_served_read_handler(self, handler: ServedReadHandler) -> None:
-        """Install the router answering SELECTs against served views."""
-        self._served_read_handler = handler
+    # -- planning ------------------------------------------------------------------------
+
+    def plan_select(self, statement: Select) -> SelectPlan:
+        """Compile one SELECT into its plan (the prepared-statement cache hook)."""
+        return self._planner.plan_select(statement)
 
     # -- entry point ---------------------------------------------------------------------
 
@@ -129,13 +105,16 @@ class SQLExecutor:
         statement: Statement,
         parameters: tuple | list | None = None,
         context: object = None,
+        plan: SelectPlan | None = None,
     ) -> ResultSet:
         """Execute one parsed statement, binding ``?`` placeholders from ``parameters``.
 
         ``context`` is an opaque per-connection object (see
-        :class:`repro.connection.Connection`) threaded through to the served
-        read router so that reads against served views get that connection's
-        monotonic read-your-writes session.
+        :class:`repro.connection.Connection`) threaded through to served-view
+        plan nodes so that reads against served views get that connection's
+        monotonic read-your-writes session.  ``plan`` short-circuits planning
+        for SELECT statements (the prepared-statement cache passes the plan it
+        already built; parameters are re-bound without re-planning).
         """
         parameters = list(parameters or [])
         if isinstance(statement, CreateTable):
@@ -147,7 +126,7 @@ class SQLExecutor:
         if isinstance(statement, Insert):
             return self._execute_insert(statement, parameters)
         if isinstance(statement, Select):
-            return self._execute_select(statement, parameters, context)
+            return self._execute_select(statement, parameters, context, plan)
         if isinstance(statement, Update):
             return self._execute_update(statement, parameters)
         if isinstance(statement, Delete):
@@ -155,8 +134,28 @@ class SQLExecutor:
         if isinstance(statement, _SERVING_STATEMENTS):
             return self._execute_serving_statement(statement)
         if isinstance(statement, Explain):
-            return self._execute_explain(statement, parameters)
+            return self._execute_explain(statement, parameters, context)
         raise SQLExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    def execute_many(
+        self,
+        statement: Statement,
+        parameter_rows,
+        context: object = None,
+        plan: SelectPlan | None = None,
+    ) -> int:
+        """Execute one statement per parameter row; returns the total rowcount.
+
+        The shared prepared-execution loop behind ``Database.executemany`` and
+        ``Connection.executemany``: the statement is already parsed (and, for
+        SELECTs, optionally planned) — each iteration only re-binds ``?``.
+        """
+        if plan is None and isinstance(statement, Select):
+            plan = self.plan_select(statement)
+        total = 0
+        for parameters in parameter_rows:
+            total += self.execute(statement, parameters, context, plan=plan).rowcount
+        return total
 
     # -- DDL ----------------------------------------------------------------------------
 
@@ -236,96 +235,27 @@ class SQLExecutor:
             )
             if matched_key is None:
                 raise SQLExecutionError(f"unknown column {comparison.column!r} in WHERE clause")
-            actual = row[matched_key]
-            expected = comparison.value
-            op = comparison.operator
-            if op == "=":
-                ok = actual == expected
-            elif op == "!=":
-                ok = actual != expected
-            else:
-                if actual is None or expected is None:
-                    ok = False
-                elif op == "<":
-                    ok = actual < expected
-                elif op == "<=":
-                    ok = actual <= expected
-                elif op == ">":
-                    ok = actual > expected
-                elif op == ">=":
-                    ok = actual >= expected
-                else:  # pragma: no cover - parser restricts operators
-                    raise SQLExecutionError(f"unsupported operator {op!r}")
-            if not ok:
+            if not compare_values(row[matched_key], comparison.operator, comparison.value):
                 return False
         return True
 
-    def _rows_for(self, table_name: str) -> Iterable[Mapping[str, object]]:
-        catalog = self._database.catalog
-        kind = catalog.object_kind(table_name)
-        if kind == "table":
-            return catalog.table(table_name).scan()
-        if kind == "classification_view":
-            if self._classification_view_reader is None:
-                raise SQLExecutionError(
-                    f"classification view {table_name!r} exists but no engine is attached"
-                )
-            return self._classification_view_reader(table_name)
-        if kind == "view":
-            return catalog.view(table_name)()
-        raise SQLExecutionError(f"no table or view named {table_name!r}")
+    # -- SELECT (plan-first) -------------------------------------------------------------
 
     def _execute_select(
-        self, statement: Select, parameters: list, context: object = None
+        self,
+        statement: Select,
+        parameters: list,
+        context: object = None,
+        plan: SelectPlan | None = None,
     ) -> ResultSet:
-        where, _ = self._bind_where(statement.where, parameters, 0)
-        source: Iterable[Mapping[str, object]] | None = None
-        if (
-            self._served_read_handler is not None
-            and self._database.catalog.has_classification_view(statement.table)
-        ):
-            bound = Select(
-                table=statement.table,
-                columns=statement.columns,
-                where=tuple(where),
-                order_by=statement.order_by,
-                descending=statement.descending,
-                limit=statement.limit,
-                count=statement.count,
-            )
-            source = self._served_read_handler(statement.table, bound, context)
-        if source is None:
-            source = self._rows_for(statement.table)
-        matching = [dict(row) for row in source if self._matches(row, where)]
-        if statement.order_by is not None:
-            column = statement.order_by
-
-            def sort_key(row: dict[str, object]):
-                matched = next((key for key in row if key.lower() == column.lower()), None)
-                if matched is None:
-                    raise SQLExecutionError(f"unknown ORDER BY column {column!r}")
-                value = row[matched]
-                return (value is None, value)
-
-            matching.sort(key=sort_key, reverse=statement.descending)
-        if statement.limit is not None:
-            matching = matching[: statement.limit]
-        if statement.count:
-            return ResultSet(
-                rows=[{"count": len(matching)}], rowcount=1, statement_type="SELECT"
-            )
-        if statement.columns != ("*",):
-            projected = []
-            for row in matching:
-                out: dict[str, object] = {}
-                for wanted in statement.columns:
-                    matched = next((key for key in row if key.lower() == wanted.lower()), None)
-                    if matched is None:
-                        raise SQLExecutionError(f"unknown column {wanted!r} in SELECT list")
-                    out[matched] = row[matched]
-                projected.append(out)
-            matching = projected
-        return ResultSet(rows=matching, rowcount=len(matching), statement_type="SELECT")
+        if plan is None or plan.catalog_version != self._database.catalog.version:
+            # A supplied plan is only honoured while the catalog it was built
+            # against is unchanged: DDL on *any* connection sharing this
+            # database bumps the version, and a stale plan holding a dropped
+            # or replaced table/view object must be rebuilt, not walked.
+            plan = self._planner.plan_select(statement)
+        rows, _ = plan.run(self._database, parameters, context)
+        return ResultSet(rows=rows, rowcount=len(rows), statement_type="SELECT")
 
     def _execute_update(self, statement: Update, parameters: list) -> ResultSet:
         table = self._database.catalog.table(statement.table)
@@ -372,143 +302,39 @@ class SQLExecutor:
             )
         return self._serving_handler(statement)
 
-    # -- EXPLAIN -------------------------------------------------------------------------
+    # -- EXPLAIN [ANALYZE] ---------------------------------------------------------------
 
-    def _execute_explain(self, statement: Explain, parameters: list) -> ResultSet:
-        """Print the deterministic cost-model plan for a statement, executing nothing."""
+    def _execute_explain(
+        self, statement: Explain, parameters: list, context: object = None
+    ) -> ResultSet:
+        """Print the plan (and, under ANALYZE, execute it and report actuals)."""
         inner = statement.statement
         if isinstance(inner, Select):
-            row = self._explain_select(inner, parameters)
-        elif isinstance(inner, (Insert, Update, Delete)):
+            plan = self._planner.plan_select(inner)
+            if statement.analyze:
+                _, runtime = plan.run(self._database, parameters, context)
+                rows = plan.explain_rows(runtime)
+                return ResultSet(
+                    rows=rows, rowcount=len(rows), statement_type="EXPLAIN ANALYZE"
+                )
+            rows = plan.explain_rows()
+            return ResultSet(rows=rows, rowcount=len(rows), statement_type="EXPLAIN")
+        if statement.analyze:
+            raise SQLExecutionError(
+                "EXPLAIN ANALYZE supports SELECT statements only "
+                "(executing DML under EXPLAIN would mutate the database)"
+            )
+        if isinstance(inner, (Insert, Update, Delete)):
             row = {
-                "statement": type(inner).__name__.upper(),
-                "target": inner.table,
-                "access_path": "dml",
-                "choice": None,
+                "node": f"{type(inner).__name__.upper()}({inner.table})",
                 "estimated_seconds": None,
                 "detail": "DML statements run triggers; cost depends on attached views",
             }
         else:
+            target = getattr(inner, "table", getattr(inner, "view", None))
             row = {
-                "statement": type(inner).__name__,
-                "target": getattr(inner, "table", getattr(inner, "view", None)),
-                "access_path": "ddl",
-                "choice": None,
+                "node": f"{type(inner).__name__}({target})",
                 "estimated_seconds": None,
                 "detail": "no cost estimate for this statement type",
             }
         return ResultSet(rows=[row], rowcount=1, statement_type="EXPLAIN")
-
-    def _explain_select(self, statement: Select, parameters: list) -> dict[str, object]:
-        where, _ = self._bind_where(statement.where, parameters, 0)
-        catalog = self._database.catalog
-        name = statement.table
-        kind = catalog.object_kind(name)
-        if kind == "classification_view":
-            return self._explain_view_read(
-                name, catalog.classification_view(name), statement, where
-            )
-        if kind == "table":
-            table = catalog.table(name)
-            cost_model = self._database.cost_model
-            pk = table.schema.primary_key
-            point = (
-                pk is not None
-                and len(where) == 1
-                and where[0].operator == "="
-                and where[0].column.lower() == pk.lower()
-            )
-            if point:
-                estimate = cost_model.statement_overhead + cost_model.random_page_read
-                return {
-                    "statement": "SELECT",
-                    "target": table.name,
-                    "access_path": "table-point",
-                    "choice": "point",
-                    "estimated_seconds": estimate,
-                    "detail": f"primary-key hash lookup on {pk!r} (1 random page)",
-                }
-            estimate = cost_model.statement_overhead + cost_model.scan_cost(
-                table.page_count(), table.row_count()
-            )
-            return {
-                "statement": "SELECT",
-                "target": table.name,
-                "access_path": "table-scan",
-                "choice": "scan",
-                "estimated_seconds": estimate,
-                "detail": (
-                    f"sequential scan of {table.page_count()} pages / "
-                    f"{table.row_count()} tuples"
-                ),
-            }
-        if kind == "view":
-            return {
-                "statement": "SELECT",
-                "target": name,
-                "access_path": "logical-view",
-                "choice": "scan",
-                "estimated_seconds": None,
-                "detail": "logical views materialize through an opaque callable",
-            }
-        raise SQLExecutionError(f"no table or view named {name!r}")
-
-    def _explain_view_read(
-        self, name: str, view, statement: Select, where: list[Comparison]
-    ) -> dict[str, object]:
-        """Cost-model estimate for a read against a classification view.
-
-        Mirrors :func:`classify_view_read` (so the printed plan matches the
-        executed one) and the point-vs-scan choice of
-        :meth:`~repro.core.maintainers.base.ViewMaintainer.read_many`.
-        """
-        kind, operand = classify_view_read(statement, where, view.definition.view_key)
-        server = view.server
-        if server is None:
-            store = view.maintainer.store
-            cost_model = store.cost_model
-            if kind == "point":
-                point_cost = store.point_read_cost_estimate()
-                scan_cost = store.scan_cost_estimate()
-                choice = "point" if point_cost <= scan_cost else "scan"
-                estimate = cost_model.statement_overhead + min(point_cost, scan_cost)
-                detail = "direct maintainer read_single (view is not served)"
-            else:
-                choice = "scan"
-                estimate = cost_model.statement_overhead + store.scan_cost_estimate()
-                detail = f"direct maintainer {kind} read (view is not served)"
-            return {
-                "statement": "SELECT",
-                "target": name,
-                "access_path": f"view-{kind}",
-                "choice": choice,
-                "estimated_seconds": estimate,
-                "detail": detail,
-            }
-        shards = server.shards
-        cost_model = shards.shards[0].maintainer.store.cost_model
-        if kind == "point":
-            store = shards.shard_for(operand).maintainer.store
-            point_cost = store.point_read_cost_estimate()
-            scan_cost = store.scan_cost_estimate()
-            choice = "point" if point_cost <= scan_cost else "scan"
-            estimate = cost_model.statement_overhead + min(point_cost, scan_cost)
-            detail = (
-                f"batched read on shard {shards.shard_for(operand).index} "
-                f"of {len(shards)}; statement overhead amortized per coalesced batch"
-            )
-        else:
-            scan_total = sum(
-                shard.maintainer.store.scan_cost_estimate() for shard in shards.shards
-            )
-            choice = "scan"
-            estimate = cost_model.statement_overhead + scan_total
-            detail = f"scatter/gather {kind} across {len(shards)} shards"
-        return {
-            "statement": "SELECT",
-            "target": name,
-            "access_path": f"served-{kind}",
-            "choice": choice,
-            "estimated_seconds": estimate,
-            "detail": detail,
-        }

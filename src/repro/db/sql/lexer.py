@@ -31,7 +31,7 @@ KEYWORDS = frozenset(
         "delete", "order", "by", "asc", "desc", "limit", "count", "classification",
         "view", "entities", "labels", "label", "examples", "feature", "function",
         "using", "as", "true", "false", "serve", "serving", "stop", "checkpoint",
-        "restore", "to", "with", "explain",
+        "restore", "to", "with", "explain", "analyze", "join", "inner", "on",
     }
 )
 

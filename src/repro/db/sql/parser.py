@@ -13,6 +13,7 @@ from repro.db.sql.ast import (
     DropTable,
     Explain,
     Insert,
+    Join,
     RestoreView,
     Select,
     ServeView,
@@ -90,6 +91,14 @@ class _Parser:
                 token=token.value,
             )
         return token.value
+
+    def _parse_column_reference(self) -> tuple[str, int]:
+        """An optionally qualified column (``id`` or ``t.id``) plus its position."""
+        token = self._peek()
+        name = self._expect_identifier()
+        if self._accept_punctuation("."):
+            name = f"{name}.{self._expect_identifier()}"
+        return name, token.position
 
     def _accept_keyword(self, *keywords: str) -> bool:
         if self._peek().matches_keyword(*keywords):
@@ -174,7 +183,8 @@ class _Parser:
             return self._parse_restore()
         if token.matches_keyword("explain"):
             self._advance()
-            return Explain(statement=self._parse_statement_body())
+            analyze = self._accept_keyword("analyze")
+            return Explain(statement=self._parse_statement_body(), analyze=analyze)
         raise SQLSyntaxError(
             f"unsupported statement starting with {token.value!r} "
             f"at position {token.position}",
@@ -298,7 +308,7 @@ class _Parser:
             return ()
         comparisons: list[Comparison] = []
         while True:
-            column = self._expect_identifier()
+            column, position = self._parse_column_reference()
             operator_token = self._advance()
             if operator_token.type is not TokenType.OPERATOR:
                 raise SQLSyntaxError(
@@ -309,7 +319,9 @@ class _Parser:
                 )
             operator = "!=" if operator_token.value == "<>" else operator_token.value
             value = self._parse_literal()
-            comparisons.append(Comparison(column=column, operator=operator, value=value))
+            comparisons.append(
+                Comparison(column=column, operator=operator, value=value, position=position)
+            )
             if not self._accept_keyword("and"):
                 break
         return tuple(comparisons)
@@ -318,6 +330,7 @@ class _Parser:
         self._expect_keyword("select")
         count = False
         columns: list[str] = []
+        column_positions: list[int] = []
         if self._peek().matches_keyword("count"):
             self._advance()
             self._expect_punctuation("(")
@@ -328,17 +341,22 @@ class _Parser:
             columns = ["*"]
         else:
             while True:
-                columns.append(self._expect_identifier())
+                column, position = self._parse_column_reference()
+                columns.append(column)
+                column_positions.append(position)
                 if not self._accept_punctuation(","):
                     break
         self._expect_keyword("from")
+        table_token = self._peek()
         table = self._expect_identifier()
+        join = self._parse_join()
         where = self._parse_where()
         order_by: str | None = None
+        order_by_position: int | None = None
         descending = False
         if self._accept_keyword("order"):
             self._expect_keyword("by")
-            order_by = self._expect_identifier()
+            order_by, order_by_position = self._parse_column_reference()
             if self._accept_keyword("desc"):
                 descending = True
             else:
@@ -363,6 +381,38 @@ class _Parser:
             descending=descending,
             limit=limit,
             count=count,
+            join=join,
+            column_positions=tuple(column_positions) if not count and columns != ["*"] else (),
+            order_by_position=order_by_position,
+            table_position=table_token.position,
+        )
+
+    def _parse_join(self) -> Join | None:
+        """``[INNER] JOIN table ON a.x = b.y`` — None when absent."""
+        if self._accept_keyword("inner"):
+            self._expect_keyword("join")
+        elif not self._accept_keyword("join"):
+            return None
+        table_token = self._peek()
+        table = self._expect_identifier()
+        self._expect_keyword("on")
+        left_column, left_position = self._parse_column_reference()
+        operator = self._advance()
+        if operator.type is not TokenType.OPERATOR or operator.value != "=":
+            raise SQLSyntaxError(
+                f"JOIN supports equality conditions only; found {operator.value!r} "
+                f"at position {operator.position}",
+                position=operator.position,
+                token=operator.value,
+            )
+        right_column, right_position = self._parse_column_reference()
+        return Join(
+            table=table,
+            left_column=left_column,
+            right_column=right_column,
+            table_position=table_token.position,
+            left_position=left_position,
+            right_position=right_position,
         )
 
     def _parse_update(self) -> Update:

@@ -1,0 +1,698 @@
+"""Typed logical/physical plan nodes for the SQL read path.
+
+Every SQL read — base table, unserved classification view, served view, and
+joins between them — is compiled by the :mod:`~repro.db.sql.planner` into a
+tree of the nodes in this module, and then *executed by walking that tree*.
+``EXPLAIN`` prints the same tree the executor runs; ``EXPLAIN ANALYZE``
+executes it and reports the actual simulated seconds each node charged to the
+cost ledgers next to the planner's estimate.
+
+The node vocabulary:
+
+========================  ==========================================================
+``SeqScan``               sequential heap scan of a base table
+``IndexRange``            primary-key index access (point form: a ``[k, k]`` range)
+``LogicalViewScan``       materialization of an opaque logical view callable
+``ViewScan``              full materialization of a classification view
+``ViewPointRead``         Single Entity read on a view's direct maintainer
+``ServedPointRead``       batched point read through the ``ViewServer`` batcher
+``ServedScatterGather``   All Members / contents scatter/gather across the shards
+``ServedRangeScan``       class + key-range predicate pushed into the shards
+``ViewRangeRead``         the same pushdown against an unserved view's maintainer
+``TopK``                  ranked read (fused per-shard heaps when served)
+``Sort`` / ``Limit``      ORDER BY without LIMIT / LIMIT without ORDER BY
+``Filter`` / ``Project``  residual predicate re-check / column projection
+``Aggregate``             ``COUNT(*)``
+``HashJoin``              equi-join; a predicate-free served side is driven
+                          through the read batcher with the probe side's keys
+========================  ==========================================================
+
+Nodes are immutable after planning (a cached plan is re-executed by re-binding
+``?`` parameters only); all per-execution state lives in a
+:class:`PlanRuntime`.  View-access nodes re-resolve the serving state at
+execution time, so a plan cached while a view was served still answers
+correctly after ``STOP SERVING`` (and vice versa) — the label records what the
+planner *chose*, the runtime guarantees the answer stays right.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.db.sql.ast import PLACEHOLDER
+from repro.exceptions import (
+    ConfigurationError,
+    KeyNotFoundError,
+    SQLExecutionError,
+)
+
+__all__ = [
+    "Predicate",
+    "PlanRuntime",
+    "NodeStats",
+    "PlanNode",
+    "SeqScan",
+    "IndexRange",
+    "LogicalViewScan",
+    "ViewScan",
+    "ServedContentsScan",
+    "ViewPointRead",
+    "ServedPointRead",
+    "ViewMembers",
+    "ServedScatterGather",
+    "ViewRangeRead",
+    "ServedRangeScan",
+    "TopK",
+    "Sort",
+    "Limit",
+    "Filter",
+    "Project",
+    "Aggregate",
+    "HashJoin",
+    "compare_values",
+    "row_matches",
+]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One ``column op value`` conjunct as the planner resolved it.
+
+    ``column`` is the bare (unqualified) name the produced rows carry;
+    ``value`` is either a literal or :data:`PLACEHOLDER`, in which case
+    ``param_index`` names the positional ``?`` parameter bound at execution.
+    """
+
+    column: str
+    operator: str
+    value: object
+    param_index: int | None = None
+
+    def bind(self, parameters: list) -> object:
+        """The concrete comparison value for this execution."""
+        if self.value is not PLACEHOLDER:
+            return self.value
+        if self.param_index is None or self.param_index >= len(parameters):
+            raise SQLExecutionError("not enough parameters for placeholders")
+        return parameters[self.param_index]
+
+    def test(self, row, parameters: list) -> bool:
+        """Evaluate this predicate against one row (case-insensitive column match)."""
+        matched = next((key for key in row if key.lower() == self.column.lower()), None)
+        if matched is None:
+            raise SQLExecutionError(f"unknown column {self.column!r} in WHERE clause")
+        return compare_values(row[matched], self.operator, self.bind(parameters))
+
+    def render(self) -> str:
+        """Stable text form for EXPLAIN output."""
+        if self.value is PLACEHOLDER:
+            return f"{self.column} {self.operator} ?"
+        return f"{self.column} {self.operator} {self.value!r}"
+
+
+def compare_values(actual: object, operator: str, expected: object) -> bool:
+    """SQL comparison semantics shared by every filtering node."""
+    if operator == "=":
+        return actual == expected
+    if operator == "!=":
+        return actual != expected
+    if actual is None or expected is None:
+        return False
+    if operator == "<":
+        return actual < expected
+    if operator == "<=":
+        return actual <= expected
+    if operator == ">":
+        return actual > expected
+    if operator == ">=":
+        return actual >= expected
+    raise SQLExecutionError(f"unsupported operator {operator!r}")
+
+
+def row_matches(row, predicates, parameters) -> bool:
+    """Whether ``row`` satisfies every predicate (AND semantics)."""
+    return all(predicate.test(row, parameters) for predicate in predicates)
+
+
+@dataclass
+class NodeStats:
+    """Per-node execution statistics collected by a :class:`PlanRuntime`."""
+
+    rows: int = 0
+    seconds: float = 0.0  # this node's own simulated seconds (children excluded)
+    inclusive: float = 0.0  # including children
+
+
+class PlanRuntime:
+    """Everything one execution of a plan needs: parameters, session context,
+    and the cost probe that attributes simulated seconds to nodes.
+
+    ``context`` is the per-connection session registry threaded through from
+    :class:`repro.connection.Connection`; served-view nodes use it to read on
+    that connection's monotonic read-your-writes session.
+    """
+
+    def __init__(self, database, parameters, context, cost_probe) -> None:
+        self.database = database
+        self.parameters = list(parameters or [])
+        self.context = context
+        self._cost_probe = cost_probe
+        self.node_stats: dict[int, NodeStats] = {}
+
+    def cost(self) -> float:
+        """Current simulated seconds across every ledger this plan touches."""
+        return self._cost_probe()
+
+    def record(self, node: "PlanNode", rows: int, seconds: float, inclusive: float) -> None:
+        self.node_stats[id(node)] = NodeStats(rows=rows, seconds=seconds, inclusive=inclusive)
+
+    def stats_of(self, node: "PlanNode") -> NodeStats:
+        return self.node_stats.get(id(node), NodeStats())
+
+    def view_reader(self, view):
+        """The session (or raw server) to read a *served* view through.
+
+        Returns None when the view is not currently served — the node then
+        falls back to the direct maintainer, which keeps cached plans correct
+        across SERVE VIEW / STOP SERVING transitions.
+        """
+        server = view.server
+        if server is None:
+            return None
+        if self.context is not None and hasattr(self.context, "session_for"):
+            return self.context.session_for(view.name, server)
+        return server
+
+
+class PlanNode:
+    """Base class: children, cost annotations, measured execution."""
+
+    def __init__(self, children=(), estimated_seconds: float | None = None, detail: str = ""):
+        self.children: tuple[PlanNode, ...] = tuple(children)
+        self.estimated_seconds = estimated_seconds
+        self.detail = detail
+
+    # -- execution -----------------------------------------------------------------------
+
+    def execute(self, runtime: PlanRuntime) -> list[dict]:
+        """Run this node (and its children), attributing simulated seconds."""
+        start = runtime.cost()
+        rows = self._run(runtime)
+        inclusive = runtime.cost() - start
+        children_inclusive = sum(
+            runtime.stats_of(child).inclusive for child in self.children
+        )
+        runtime.record(self, len(rows), inclusive - children_inclusive, inclusive)
+        return rows
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- explain -------------------------------------------------------------------------
+
+    def label(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "PlanNode"]]:
+        """Pre-order traversal yielding ``(depth, node)`` pairs."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+
+def _render_predicates(predicates) -> str:
+    return " AND ".join(predicate.render() for predicate in predicates)
+
+
+# ---------------------------------------------------------------------------
+# Base-table access
+# ---------------------------------------------------------------------------
+
+
+class SeqScan(PlanNode):
+    """Sequential heap scan of a base table."""
+
+    def __init__(self, table, **kwargs):
+        super().__init__(**kwargs)
+        self.table = table
+
+    def label(self) -> str:
+        return f"SeqScan({self.table.name})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        return [dict(row) for row in self.table.scan()]
+
+
+class IndexRange(PlanNode):
+    """Primary-key index access; the point form is the degenerate ``[k, k]`` range."""
+
+    def __init__(self, table, predicate: Predicate, **kwargs):
+        super().__init__(**kwargs)
+        self.table = table
+        self.predicate = predicate
+
+    def label(self) -> str:
+        return f"IndexRange({self.table.name}.{self.predicate.render()})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        key = self.predicate.bind(runtime.parameters)
+        row = self.table.try_get_by_key(key)
+        return [dict(row)] if row is not None else []
+
+
+class LogicalViewScan(PlanNode):
+    """Materialization of a logical (callable-backed) view."""
+
+    def __init__(self, name: str, producer, **kwargs):
+        super().__init__(**kwargs)
+        self.name = name
+        self.producer = producer
+
+    def label(self) -> str:
+        return f"LogicalViewScan({self.name})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        return [dict(row) for row in self.producer()]
+
+
+# ---------------------------------------------------------------------------
+# Classification-view access
+# ---------------------------------------------------------------------------
+
+
+class _ViewNode(PlanNode):
+    """Shared machinery for nodes reading a classification view."""
+
+    def __init__(self, view, **kwargs):
+        super().__init__(**kwargs)
+        self.view = view
+
+    def _display_row(self, entity_id: object, binary_label: int) -> dict:
+        return {
+            self.view.definition.view_key: entity_id,
+            "class": self.view.from_binary_label(binary_label),
+        }
+
+    def _binary_class(self, value: object) -> int | None:
+        """Map a user-facing class literal to {-1, +1}; None when unmappable."""
+        try:
+            return self.view.to_binary_label(value)
+        except ConfigurationError:
+            return None
+
+
+class ViewScan(_ViewNode):
+    """Full materialization of a classification view (one coherent epoch when served)."""
+
+    served_planned = False
+
+    def label(self) -> str:
+        return f"ViewScan({self.view.name})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        reader = runtime.view_reader(self.view)
+        if reader is None:
+            return [dict(row) for row in self.view.rows()]
+        return [
+            self._display_row(entity_id, label)
+            for entity_id, label in reader.contents().items()
+        ]
+
+
+class ServedContentsScan(ViewScan):
+    """``ViewScan`` planned against a live server (scatter/gather contents)."""
+
+    served_planned = True
+
+    def label(self) -> str:
+        return f"ServedScatterGather({self.view.name}, contents)"
+
+
+class ViewPointRead(_ViewNode):
+    """Single Entity read answered by the view's direct maintainer."""
+
+    def __init__(self, view, predicate: Predicate, **kwargs):
+        super().__init__(view, **kwargs)
+        self.predicate = predicate
+
+    def label(self) -> str:
+        return f"ViewPointRead({self.view.name}.{self.predicate.render()})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        key = self.predicate.bind(runtime.parameters)
+        reader = runtime.view_reader(self.view)
+        try:
+            label = reader.label_of(key) if reader is not None else self.view.label_of(key)
+        except KeyNotFoundError:
+            return []
+        return [self._display_row(key, label)]
+
+
+class ServedPointRead(ViewPointRead):
+    """Point read through the server's request batcher (session-consistent).
+
+    With ``predicate=None`` the node is a *probe-side lookup* for
+    :class:`HashJoin`: it has no key of its own and is executed via
+    :meth:`execute_batch` with the join's probe keys, all driven through the
+    read batcher in one coalesced burst.
+    """
+
+    is_probe_lookup = False
+
+    def __init__(self, view, predicate: Predicate | None, **kwargs):
+        if predicate is None:
+            _ViewNode.__init__(self, view, **kwargs)
+            self.predicate = None
+            self.is_probe_lookup = True
+        else:
+            super().__init__(view, predicate, **kwargs)
+
+    def label(self) -> str:
+        if self.is_probe_lookup:
+            return f"ServedPointRead({self.view.name}, batch)"
+        return f"ServedPointRead({self.view.name}.{self.predicate.render()})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        if self.is_probe_lookup:  # only a HashJoin may drive this node
+            raise SQLExecutionError(
+                "a probe-side ServedPointRead executes only through its join"
+            )
+        return super()._run(runtime)
+
+    def execute_batch(self, runtime: PlanRuntime, keys) -> list[dict]:
+        """Fetch labels for the join's probe keys; records this node's stats."""
+        start = runtime.cost()
+        reader = runtime.view_reader(self.view)
+        rows: list[dict] = []
+        if reader is not None:
+            for entity_id, label in reader.labels_of(keys).items():
+                rows.append(self._display_row(entity_id, label))
+        else:
+            for entity_id in keys:
+                try:
+                    label = self.view.label_of(entity_id)
+                except KeyNotFoundError:
+                    continue
+                rows.append(self._display_row(entity_id, label))
+        inclusive = runtime.cost() - start
+        runtime.record(self, len(rows), inclusive, inclusive)
+        return rows
+
+
+class ViewMembers(_ViewNode):
+    """All Members read on the direct maintainer."""
+
+    served_planned = False
+
+    def __init__(self, view, class_predicate: Predicate, **kwargs):
+        super().__init__(view, **kwargs)
+        self.class_predicate = class_predicate
+
+    def label(self) -> str:
+        return f"ViewMembers({self.view.name}, {self.class_predicate.render()})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        label = self._binary_class(self.class_predicate.bind(runtime.parameters))
+        if label is None:
+            return []
+        reader = runtime.view_reader(self.view)
+        members = reader.all_members(label) if reader is not None else self.view.members(label)
+        return [self._display_row(entity_id, label) for entity_id in members]
+
+
+class ServedScatterGather(ViewMembers):
+    """All Members scatter/gather across the shards (session-consistent)."""
+
+    served_planned = True
+
+    def label(self) -> str:
+        return f"ServedScatterGather({self.view.name}, {self.class_predicate.render()})"
+
+
+class ViewRangeRead(_ViewNode):
+    """``class = x AND <key> <op> k`` pushed into the view's maintainer.
+
+    The range over the entity key is resolved at execution time from the
+    pushed conjuncts (placeholders included), tightened to a single
+    ``[low, high]`` interval, and answered by ``read_range`` — one scan that
+    classifies only in-range candidates instead of materializing the view.
+    """
+
+    served_planned = False
+
+    def __init__(self, view, class_predicate: Predicate, range_predicates, **kwargs):
+        super().__init__(view, **kwargs)
+        self.class_predicate = class_predicate
+        self.range_predicates = tuple(range_predicates)
+
+    def label(self) -> str:
+        rendered = _render_predicates((self.class_predicate, *self.range_predicates))
+        return f"ViewRangeRead({self.view.name}, {rendered})"
+
+    def _bounds(self, parameters):
+        low = high = None
+        include_low = include_high = True
+        for predicate in self.range_predicates:
+            value = predicate.bind(parameters)
+            if predicate.operator in (">", ">="):
+                strict = predicate.operator == ">"
+                if low is None or value > low or (value == low and strict):
+                    low, include_low = value, not strict
+            else:
+                strict = predicate.operator == "<"
+                if high is None or value < high or (value == high and strict):
+                    high, include_high = value, not strict
+        return low, high, include_low, include_high
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        label = self._binary_class(self.class_predicate.bind(runtime.parameters))
+        if label is None:
+            return []
+        low, high, include_low, include_high = self._bounds(runtime.parameters)
+        reader = runtime.view_reader(self.view)
+        if reader is not None:
+            members = reader.range_scan(
+                label, low, high, include_low=include_low, include_high=include_high
+            )
+        else:
+            members = self.view.maintainer.read_range(
+                label, low, high, include_low=include_low, include_high=include_high
+            )
+        return [self._display_row(entity_id, label) for entity_id in members]
+
+
+class ServedRangeScan(ViewRangeRead):
+    """The range pushdown as a shard operator: scatter ``read_range`` to every
+    shard under one epoch, gather only the in-class, in-range ids."""
+
+    served_planned = True
+
+    def label(self) -> str:
+        rendered = _render_predicates((self.class_predicate, *self.range_predicates))
+        return f"ServedRangeScan({self.view.name}, {rendered})"
+
+
+# ---------------------------------------------------------------------------
+# Interior operators
+# ---------------------------------------------------------------------------
+
+
+class Filter(PlanNode):
+    """Residual predicate re-check above an access path."""
+
+    def __init__(self, child: PlanNode, predicates, **kwargs):
+        super().__init__(children=(child,), **kwargs)
+        self.predicates = tuple(predicates)
+
+    def label(self) -> str:
+        return f"Filter({_render_predicates(self.predicates)})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        rows = self.children[0].execute(runtime)
+        return [row for row in rows if row_matches(row, self.predicates, runtime.parameters)]
+
+
+def _sort_key_for(column: str):
+    def sort_key(row: dict):
+        matched = next((key for key in row if key.lower() == column.lower()), None)
+        if matched is None:
+            raise SQLExecutionError(f"unknown ORDER BY column {column!r}")
+        value = row[matched]
+        return (value is None, value)
+
+    return sort_key
+
+
+class Sort(PlanNode):
+    """Full sort for ORDER BY without LIMIT."""
+
+    def __init__(self, child: PlanNode, column: str, descending: bool, **kwargs):
+        super().__init__(children=(child,), **kwargs)
+        self.column = column
+        self.descending = descending
+
+    def label(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"Sort(by={self.column} {direction})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        rows = list(self.children[0].execute(runtime))
+        rows.sort(key=_sort_key_for(self.column), reverse=self.descending)
+        return rows
+
+
+class TopK(PlanNode):
+    """Ranked read: ORDER BY + LIMIT.
+
+    With a child, a stable sort-and-slice over the child's rows.  Without one
+    (``view`` set), the *fused* served top-k: per-shard heaps merged across
+    the shards by the server, driven through the session.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        column: str,
+        descending: bool,
+        child: PlanNode | None = None,
+        view=None,
+        **kwargs,
+    ):
+        super().__init__(children=(child,) if child is not None else (), **kwargs)
+        self.k = k
+        self.column = column
+        self.descending = descending
+        self.view = view
+
+    def label(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"TopK(k={self.k}, by={self.column} {direction})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        if self.view is not None:
+            reader = runtime.view_reader(self.view)
+            if reader is None:
+                raise SQLExecutionError(
+                    f"ORDER BY margin requires view {self.view.name!r} to be served"
+                )
+            key_column = self.view.definition.view_key
+            return [
+                {
+                    key_column: entity_id,
+                    "class": self.view.from_binary_label(1),
+                    "margin": margin,
+                }
+                for entity_id, margin in reader.top_k(self.k, label=1)
+            ]
+        rows = list(self.children[0].execute(runtime))
+        rows.sort(key=_sort_key_for(self.column), reverse=self.descending)
+        return rows[: self.k]
+
+
+class Limit(PlanNode):
+    """LIMIT without ORDER BY."""
+
+    def __init__(self, child: PlanNode, count: int, **kwargs):
+        super().__init__(children=(child,), **kwargs)
+        self.count = count
+
+    def label(self) -> str:
+        return f"Limit({self.count})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        return self.children[0].execute(runtime)[: self.count]
+
+
+class Project(PlanNode):
+    """Column projection; ``lookups`` are the row keys resolved at plan time."""
+
+    def __init__(self, child: PlanNode, lookups, **kwargs):
+        super().__init__(children=(child,), **kwargs)
+        self.lookups = tuple(lookups)
+
+    def label(self) -> str:
+        return f"Project({', '.join(self.lookups)})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        projected: list[dict] = []
+        for row in self.children[0].execute(runtime):
+            out: dict[str, object] = {}
+            for wanted in self.lookups:
+                matched = next((key for key in row if key.lower() == wanted.lower()), None)
+                if matched is None:
+                    raise SQLExecutionError(f"unknown column {wanted!r} in SELECT list")
+                out[matched] = row[matched]
+            projected.append(out)
+        return projected
+
+
+class Aggregate(PlanNode):
+    """``COUNT(*)`` over the child's rows."""
+
+    def __init__(self, child: PlanNode, **kwargs):
+        super().__init__(children=(child,), **kwargs)
+
+    def label(self) -> str:
+        return "Aggregate(count)"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        return [{"count": len(self.children[0].execute(runtime))}]
+
+
+class HashJoin(PlanNode):
+    """Inner equi-join: build a hash table on the right side, probe with the left.
+
+    When the right child is a probe-side :class:`ServedPointRead` (a served
+    view with no pushable predicate), the left side runs first and its join
+    keys drive one batched lookup through the server's read batcher instead of
+    materializing the whole view.
+    """
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_key: str,
+        right_key: str,
+        right_renames: dict[str, str],
+        **kwargs,
+    ):
+        super().__init__(children=(left, right), **kwargs)
+        self.left_key = left_key
+        self.right_key = right_key
+        self.right_renames = dict(right_renames)
+
+    def label(self) -> str:
+        return f"HashJoin({self.left_key} = {self.right_key})"
+
+    @staticmethod
+    def _value_of(row: dict, column: str):
+        matched = next((key for key in row if key.lower() == column.lower()), None)
+        if matched is None:
+            raise SQLExecutionError(f"unknown join column {column!r}")
+        return row[matched]
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        left, right = self.children
+        left_rows = left.execute(runtime)
+        bare_left = self.left_key.rpartition(".")[2]
+        bare_right = self.right_key.rpartition(".")[2]
+        if getattr(right, "is_probe_lookup", False):
+            seen: dict[object, None] = {}
+            for row in left_rows:
+                seen.setdefault(self._value_of(row, bare_left))
+            right_rows = right.execute_batch(runtime, list(seen))
+        else:
+            right_rows = right.execute(runtime)
+        build: dict[object, list[dict]] = {}
+        for row in right_rows:
+            build.setdefault(self._value_of(row, bare_right), []).append(row)
+        joined: list[dict] = []
+        for left_row in left_rows:
+            for right_row in build.get(self._value_of(left_row, bare_left), ()):
+                merged = dict(left_row)
+                for column, value in right_row.items():
+                    merged[self.right_renames.get(column.lower(), column)] = value
+                joined.append(merged)
+        return joined

@@ -1,0 +1,724 @@
+"""The query planner: Select AST -> logical/physical plan tree.
+
+This is the seam between the SQL front-end and execution.  ``plan_select``
+resolves every name against the catalog, validates column references at *plan
+time* (carrying the parser's machine-readable ``position``/``token``
+diagnostics into :class:`~repro.exceptions.SQLPlanningError`), chooses an
+access path per source, pushes single-source predicates below joins, and
+annotates every node with a deterministic cost-model estimate.  The executor
+runs the returned :class:`SelectPlan`; ``EXPLAIN`` prints it; the connection
+layer caches it per SQL text and re-binds ``?`` parameters without re-planning.
+
+Access-path choice per source:
+
+* base table — primary-key equality takes an :class:`IndexRange` point
+  lookup, everything else a :class:`SeqScan`;
+* classification view, not served — ``read_single`` / ``read_all_members`` /
+  ``read_range`` on the direct maintainer, full materialization otherwise;
+* classification view, served — the batcher point read, All Members
+  scatter/gather, the pushed-down :class:`ServedRangeScan` shard operator, or
+  a coherent-epoch contents scan; ``ORDER BY margin DESC LIMIT k`` fuses into
+  the server's per-shard top-k.
+
+All original WHERE conjuncts are kept as a residual :class:`Filter` re-check
+above the access node: the pushdown decides what the storage layer *scans*,
+the re-check keeps answers byte-identical to the post-filter semantics.
+"""
+
+from __future__ import annotations
+
+from repro.db.sql.ast import PLACEHOLDER, Comparison, Select
+from repro.db.sql.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    IndexRange,
+    Limit,
+    LogicalViewScan,
+    PlanNode,
+    PlanRuntime,
+    Predicate,
+    Project,
+    SeqScan,
+    ServedContentsScan,
+    ServedPointRead,
+    ServedRangeScan,
+    ServedScatterGather,
+    Sort,
+    TopK,
+    ViewMembers,
+    ViewPointRead,
+    ViewRangeRead,
+    ViewScan,
+)
+from repro.exceptions import SQLPlanningError
+
+__all__ = ["Planner", "SelectPlan"]
+
+_RANGE_OPERATORS = ("<", "<=", ">", ">=")
+
+
+class SelectPlan:
+    """A planned SELECT: the node tree plus what one execution needs.
+
+    The plan is immutable and parameter-agnostic — ``run`` binds ``?``
+    placeholders positionally, so a cached plan is re-executed without
+    re-parsing or re-planning.  ``explain_rows`` renders the tree (optionally
+    with the actuals a finished :class:`PlanRuntime` collected).
+    """
+
+    def __init__(self, root: PlanNode, select: Select, views=(), catalog_version: int = 0) -> None:
+        self.root = root
+        self.select = select
+        self._views = tuple(views)
+        #: The catalog version this plan was built against; the executor
+        #: re-plans when the namespace changed (a dropped/replaced table or
+        #: view must never be read through a stale cached plan).
+        self.catalog_version = catalog_version
+
+    def run(self, database, parameters, context) -> tuple[list[dict], PlanRuntime]:
+        runtime = PlanRuntime(database, parameters, context, self._cost_probe(database))
+        rows = self.root.execute(runtime)
+        return rows, runtime
+
+    def _cost_probe(self, database):
+        """Sum every ledger this plan's sources charge (database + view stores)."""
+        views = self._views
+
+        def probe() -> float:
+            total = database.stats.simulated_seconds
+            for view in views:
+                server = view.server
+                if server is not None:
+                    total += server.shards.simulated_seconds()
+                else:
+                    total += view.maintainer.store.stats.simulated_seconds
+            return total
+
+        return probe
+
+    def explain_rows(self, runtime: PlanRuntime | None = None) -> list[dict]:
+        """One output row per plan node, pre-order, indented by depth."""
+        rows: list[dict] = []
+        for depth, node in self.root.walk():
+            row: dict[str, object] = {
+                "node": "  " * depth + node.label(),
+                "estimated_seconds": node.estimated_seconds,
+            }
+            if runtime is not None:
+                stats = runtime.stats_of(node)
+                row["actual_seconds"] = stats.seconds
+                row["rows"] = stats.rows
+            row["detail"] = node.detail
+            rows.append(row)
+        return rows
+
+
+class _Source:
+    """One resolved FROM source: catalog object + statically known columns."""
+
+    def __init__(self, name: str, kind: str, obj) -> None:
+        self.name = name
+        self.kind = kind  # "table" | "classification_view" | "view"
+        self.obj = obj
+
+    def columns(self) -> list[str] | None:
+        """Statically known column names (None for opaque logical views)."""
+        if self.kind == "table":
+            return list(self.obj.schema.column_names())
+        if self.kind == "classification_view":
+            return [self.obj.definition.view_key, "class"]
+        return None
+
+    def has_column(self, column: str) -> bool:
+        known = self.columns()
+        if known is None:
+            return True  # opaque: defer to runtime
+        return column.lower() in {name.lower() for name in known}
+
+
+class Planner:
+    """Builds :class:`SelectPlan` trees against one database's catalog."""
+
+    def __init__(self, database) -> None:
+        self._database = database
+
+    # -- entry point ---------------------------------------------------------------------
+
+    def plan_select(self, select: Select) -> SelectPlan:
+        if select.join is not None:
+            return self._plan_join(select)
+        return self._plan_single(select)
+
+    # -- name resolution -----------------------------------------------------------------
+
+    def _resolve_source(self, name: str, position: int | None = None) -> _Source:
+        kind = self._database.catalog.object_kind(name)
+        if kind is None:
+            raise SQLPlanningError(
+                f"no table or view named {name!r}", position=position, token=name
+            )
+        if kind == "table":
+            return _Source(name, kind, self._database.catalog.table(name))
+        if kind == "classification_view":
+            return _Source(name, kind, self._database.catalog.classification_view(name))
+        return _Source(name, kind, self._database.catalog.view(name))
+
+    @staticmethod
+    def _split_reference(reference: str) -> tuple[str | None, str]:
+        qualifier, _, bare = reference.rpartition(".")
+        return (qualifier or None), bare
+
+    def _strip_qualifier(self, reference: str, source: _Source, position) -> str:
+        qualifier, bare = self._split_reference(reference)
+        if qualifier is not None and qualifier.lower() != source.name.lower():
+            raise SQLPlanningError(
+                f"unknown table qualifier {qualifier!r} in {reference!r} "
+                f"(FROM {source.name})",
+                position=position,
+                token=reference,
+            )
+        return bare
+
+    def _require_column(self, source: _Source, column: str, position, clause: str) -> None:
+        if source.has_column(column):
+            return
+        known = source.columns() or ()
+        raise SQLPlanningError(
+            f"unknown column {column!r} in {clause} (source {source.name!r} "
+            f"has columns {', '.join(known)})",
+            position=position,
+            token=column,
+        )
+
+    # -- predicates ----------------------------------------------------------------------
+
+    @staticmethod
+    def _build_predicate(comparison: Comparison, column: str, counter: list[int]) -> Predicate:
+        param_index = None
+        if comparison.value is PLACEHOLDER:
+            param_index = counter[0]
+            counter[0] += 1
+        return Predicate(
+            column=column,
+            operator=comparison.operator,
+            value=comparison.value,
+            param_index=param_index,
+        )
+
+    # -- single-source planning -----------------------------------------------------------
+
+    def _plan_single(self, select: Select) -> SelectPlan:
+        source = self._resolve_source(select.table, select.table_position)
+        counter = [0]
+        predicates: list[Predicate] = []
+        for comparison in select.where:
+            column = self._strip_qualifier(comparison.column, source, comparison.position)
+            if source.kind == "classification_view":
+                self._validate_view_column(source, column, comparison.position, "WHERE clause")
+            else:
+                self._require_column(source, column, comparison.position, "WHERE clause")
+            predicates.append(self._build_predicate(comparison, column, counter))
+
+        topk_fused = False
+        if source.kind == "classification_view":
+            topk_fused = self._is_margin_topk(select, source, predicates)
+            access = (
+                self._fused_topk_node(select, source)
+                if topk_fused
+                else self._plan_view_access(source.obj, predicates)
+            )
+        elif source.kind == "table":
+            access = self._plan_table_access(source.obj, predicates)
+        else:
+            access = LogicalViewScan(
+                source.name,
+                self._database.catalog.view(source.name),
+                estimated_seconds=None,
+                detail="logical views materialize through an opaque callable",
+            )
+
+        node = access
+        if predicates and not topk_fused:
+            node = Filter(
+                node,
+                predicates,
+                estimated_seconds=0.0,
+                detail="residual re-check of every WHERE conjunct",
+            )
+        node = self._wrap_order_limit(node, select, source, topk_fused)
+        node = self._wrap_output(node, select, source)
+        views = [source.obj] if source.kind == "classification_view" else []
+        return SelectPlan(
+            node, select, views, catalog_version=self._database.catalog.version
+        )
+
+    # -- ORDER BY / LIMIT / COUNT / projection wrapping ----------------------------------
+
+    def _wrap_order_limit(
+        self, node: PlanNode, select: Select, source: _Source | None, topk_fused: bool
+    ) -> PlanNode:
+        if topk_fused or select.order_by is None:
+            if select.limit is not None and not topk_fused:
+                return Limit(node, select.limit, estimated_seconds=0.0)
+            return node
+        column = self._strip_qualifier(select.order_by, source, select.order_by_position)
+        if source.kind in ("table", "classification_view"):
+            self._require_column(source, column, select.order_by_position, "ORDER BY")
+        if select.limit is not None:
+            return TopK(
+                select.limit,
+                column,
+                select.descending,
+                child=node,
+                estimated_seconds=0.0,
+                detail="stable sort + slice of the child's rows",
+            )
+        return Sort(node, column, select.descending, estimated_seconds=0.0)
+
+    def _wrap_output(self, node: PlanNode, select: Select, source: _Source | None) -> PlanNode:
+        if select.count:
+            return Aggregate(node, estimated_seconds=0.0)
+        if select.columns == ("*",):
+            return node
+        lookups = []
+        positions = select.column_positions or (None,) * len(select.columns)
+        for column, position in zip(select.columns, positions):
+            if source is None:
+                lookups.append(column.rpartition(".")[2])
+                continue
+            bare = self._strip_qualifier(column, source, position)
+            if source.kind == "classification_view":
+                self._validate_view_column(
+                    source, bare, position, "SELECT list", select=select
+                )
+            elif source.kind == "table":
+                self._require_column(source, bare, position, "SELECT list")
+            lookups.append(bare)
+        return Project(node, lookups, estimated_seconds=0.0)
+
+    # -- classification-view specifics ----------------------------------------------------
+
+    def _validate_view_column(
+        self, source: _Source, column: str, position, clause: str, select: Select | None = None
+    ) -> None:
+        lowered = column.lower()
+        if lowered == "margin":
+            if clause == "SELECT list" and select is not None and self._margin_topk_shape(select):
+                return
+            raise SQLPlanningError(
+                f"column 'margin' of view {source.name!r} is only available on "
+                "ORDER BY margin DESC LIMIT k reads",
+                position=position,
+                token=column,
+            )
+        self._require_column(source, column, position, clause)
+
+    @staticmethod
+    def _margin_topk_shape(select: Select) -> bool:
+        return (
+            select.order_by is not None
+            and select.order_by.rpartition(".")[2].lower() == "margin"
+            and select.descending
+            and select.limit is not None
+            and not select.where
+        )
+
+    def _is_margin_topk(self, select: Select, source: _Source, predicates) -> bool:
+        """Whether this read is the fused top-k shape; rejects near-misses loudly."""
+        order = select.order_by.rpartition(".")[2].lower() if select.order_by else None
+        if order != "margin":
+            return False
+        if self._margin_topk_shape(select):
+            return True
+        if select.limit is not None and not select.descending and not predicates:
+            raise SQLPlanningError(
+                "ORDER BY margin ASC is not a top-k read: top_k answers the "
+                "highest margins only",
+                position=select.order_by_position,
+                token=select.order_by,
+            )
+        raise SQLPlanningError(
+            "ORDER BY margin requires the exact shape "
+            "ORDER BY margin DESC LIMIT k with no WHERE clause",
+            position=select.order_by_position,
+            token=select.order_by,
+        )
+
+    def _fused_topk_node(self, select: Select, source: _Source) -> TopK:
+        view = source.obj
+        server = view.server  # captured once; see _plan_view_access
+        if server is not None:
+            shards = server.shards
+            estimate = self._served_statement_overhead(shards) + sum(
+                shard.maintainer.store.scan_cost_estimate() for shard in shards.shards
+            )
+            detail = f"per-shard top-k heaps + n-way merge across {len(shards)} shards"
+        else:
+            estimate = None
+            detail = "requires the view to be served"
+        return TopK(
+            select.limit,
+            "margin",
+            True,
+            view=view,
+            estimated_seconds=estimate,
+            detail=detail,
+        )
+
+    # -- access-path planning -------------------------------------------------------------
+
+    def _plan_table_access(self, table, predicates) -> PlanNode:
+        cost_model = self._database.cost_model
+        pk = table.schema.primary_key
+        point = None
+        if pk is not None:
+            point = next(
+                (
+                    predicate
+                    for predicate in predicates
+                    if predicate.operator == "=" and predicate.column.lower() == pk.lower()
+                ),
+                None,
+            )
+        if point is not None:
+            return IndexRange(
+                table,
+                point,
+                estimated_seconds=cost_model.statement_overhead + cost_model.random_page_read,
+                detail=f"primary-key hash lookup on {pk!r} (1 random page)",
+            )
+        return SeqScan(
+            table,
+            estimated_seconds=cost_model.statement_overhead
+            + cost_model.scan_cost(table.page_count(), table.row_count()),
+            detail=(
+                f"sequential scan of {table.page_count()} pages / "
+                f"{table.row_count()} tuples"
+            ),
+        )
+
+    @staticmethod
+    def _served_statement_overhead(shards) -> float:
+        return shards.shards[0].maintainer.store.cost_model.statement_overhead
+
+    def _plan_view_access(self, view, predicates, allow_probe_lookup: bool = False) -> PlanNode:
+        """Choose the access path for a classification-view source.
+
+        ``allow_probe_lookup`` is set for the JOIN side *when the join key is
+        the view's entity key*: a predicate-free served view then becomes a
+        batch point-lookup driven by the probe side's join keys instead of a
+        full materialization.  The serving handle is captured **once** —
+        ``STOP SERVING`` on another thread between here and node construction
+        must degrade to the unserved plan, never crash planning (execution
+        re-resolves serving state again anyway).
+        """
+        key_column = view.definition.view_key.lower()
+        class_eq = next(
+            (p for p in predicates if p.column.lower() == "class" and p.operator == "="),
+            None,
+        )
+        key_eq = next(
+            (p for p in predicates if p.column.lower() == key_column and p.operator == "="),
+            None,
+        )
+        key_ranges = [
+            p
+            for p in predicates
+            if p.column.lower() == key_column and p.operator in _RANGE_OPERATORS
+        ]
+        server = view.server
+        if allow_probe_lookup and server is not None and not predicates:
+            return ServedPointRead(
+                view,
+                None,
+                estimated_seconds=None,
+                detail="batched point reads for the join's probe keys through the read batcher",
+            )
+        if key_eq is not None:
+            return self._point_node(view, key_eq, server)
+        if class_eq is not None and key_ranges:
+            return self._range_node(view, class_eq, key_ranges, server)
+        if class_eq is not None:
+            return self._members_node(view, class_eq, server)
+        return self._contents_node(view, server)
+
+    def _point_node(self, view, predicate, server) -> PlanNode:
+        if server is not None:
+            shards = server.shards
+            store = shards.shards[0].maintainer.store
+            estimate = self._served_statement_overhead(shards) + min(
+                store.point_read_cost_estimate(), store.scan_cost_estimate()
+            )
+            return ServedPointRead(
+                view,
+                predicate,
+                estimated_seconds=estimate,
+                detail=(
+                    f"batched read on the owning shard of {len(shards)}; statement "
+                    "overhead amortized per coalesced batch"
+                ),
+            )
+        store = view.maintainer.store
+        estimate = store.cost_model.statement_overhead + min(
+            store.point_read_cost_estimate(), store.scan_cost_estimate()
+        )
+        return ViewPointRead(
+            view,
+            predicate,
+            estimated_seconds=estimate,
+            detail="direct maintainer read_single (view is not served)",
+        )
+
+    def _members_node(self, view, class_predicate, server) -> PlanNode:
+        if server is not None:
+            shards = server.shards
+            estimate = self._served_statement_overhead(shards) + sum(
+                shard.maintainer.store.scan_cost_estimate() for shard in shards.shards
+            )
+            return ServedScatterGather(
+                view,
+                class_predicate,
+                estimated_seconds=estimate,
+                detail=f"scatter/gather All Members across {len(shards)} shards",
+            )
+        store = view.maintainer.store
+        return ViewMembers(
+            view,
+            class_predicate,
+            estimated_seconds=store.cost_model.statement_overhead
+            + store.scan_cost_estimate(),
+            detail="direct maintainer All Members read (view is not served)",
+        )
+
+    def _range_node(self, view, class_predicate, key_ranges, server) -> PlanNode:
+        if server is not None:
+            shards = server.shards
+            estimate = self._served_statement_overhead(shards) + sum(
+                shard.maintainer.store.scan_cost_estimate() for shard in shards.shards
+            )
+            return ServedRangeScan(
+                view,
+                class_predicate,
+                key_ranges,
+                estimated_seconds=estimate,
+                detail=(
+                    f"pushed-down read_range across {len(shards)} shards; "
+                    "classifies only in-range candidates"
+                ),
+            )
+        store = view.maintainer.store
+        return ViewRangeRead(
+            view,
+            class_predicate,
+            key_ranges,
+            estimated_seconds=store.cost_model.statement_overhead
+            + store.scan_cost_estimate(),
+            detail="maintainer read_range (view is not served)",
+        )
+
+    def _contents_node(self, view, server) -> PlanNode:
+        if server is not None:
+            shards = server.shards
+            overhead = self._served_statement_overhead(shards)
+            estimate = overhead + sum(
+                shard.maintainer.store.scan_cost_estimate()
+                + shard.maintainer.store.count()
+                * (overhead + shard.maintainer.store.point_read_cost_estimate())
+                for shard in shards.shards
+            )
+            return ServedContentsScan(
+                view,
+                estimated_seconds=estimate,
+                detail=(
+                    f"materialize one coherent epoch via read_single per entity "
+                    f"across {len(shards)} shards"
+                ),
+            )
+        store = view.maintainer.store
+        estimate = store.cost_model.statement_overhead + store.scan_cost_estimate()
+        return ViewScan(
+            view,
+            estimated_seconds=estimate,
+            detail="materialize the view through the direct maintainer",
+        )
+
+    # -- join planning --------------------------------------------------------------------
+
+    def _plan_join(self, select: Select) -> SelectPlan:
+        join = select.join
+        left = self._resolve_source(select.table, select.table_position)
+        right = self._resolve_source(join.table, join.table_position)
+        for source, position in ((left, select.table_position), (right, join.table_position)):
+            if source.kind not in ("table", "classification_view"):
+                raise SQLPlanningError(
+                    f"joins support base tables and classification views; "
+                    f"{source.name!r} is a logical view",
+                    position=position,
+                    token=source.name,
+                )
+
+        left_key = self._resolve_join_side(join.left_column, join.left_position, left, right)
+        right_key = self._resolve_join_side(join.right_column, join.right_position, left, right)
+        if {left_key[0], right_key[0]} != {"left", "right"}:
+            raise SQLPlanningError(
+                "JOIN ... ON must reference one column from each side",
+                position=join.left_position,
+                token=join.left_column,
+            )
+        if left_key[0] == "right":
+            left_key, right_key = right_key, left_key
+
+        counter = [0]
+        left_predicates: list[Predicate] = []
+        right_predicates: list[Predicate] = []
+        for comparison in select.where:
+            side, bare = self._resolve_column_side(
+                comparison.column, comparison.position, left, right, "WHERE clause"
+            )
+            predicate = self._build_predicate(comparison, bare, counter)
+            (left_predicates if side == "left" else right_predicates).append(predicate)
+
+        left_node = self._plan_join_side(left, left_predicates)
+        # The batched probe-lookup treats the probe side's join values as
+        # entity ids, so it is only sound when the join key IS the view's
+        # entity key; joins on any other column (e.g. ON t.topic = v.class)
+        # must materialize the view instead.
+        probe_ok = (
+            right.kind == "classification_view"
+            and right_key[1].lower() == right.obj.definition.view_key.lower()
+        )
+        right_node = self._plan_join_side(
+            right, right_predicates, allow_probe_lookup=probe_ok
+        )
+
+        left_columns = {name.lower() for name in left.columns()}
+        right_renames = {
+            name.lower(): f"{right.name}.{name}"
+            for name in right.columns()
+            if name.lower() in left_columns
+        }
+        node: PlanNode = HashJoin(
+            left_node,
+            right_node,
+            left_key[1],
+            right_key[1],
+            right_renames,
+            estimated_seconds=0.0,
+            detail=f"build on {right.name}, probe with {left.name}",
+        )
+        node = self._wrap_join_order_limit(node, select, left, right, right_renames)
+        node = self._wrap_join_output(node, select, left, right, right_renames)
+        views = [
+            source.obj
+            for source in (left, right)
+            if source.kind == "classification_view"
+        ]
+        return SelectPlan(
+            node, select, views, catalog_version=self._database.catalog.version
+        )
+
+    def _plan_join_side(
+        self, source: _Source, predicates, allow_probe_lookup: bool = False
+    ) -> PlanNode:
+        if source.kind == "classification_view":
+            node = self._plan_view_access(
+                source.obj, predicates, allow_probe_lookup=allow_probe_lookup
+            )
+        else:
+            node = self._plan_table_access(source.obj, predicates)
+        if predicates:
+            node = Filter(
+                node,
+                predicates,
+                estimated_seconds=0.0,
+                detail="residual re-check of every WHERE conjunct",
+            )
+        return node
+
+    def _resolve_join_side(
+        self, reference: str, position, left: _Source, right: _Source
+    ) -> tuple[str, str]:
+        side, bare = self._resolve_column_side(reference, position, left, right, "JOIN ON")
+        return side, bare
+
+    def _resolve_column_side(
+        self, reference: str, position, left: _Source, right: _Source, clause: str
+    ) -> tuple[str, str]:
+        """Which side an (optionally qualified) column belongs to, plus its bare name."""
+        qualifier, bare = self._split_reference(reference)
+        if qualifier is not None:
+            for side_name, source in (("left", left), ("right", right)):
+                if qualifier.lower() == source.name.lower():
+                    self._require_column(source, bare, position, clause)
+                    return side_name, bare
+            raise SQLPlanningError(
+                f"unknown table qualifier {qualifier!r} in {reference!r}",
+                position=position,
+                token=reference,
+            )
+        in_left = left.has_column(bare)
+        in_right = right.has_column(bare)
+        if in_left and in_right:
+            raise SQLPlanningError(
+                f"ambiguous column {bare!r}: qualify it with "
+                f"{left.name!r} or {right.name!r}",
+                position=position,
+                token=reference,
+            )
+        if in_left:
+            return "left", bare
+        if in_right:
+            return "right", bare
+        raise SQLPlanningError(
+            f"unknown column {bare!r} in {clause} (neither {left.name!r} "
+            f"nor {right.name!r} has it)",
+            position=position,
+            token=reference,
+        )
+
+    def _join_lookup(
+        self, reference: str, position, left: _Source, right: _Source,
+        right_renames: dict[str, str], clause: str,
+    ) -> str:
+        side, bare = self._resolve_column_side(reference, position, left, right, clause)
+        if side == "right":
+            return right_renames.get(bare.lower(), bare)
+        return bare
+
+    def _wrap_join_order_limit(
+        self, node: PlanNode, select: Select, left: _Source, right: _Source,
+        right_renames: dict[str, str],
+    ) -> PlanNode:
+        if select.order_by is None:
+            if select.limit is not None:
+                return Limit(node, select.limit, estimated_seconds=0.0)
+            return node
+        lookup = self._join_lookup(
+            select.order_by, select.order_by_position, left, right, right_renames, "ORDER BY"
+        )
+        if select.limit is not None:
+            return TopK(
+                select.limit,
+                lookup,
+                select.descending,
+                child=node,
+                estimated_seconds=0.0,
+                detail="stable sort + slice of the joined rows",
+            )
+        return Sort(node, lookup, select.descending, estimated_seconds=0.0)
+
+    def _wrap_join_output(
+        self, node: PlanNode, select: Select, left: _Source, right: _Source,
+        right_renames: dict[str, str],
+    ) -> PlanNode:
+        if select.count:
+            return Aggregate(node, estimated_seconds=0.0)
+        if select.columns == ("*",):
+            return node
+        positions = select.column_positions or (None,) * len(select.columns)
+        lookups = [
+            self._join_lookup(column, position, left, right, right_renames, "SELECT list")
+            for column, position in zip(select.columns, positions)
+        ]
+        return Project(node, lookups, estimated_seconds=0.0)

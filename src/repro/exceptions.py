@@ -71,6 +71,24 @@ class SQLExecutionError(SQLError):
     """The SQL statement parsed but could not be executed."""
 
 
+class SQLPlanningError(SQLExecutionError):
+    """The statement parsed but the planner rejected it (unknown column,
+    ambiguous reference, unsupported read shape).
+
+    Like :class:`SQLSyntaxError` it carries machine-readable diagnostics:
+    ``position`` is the character offset of the offending token in the input
+    and ``token`` its text (both None when the error is not anchored to one
+    token).
+    """
+
+    def __init__(
+        self, message: str, position: int | None = None, token: str | None = None
+    ) -> None:
+        super().__init__(message)
+        self.position = position
+        self.token = token
+
+
 # ---------------------------------------------------------------------------
 # Learning substrate
 # ---------------------------------------------------------------------------

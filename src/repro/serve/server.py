@@ -112,6 +112,35 @@ class ClientSession:
         self._observe(epoch)
         return ranked
 
+    def range_scan(
+        self,
+        label: int = 1,
+        low: object | None = None,
+        high: object | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[object]:
+        """Pushed-down key-range read with session consistency."""
+        self._before_read()
+        members, epoch = self._server.range_scan_tagged(
+            label, low, high, include_low=include_low, include_high=include_high
+        )
+        self._observe(epoch)
+        return members
+
+    def labels_of(self, entity_ids) -> dict[object, int]:
+        """Batched point reads with session consistency (join probe path).
+
+        Unknown ids are simply absent from the result (inner-join semantics);
+        the epoch observed is the newest any coalesced round answered from,
+        which keeps the session watermark monotonic.
+        """
+        self._before_read()
+        labels, epoch = self._server.labels_of_tagged(entity_ids)
+        if labels:
+            self._observe(epoch)
+        return labels
+
     def contents(self) -> dict[object, int]:
         """Full-view read (one coherent epoch) that waits for this session's writes."""
         self._before_read()
@@ -284,6 +313,67 @@ class ViewServer:
             epoch = self.epoch_clock.epoch
             ranked = self.shards.top_k(k, label)
         return ranked, epoch
+
+    def range_scan_tagged(
+        self,
+        label: int = 1,
+        low: object | None = None,
+        high: object | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> tuple[list[object], int]:
+        """Pushed-down ``class = label AND key in range`` read: ``(ids, epoch)``.
+
+        The range operator runs as a real shard operation — every shard scans
+        its own eps-clustered store with the key filter applied before any
+        classification work — under one coherent epoch.
+        """
+        with self.rw_lock.read_locked():
+            epoch = self.epoch_clock.epoch
+            members = self.shards.range_scan(
+                label, low, high, include_low=include_low, include_high=include_high
+            )
+        return members, epoch
+
+    def range_scan(
+        self,
+        label: int = 1,
+        low: object | None = None,
+        high: object | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[object]:
+        """Pushed-down key-range read across every shard."""
+        return self.range_scan_tagged(
+            label, low, high, include_low=include_low, include_high=include_high
+        )[0]
+
+    def labels_of_tagged(self, entity_ids) -> tuple[dict[object, int], int]:
+        """Batched Single Entity reads through the batcher: ``({id: label}, epoch)``.
+
+        Every key is submitted to the request batcher in one burst, so the
+        whole batch coalesces into as few ``read_many`` rounds as the batch
+        window allows.  Unknown ids are dropped from the result; the returned
+        epoch is the newest any round answered from (0 when nothing matched).
+        """
+        futures = [
+            (entity_id, self.batcher.submit(entity_id))
+            for entity_id in dict.fromkeys(entity_ids)
+        ]
+        labels: dict[object, int] = {}
+        epoch = 0
+        for entity_id, future in futures:
+            try:
+                label, tag = future.result()
+            except KeyNotFoundError:
+                continue
+            labels[entity_id] = label
+            epoch = max(epoch, tag)
+        return labels, epoch
+
+    def labels_of(self, entity_ids) -> dict[object, int]:
+        """Batched point reads; unknown ids are absent from the result."""
+        return self.labels_of_tagged(entity_ids)[0]
 
     def top_k(self, k: int, label: int = 1) -> list[tuple[object, float]]:
         """The ``k`` entities deepest inside class ``label`` under the current model."""

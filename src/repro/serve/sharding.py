@@ -115,6 +115,19 @@ class Shard:
         """This partition's contribution to an All Members read."""
         return self.maintainer.read_all_members(label)
 
+    def read_range_local(
+        self,
+        label: int,
+        low: object | None,
+        high: object | None,
+        include_low: bool,
+        include_high: bool,
+    ) -> list[object]:
+        """This partition's contribution to a pushed-down key-range read."""
+        return self.maintainer.read_range(
+            label, low, high, include_low=include_low, include_high=include_high
+        )
+
     def top_k_local(self, k: int, label: int) -> list[tuple[object, float]]:
         """The ``k`` entities of this partition deepest inside class ``label``."""
         model = self.maintainer.current_model
@@ -262,6 +275,32 @@ class ShardSet:
     def all_members(self, label: int = 1) -> list[object]:
         """Scatter an All Members read to every shard, gather the union."""
         futures = [shard.submit(shard.all_members_local, label) for shard in self.shards]
+        members: list[object] = []
+        for future in futures:
+            members.extend(future.result())
+        return members
+
+    def range_scan(
+        self,
+        label: int = 1,
+        low: object | None = None,
+        high: object | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[object]:
+        """Scatter a pushed-down ``class = label AND key in range`` read, gather the union.
+
+        Each shard runs :meth:`~repro.core.maintainers.base.ViewMaintainer.read_range`
+        over its own eps-clustered store — the key filter is applied *before*
+        classification work, which is what makes this cheaper than gathering
+        the full view and post-filtering.
+        """
+        futures = [
+            shard.submit(
+                shard.read_range_local, label, low, high, include_low, include_high
+            )
+            for shard in self.shards
+        ]
         members: list[object] = []
         for future in futures:
             members.extend(future.result())

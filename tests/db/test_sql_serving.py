@@ -208,41 +208,54 @@ class TestServingLifecycle:
         db2.execute("STOP SERVING labeled_papers")
 
 
+def plan_nodes(db, sql: str) -> list[str]:
+    """The EXPLAIN node labels, indentation stripped."""
+    return [row["node"].strip() for row in db.execute(sql).rows]
+
+
 class TestExplain:
     def test_explain_table_point_and_scan(self):
         db, _, documents = build_portal(count=20)
-        point = db.execute("EXPLAIN SELECT * FROM papers WHERE id = 1").rows[0]
-        assert point["access_path"] == "table-point"
-        assert point["estimated_seconds"] > 0
-        scan = db.execute("EXPLAIN SELECT * FROM papers").rows[0]
-        assert scan["access_path"] == "table-scan"
-        assert scan["estimated_seconds"] > 0
+        point = db.execute("EXPLAIN SELECT * FROM papers WHERE id = 1").rows
+        assert [row["node"].strip() for row in point] == [
+            "Filter(id = 1)",
+            "IndexRange(papers.id = 1)",
+        ]
+        assert point[1]["estimated_seconds"] > 0
+        scan = db.execute("EXPLAIN SELECT * FROM papers").rows
+        assert [row["node"].strip() for row in scan] == ["SeqScan(papers)"]
         # The estimates are the cost model's, not guesses: a scan prices the
         # table's actual pages and tuples, a point read one random page.
         table = db.table("papers")
         expected = db.cost_model.statement_overhead + db.cost_model.scan_cost(
             table.page_count(), table.row_count()
         )
-        assert scan["estimated_seconds"] == pytest.approx(expected)
+        assert scan[0]["estimated_seconds"] == pytest.approx(expected)
 
     def test_explain_view_unserved_vs_served(self):
         db, _, _ = build_portal(count=20)
-        unserved = db.execute("EXPLAIN SELECT class FROM labeled_papers WHERE id = 1").rows[0]
-        assert unserved["access_path"] == "view-point"
-        assert unserved["choice"] in ("point", "scan")
-        assert unserved["estimated_seconds"] > 0
+        unserved = plan_nodes(db, "EXPLAIN SELECT class FROM labeled_papers WHERE id = 1")
+        assert unserved == [
+            "Project(class)",
+            "Filter(id = 1)",
+            "ViewPointRead(labeled_papers.id = 1)",
+        ]
 
         db.execute("SERVE VIEW labeled_papers WITH (shards = 2)")
-        served = db.execute("EXPLAIN SELECT class FROM labeled_papers WHERE id = 1").rows[0]
-        assert served["access_path"] == "served-point"
-        members = db.execute(
-            "EXPLAIN SELECT COUNT(*) FROM labeled_papers WHERE class = 'database'"
-        ).rows[0]
-        assert members["access_path"] == "served-members"
-        topk = db.execute(
-            "EXPLAIN SELECT id FROM labeled_papers ORDER BY margin DESC LIMIT 5"
-        ).rows[0]
-        assert topk["access_path"] == "served-topk"
+        served = plan_nodes(db, "EXPLAIN SELECT class FROM labeled_papers WHERE id = 1")
+        assert served[-1] == "ServedPointRead(labeled_papers.id = 1)"
+        members = plan_nodes(
+            db, "EXPLAIN SELECT COUNT(*) FROM labeled_papers WHERE class = 'database'"
+        )
+        assert members == [
+            "Aggregate(count)",
+            "Filter(class = 'database')",
+            "ServedScatterGather(labeled_papers, class = 'database')",
+        ]
+        topk = plan_nodes(
+            db, "EXPLAIN SELECT id FROM labeled_papers ORDER BY margin DESC LIMIT 5"
+        )
+        assert topk == ["Project(id)", "TopK(k=5, by=margin desc)"]
         db.execute("STOP SERVING labeled_papers")
 
     def test_explain_is_deterministic_and_side_effect_free(self):
@@ -254,7 +267,7 @@ class TestExplain:
     def test_explain_dml(self):
         db, _, _ = build_portal(count=20)
         row = db.execute("EXPLAIN INSERT INTO papers (id, title) VALUES (999, 'x')").rows[0]
-        assert row["statement"] == "INSERT"
+        assert row["node"] == "INSERT(papers)"
         # Nothing was inserted.
         assert db.execute("SELECT COUNT(*) FROM papers WHERE id = 999").scalar() == 0
 

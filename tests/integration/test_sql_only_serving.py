@@ -83,9 +83,9 @@ def test_sql_only_end_to_end_checkpoint_restore(tmp_path):
     # EXPLAIN prints the served plan without executing anything.
     plan = conn.execute(
         "EXPLAIN SELECT class FROM labeled_papers WHERE id = 3"
-    ).fetchone()
-    assert plan["access_path"] == "served-point"
-    assert plan["estimated_seconds"] > 0
+    ).fetchall()
+    assert plan[-1]["node"].strip() == "ServedPointRead(labeled_papers.id = 3)"
+    assert plan[-1]["estimated_seconds"] > 0
 
     everything_before = conn.execute(
         "SELECT id, class FROM labeled_papers ORDER BY id"
