@@ -40,6 +40,7 @@ from benchmarks import (  # noqa: E402
     bench_fig12b_multiclass,
     bench_fig13_waterband,
     bench_range_scan,
+    bench_secondary_index,
     bench_serving_throughput,
     bench_warm_restart,
 )
@@ -72,6 +73,7 @@ def build_figures(datasets):
         "fig13": ("Figure 13: water-band size", lambda: bench_fig13_waterband.build_table(datasets)),
         "serving": ("Serving: concurrent ViewServer vs direct engine", lambda: bench_serving_throughput.build_table(dblife)),
         "range_scan": ("Pushed-down range scan vs post-filtered scatter/gather", lambda: bench_range_scan.build_table(dblife)),
+        "secondary_index": ("Secondary index vs sequential scan", bench_secondary_index.build_table),
         "warm_restart": ("Warm restart vs cold bulk load", bench_warm_restart.build_table),
         "ablation_alpha": ("Ablation: alpha sensitivity", lambda: bench_ablation_skiing.build_alpha_table(dblife)),
         "ablation_skiing": ("Ablation: Skiing vs optimal schedule", lambda: bench_ablation_skiing.build_ratio_table(dblife)),

@@ -56,9 +56,12 @@ from repro.db.database import Database
 from repro.db.sql.ast import (
     CheckpointView,
     CreateClassificationView,
+    CreateIndex,
     CreateTable,
     Delete,
+    DropIndex,
     DropTable,
+    Explain,
     Insert,
     RestoreView,
     Select,
@@ -82,6 +85,8 @@ __all__ = ["connect", "Connection", "Cursor", "PreparedStatement"]
 _CACHE_INVALIDATING = (
     CreateTable,
     DropTable,
+    CreateIndex,
+    DropIndex,
     CreateClassificationView,
     ServeView,
     StopServing,
@@ -219,6 +224,16 @@ class Connection:
         """Run a prepared statement once per parameter row."""
         return self.cursor().executemany(sql, parameter_rows)
 
+    def _plan_statement(self, statement: Statement):
+        """The cacheable plan for a statement: SELECTs and ``EXPLAIN <select>``
+        (the Explain handler honours it under the same catalog-version guard
+        the SELECT path uses)."""
+        if isinstance(statement, Select):
+            return self.database.executor.plan_select(statement)
+        if isinstance(statement, Explain) and isinstance(statement.statement, Select):
+            return self.database.executor.plan_select(statement.statement)
+        return None
+
     def prepare(self, sql: str) -> PreparedStatement:
         """Parse (and for SELECTs, plan) once; cached by SQL text in LRU order."""
         self._require_open()
@@ -232,12 +247,10 @@ class Connection:
                 # DDL on another connection sharing this engine moved the
                 # catalog; refresh the plan once here so the hot path does
                 # not re-plan on every execution forever.
-                cached.plan = self.database.executor.plan_select(cached.statement)
+                cached.plan = self._plan_statement(cached.statement)
             return cached
         statement = parse(sql)
-        plan = None
-        if isinstance(statement, Select):
-            plan = self.database.executor.plan_select(statement)
+        plan = self._plan_statement(statement)
         prepared = PreparedStatement(sql, statement, plan)
         if self._plan_cache_size > 0:
             self._statements[sql] = prepared

@@ -5,6 +5,11 @@ maintains a clustered B+-tree over that column so the tuples inside the water
 band ``[lw, hw]`` can be found without scanning the whole table.  The tree
 maps a float key to a list of opaque values (record ids); duplicate keys are
 allowed because distinct entities can share an ``eps`` value.
+
+The same structure backs the *secondary* indexes that ``CREATE INDEX``
+attaches to base tables (:mod:`repro.db.secondary_index`).  Those trees hold
+whatever type the indexed column carries, so the float coercion the eps index
+wants is a constructor option (``coerce``) rather than hard-wired.
 """
 
 from __future__ import annotations
@@ -39,20 +44,32 @@ class BPlusTree:
     ----------
     order:
         Maximum number of keys per node before it splits (>= 3).
+    coerce:
+        Applied to every key on insert/delete.  The eps index keeps the
+        default (``float``); secondary indexes pass ``None`` so the tree
+        stores the column's values as-is (ints, floats or strings — any
+        mutually comparable type).
     """
 
-    def __init__(self, order: int = 64):
+    def __init__(self, order: int = 64, coerce=float):
         if order < 3:
             raise DatabaseError("B+-tree order must be >= 3")
         self.order = order
+        self._coerce = coerce
         self._root = _Node(is_leaf=True)
         self._size = 0
+        self._distinct = 0
         self._height = 1
 
     # -- basic properties ----------------------------------------------------------
 
     def __len__(self) -> int:
         return self._size
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct keys currently stored (selectivity statistics)."""
+        return self._distinct
 
     @property
     def height(self) -> int:
@@ -127,7 +144,8 @@ class BPlusTree:
 
     def insert(self, key: float, payload: object) -> None:
         """Insert ``payload`` under ``key`` (duplicates allowed)."""
-        key = float(key)
+        if self._coerce is not None:
+            key = self._coerce(key)
         split = self._insert_recursive(self._root, key, payload)
         if split is not None:
             separator, right = split
@@ -148,6 +166,7 @@ class BPlusTree:
             else:
                 node.keys.insert(index, key)
                 node.values.insert(index, [payload])
+                self._distinct += 1
             if len(node.keys) > self.order:
                 return self._split_leaf(node)
             return None
@@ -190,7 +209,8 @@ class BPlusTree:
         (no rebalancing); Hazy rebuilds the index wholesale at reorganization
         time, so sustained deletes never accumulate.
         """
-        key = float(key)
+        if self._coerce is not None:
+            key = self._coerce(key)
         leaf = self._find_leaf(key)
         index = bisect.bisect_left(leaf.keys, key)
         if index >= len(leaf.keys) or leaf.keys[index] != key:
@@ -203,6 +223,7 @@ class BPlusTree:
         if not bucket:
             leaf.keys.pop(index)
             leaf.values.pop(index)
+            self._distinct -= 1
         self._size -= 1
         return True
 
@@ -210,12 +231,15 @@ class BPlusTree:
         """Remove everything."""
         self._root = _Node(is_leaf=True)
         self._size = 0
+        self._distinct = 0
         self._height = 1
 
     @classmethod
-    def bulk_load(cls, items: Iterable[tuple[float, object]], order: int = 64) -> "BPlusTree":
+    def bulk_load(
+        cls, items: Iterable[tuple[float, object]], order: int = 64, coerce=float
+    ) -> "BPlusTree":
         """Build a tree from (not necessarily sorted) ``(key, payload)`` pairs."""
-        tree = cls(order=order)
+        tree = cls(order=order, coerce=coerce)
         for key, payload in sorted(items, key=lambda pair: pair[0]):
             tree.insert(key, payload)
         return tree

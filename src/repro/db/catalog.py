@@ -23,16 +23,20 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, ViewFunction] = {}
         self._classification_views: dict[str, object] = {}
+        self._indexes: dict[str, str] = {}  # index name -> owning table name (lowered)
         self._version = 0
 
     @property
     def version(self) -> int:
-        """Monotonic counter bumped on every namespace change.
+        """Monotonic counter bumped on every namespace or access-path change.
 
         Cached query plans record the version they were built against; the
         executor re-plans when it moved, so a plan cached by one connection
         can never silently read a table or view another connection dropped
-        or replaced.
+        or replaced.  Index DDL bumps it too: ``CREATE INDEX`` opens an
+        access path cached plans should re-cost, and ``DROP INDEX`` kills one
+        a cached :class:`~repro.db.sql.plan.SecondaryIndexRange` would
+        otherwise keep reading through a no-longer-maintained tree.
         """
         return self._version
 
@@ -58,15 +62,50 @@ class Catalog:
         return name.lower() in self._tables
 
     def drop_table(self, name: str) -> None:
-        """Remove a table from the catalog."""
+        """Remove a table (and its index registrations) from the catalog."""
         if name.lower() not in self._tables:
             raise CatalogError(f"no table named {name!r}")
         del self._tables[name.lower()]
+        self._indexes = {
+            index: table for index, table in self._indexes.items() if table != name.lower()
+        }
         self._version += 1
 
     def table_names(self) -> list[str]:
         """Sorted table names."""
         return sorted(table.name for table in self._tables.values())
+
+    # -- secondary indexes -------------------------------------------------------------
+
+    def register_index(self, name: str, table_name: str) -> None:
+        """Record a secondary index (its tree lives on the owning Table)."""
+        key = name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        self._indexes[key] = table_name.lower()
+        self._version += 1
+
+    def unregister_index(self, name: str) -> None:
+        """Forget a secondary index registration."""
+        if name.lower() not in self._indexes:
+            raise CatalogError(f"no index named {name!r}")
+        del self._indexes[name.lower()]
+        self._version += 1
+
+    def has_index(self, name: str) -> bool:
+        """Whether a secondary index with this name exists."""
+        return name.lower() in self._indexes
+
+    def index_table(self, name: str) -> Table:
+        """The table owning the index called ``name``."""
+        table_key = self._indexes.get(name.lower())
+        if table_key is None:
+            raise CatalogError(f"no index named {name!r}")
+        return self._tables[table_key]
+
+    def index_names(self) -> list[str]:
+        """Sorted secondary-index names."""
+        return sorted(self._indexes)
 
     # -- logical views -----------------------------------------------------------------
 

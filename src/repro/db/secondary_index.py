@@ -1,0 +1,176 @@
+"""Secondary B+-tree indexes on base-table columns (``CREATE INDEX``).
+
+A :class:`SecondaryIndex` maps one column's values to the heap record ids of
+the rows carrying them, backed by the same :class:`~repro.db.btree.BPlusTree`
+that clusters the scratch table on ``eps``.  The table maintains its indexes
+inline on every INSERT/UPDATE/DELETE, so an index scan is always exactly as
+fresh as a heap scan; the planner prices the two against each other and the
+:class:`~repro.db.sql.plan.SecondaryIndexRange` node is what an index win
+executes.
+
+NULL values are **not** indexed (as in most engines): a predicate never
+selects them through a B+-tree, and the residual ``Filter`` the planner keeps
+above every access path re-checks the original conjuncts anyway.  The
+``covers_all_rows`` probe tells order-sensitive consumers (index-ordered
+``ORDER BY ... LIMIT k``) whether the index saw every live row.
+
+Cost accounting follows the house convention: *actual* charges are CPU-style
+(``tuple_cpu`` per descent level and per visited entry, tagged
+``index_read``/``index_write``/``index_build`` in the ledger detail); the heap
+fetch for each matching rid goes through the buffer pool and prices its own
+pages.  *Estimates* (``estimate_matches``) are pure statistics — entry count,
+distinct keys, min/max interpolation — so planning never touches data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.db.btree import BPlusTree
+from repro.db.buffer_pool import BufferPool
+from repro.db.page import RecordId
+
+__all__ = ["SecondaryIndex"]
+
+#: Selectivity assumed for a range whose bounds are unknown at plan time
+#: (placeholder parameters) or not interpolatable (non-numeric keys).
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+class SecondaryIndex:
+    """A named B+-tree over one column: value -> record ids (duplicates allowed)."""
+
+    def __init__(self, name: str, column: str, pool: BufferPool, order: int = 64):
+        self.name = name
+        self.column = column
+        self.pool = pool
+        self.tree = BPlusTree(order=order, coerce=None)
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    @property
+    def distinct_keys(self) -> int:
+        """Distinct indexed values (the equality-selectivity denominator)."""
+        return self.tree.distinct_keys
+
+    @property
+    def height(self) -> int:
+        """Tree height (priced per level on every probe)."""
+        return self.tree.height
+
+    # -- maintenance (called by Table on every write) -----------------------------------
+
+    @staticmethod
+    def _indexable(value: object) -> bool:
+        """NULLs and non-self-equal values (NaN) are never indexed: a NaN key
+        could never be found again by the tree's bisect lookups (``NaN != NaN``),
+        so it would become an undeletable ghost and poison the min/max stats.
+        Unindexed rows stay scan-equivalent — no predicate matches NaN either,
+        and ``covers_all_rows`` turning False keeps ordered reads on the
+        fallback path."""
+        return value is not None and value == value
+
+    def insert(self, value: object, rid: RecordId) -> None:
+        """Index ``value -> rid``; NULL and NaN are skipped."""
+        if not self._indexable(value):
+            return
+        self.tree.insert(value, rid)
+        self.pool.stats.charge(self.pool.cost_model.tuple_cpu, "index_write")
+
+    def delete(self, value: object, rid: RecordId) -> None:
+        """Drop one ``value -> rid`` entry (no-op for NULL/NaN / absent entries)."""
+        if not self._indexable(value):
+            return
+        self.tree.delete(value, rid)
+        self.pool.stats.charge(self.pool.cost_model.tuple_cpu, "index_write")
+
+    def replace(self, old_value: object, new_value: object, rid: RecordId) -> None:
+        """Re-key ``rid`` after an UPDATE changed the indexed column."""
+        if old_value == new_value and type(old_value) is type(new_value):
+            return
+        self.delete(old_value, rid)
+        self.insert(new_value, rid)
+
+    def clear(self) -> None:
+        """Drop every entry (table truncation)."""
+        self.tree.clear()
+
+    # -- probes --------------------------------------------------------------------------
+
+    def covers_all_rows(self, live_rows: int) -> bool:
+        """Whether every live row is indexed (False when the column has NULLs)."""
+        return len(self.tree) == live_rows
+
+    def scan(
+        self,
+        low: object | None = None,
+        high: object | None = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[RecordId]:
+        """Record ids with ``low <op> key <op> high`` in key order.
+
+        ``None`` bounds are unbounded on that side; strict bounds drop the
+        equal key while walking the (inclusive) leaf chain.  Each visited
+        entry and each descent level charges ``tuple_cpu`` to the ledger.
+        """
+        charge = self.pool.stats.charge
+        tuple_cpu = self.pool.cost_model.tuple_cpu
+        charge(self.tree.height * tuple_cpu, "index_read")
+        for key, rid in self.tree.range_scan(low, high):
+            charge(tuple_cpu, "index_read")
+            if not include_low and low is not None and key == low:
+                continue
+            if not include_high and high is not None and key == high:
+                continue
+            yield rid
+
+    # -- statistics for the planner -------------------------------------------------------
+
+    @staticmethod
+    def _numeric(value: object) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    def estimate_matches(
+        self,
+        low: object | None = None,
+        high: object | None = None,
+        equality: bool = False,
+        bounds_known: bool = True,
+    ) -> float:
+        """Estimated matching entries for a ``[low, high]`` probe.
+
+        Pure statistics — no data access.  Equality probes use the classic
+        ``n / distinct`` estimator; ranges with known numeric bounds
+        interpolate uniformly between the tree's min and max keys; unknown
+        (``?``-parameterized) or non-numeric bounds fall back to
+        :data:`DEFAULT_RANGE_SELECTIVITY`.
+        """
+        n = len(self.tree)
+        if n == 0:
+            return 0.0
+        if equality:
+            return n / max(1, self.tree.distinct_keys)
+        if not bounds_known:
+            return n * DEFAULT_RANGE_SELECTIVITY
+        min_key, max_key = self.tree.min_key(), self.tree.max_key()
+        if not (self._numeric(min_key) and self._numeric(max_key)):
+            return n * DEFAULT_RANGE_SELECTIVITY
+        span = max_key - min_key
+        lo = min_key if low is None else low
+        hi = max_key if high is None else high
+        if not (self._numeric(lo) and self._numeric(hi)):
+            return n * DEFAULT_RANGE_SELECTIVITY
+        if span <= 0:
+            return float(n) if lo <= min_key <= hi else 0.0
+        covered = min(hi, max_key) - max(lo, min_key)
+        if covered < 0:
+            return 0.0
+        return n * min(1.0, covered / span)
+
+    def __repr__(self) -> str:
+        return (
+            f"SecondaryIndex({self.name!r} ON {self.column!r}, "
+            f"entries={len(self.tree)}, distinct={self.tree.distinct_keys})"
+        )

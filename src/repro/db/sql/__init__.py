@@ -3,6 +3,10 @@
 The dialect covers what the paper's examples and experiments need:
 
 * ``CREATE TABLE`` / ``DROP TABLE``
+* ``CREATE INDEX name ON table (column)`` / ``DROP INDEX name`` — secondary
+  B+-tree indexes on base-table columns, maintained inline on every write and
+  chosen by the planner whenever the cost model prices the index probe below
+  the sequential scan
 * ``INSERT INTO ... VALUES`` (with ``?`` placeholders for prepared statements)
 * ``SELECT`` with ``*``, column lists or ``COUNT(*)``, ``WHERE`` conjunctions
   of simple comparisons (columns optionally qualified as ``t.col``),
@@ -20,6 +24,7 @@ The read path is **plan-first**; the pipeline is::
         --Planner.plan_select--> logical plan    (planner.py: access-path choice,
                                                   predicate pushdown, validation)
         --cost annotation-----> physical plan    (plan.py: SeqScan, IndexRange,
+                                                  SecondaryIndexRange,
                                                   ServedPointRead, ServedScatterGather,
                                                   ServedRangeScan, TopK, Filter,
                                                   Project, HashJoin, Limit, ...)
@@ -40,8 +45,10 @@ from repro.db.sql.ast import (
     ColumnDefinition,
     Comparison,
     CreateClassificationView,
+    CreateIndex,
     CreateTable,
     Delete,
+    DropIndex,
     DropTable,
     Explain,
     Insert,
@@ -66,6 +73,8 @@ __all__ = [
     "PlanNode",
     "CreateTable",
     "DropTable",
+    "CreateIndex",
+    "DropIndex",
     "ColumnDefinition",
     "Insert",
     "Select",

@@ -9,6 +9,8 @@ __all__ = [
     "ColumnDefinition",
     "CreateTable",
     "DropTable",
+    "CreateIndex",
+    "DropIndex",
     "Insert",
     "Comparison",
     "Join",
@@ -51,6 +53,28 @@ class DropTable(Statement):
     """``DROP TABLE name``."""
 
     table: str
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    """``CREATE INDEX name ON table (column)`` — a secondary B+-tree index.
+
+    ``table_position``/``column_position`` carry the source offsets of the
+    table and column tokens for machine-readable execution diagnostics.
+    """
+
+    name: str
+    table: str
+    column: str
+    table_position: int | None = field(default=None, compare=False)
+    column_position: int | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class DropIndex(Statement):
+    """``DROP INDEX name`` — detach a secondary index (maintenance stops)."""
+
+    name: str
 
 
 @dataclass(frozen=True)

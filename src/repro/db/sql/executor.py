@@ -22,8 +22,10 @@ from repro.db.sql.ast import (
     CheckpointView,
     Comparison,
     CreateClassificationView,
+    CreateIndex,
     CreateTable,
     Delete,
+    DropIndex,
     DropTable,
     Explain,
     Insert,
@@ -37,7 +39,7 @@ from repro.db.sql.ast import (
 from repro.db.sql.plan import compare_values
 from repro.db.sql.planner import Planner, SelectPlan
 from repro.db.types import DataType
-from repro.exceptions import SQLExecutionError
+from repro.exceptions import SQLExecutionError, SQLPlanningError
 
 __all__ = ["ResultSet", "SQLExecutor"]
 
@@ -121,6 +123,10 @@ class SQLExecutor:
             return self._execute_create_table(statement)
         if isinstance(statement, DropTable):
             return self._execute_drop_table(statement)
+        if isinstance(statement, CreateIndex):
+            return self._execute_create_index(statement)
+        if isinstance(statement, DropIndex):
+            return self._execute_drop_index(statement)
         if isinstance(statement, CreateClassificationView):
             return self._execute_create_classification_view(statement)
         if isinstance(statement, Insert):
@@ -134,7 +140,7 @@ class SQLExecutor:
         if isinstance(statement, _SERVING_STATEMENTS):
             return self._execute_serving_statement(statement)
         if isinstance(statement, Explain):
-            return self._execute_explain(statement, parameters, context)
+            return self._execute_explain(statement, parameters, context, plan)
         raise SQLExecutionError(f"unsupported statement type {type(statement).__name__}")
 
     def execute_many(
@@ -176,6 +182,38 @@ class SQLExecutor:
     def _execute_drop_table(self, statement: DropTable) -> ResultSet:
         self._database.drop_table(statement.table)
         return ResultSet(statement_type="DROP TABLE")
+
+    def _execute_create_index(self, statement: CreateIndex) -> ResultSet:
+        """``CREATE INDEX``: build + backfill the tree, then bump the catalog
+        version so every cached plan re-costs its access paths."""
+        catalog = self._database.catalog
+        if catalog.has_index(statement.name):
+            raise SQLExecutionError(f"index {statement.name!r} already exists")
+        if catalog.object_kind(statement.table) != "table":
+            raise SQLPlanningError(
+                f"CREATE INDEX target {statement.table!r} is not a base table",
+                position=statement.table_position,
+                token=statement.table,
+            )
+        table = catalog.table(statement.table)
+        if not table.schema.has_column(statement.column):
+            raise SQLPlanningError(
+                f"table {table.name!r} has no column {statement.column!r}",
+                position=statement.column_position,
+                token=statement.column,
+            )
+        table.create_secondary_index(statement.name, statement.column)
+        catalog.register_index(statement.name, table.name)
+        return ResultSet(statement_type="CREATE INDEX")
+
+    def _execute_drop_index(self, statement: DropIndex) -> ResultSet:
+        """``DROP INDEX``: detach the tree (maintenance stops) and bump the
+        catalog version so cached ``SecondaryIndexRange`` plans re-plan rather
+        than read through a no-longer-maintained index."""
+        table = self._database.catalog.index_table(statement.name)
+        table.drop_secondary_index(statement.name)
+        self._database.catalog.unregister_index(statement.name)
+        return ResultSet(statement_type="DROP INDEX")
 
     def _execute_create_classification_view(
         self, statement: CreateClassificationView
@@ -305,12 +343,24 @@ class SQLExecutor:
     # -- EXPLAIN [ANALYZE] ---------------------------------------------------------------
 
     def _execute_explain(
-        self, statement: Explain, parameters: list, context: object = None
+        self,
+        statement: Explain,
+        parameters: list,
+        context: object = None,
+        plan: SelectPlan | None = None,
     ) -> ResultSet:
-        """Print the plan (and, under ANALYZE, execute it and report actuals)."""
+        """Print the plan (and, under ANALYZE, execute it and report actuals).
+
+        A cached ``plan`` (the connection layer prepares ``EXPLAIN <select>``
+        like any SELECT) is honoured under the same catalog-version guard as
+        execution: DDL anywhere — including ``CREATE INDEX``/``DROP INDEX``,
+        which change access paths without changing the namespace — must make
+        EXPLAIN report the re-planned tree, never a stale one.
+        """
         inner = statement.statement
         if isinstance(inner, Select):
-            plan = self._planner.plan_select(inner)
+            if plan is None or plan.catalog_version != self._database.catalog.version:
+                plan = self._planner.plan_select(inner)
             if statement.analyze:
                 _, runtime = plan.run(self._database, parameters, context)
                 rows = plan.explain_rows(runtime)
@@ -331,7 +381,9 @@ class SQLExecutor:
                 "detail": "DML statements run triggers; cost depends on attached views",
             }
         else:
-            target = getattr(inner, "table", getattr(inner, "view", None))
+            target = getattr(
+                inner, "table", getattr(inner, "view", getattr(inner, "name", None))
+            )
             row = {
                 "node": f"{type(inner).__name__}({target})",
                 "estimated_seconds": None,

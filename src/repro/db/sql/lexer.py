@@ -32,6 +32,7 @@ KEYWORDS = frozenset(
         "view", "entities", "labels", "label", "examples", "feature", "function",
         "using", "as", "true", "false", "serve", "serving", "stop", "checkpoint",
         "restore", "to", "with", "explain", "analyze", "join", "inner", "on",
+        "index",
     }
 )
 

@@ -8,8 +8,10 @@ from repro.db.sql.ast import (
     ColumnDefinition,
     Comparison,
     CreateClassificationView,
+    CreateIndex,
     CreateTable,
     Delete,
+    DropIndex,
     DropTable,
     Explain,
     Insert,
@@ -196,6 +198,8 @@ class _Parser:
         self._expect_keyword("create")
         if self._peek().matches_keyword("classification"):
             return self._parse_create_classification_view()
+        if self._peek().matches_keyword("index"):
+            return self._parse_create_index()
         self._expect_keyword("table")
         table = self._expect_identifier()
         self._expect_punctuation("(")
@@ -272,8 +276,28 @@ class _Parser:
             method=method,
         )
 
-    def _parse_drop(self) -> DropTable:
+    def _parse_create_index(self) -> CreateIndex:
+        self._expect_keyword("index")
+        name = self._expect_identifier()
+        self._expect_keyword("on")
+        table_token = self._peek()
+        table = self._expect_identifier()
+        self._expect_punctuation("(")
+        column_token = self._peek()
+        column = self._expect_identifier()
+        self._expect_punctuation(")")
+        return CreateIndex(
+            name=name,
+            table=table,
+            column=column,
+            table_position=table_token.position,
+            column_position=column_token.position,
+        )
+
+    def _parse_drop(self) -> Statement:
         self._expect_keyword("drop")
+        if self._accept_keyword("index"):
+            return DropIndex(name=self._expect_identifier())
         self._expect_keyword("table")
         return DropTable(table=self._expect_identifier())
 

@@ -12,6 +12,8 @@ The node vocabulary:
 ========================  ==========================================================
 ``SeqScan``               sequential heap scan of a base table
 ``IndexRange``            primary-key index access (point form: a ``[k, k]`` range)
+``SecondaryIndexRange``   B+-tree probe on a ``CREATE INDEX`` column + heap fetch
+                          per match; optionally index-ordered with a fused LIMIT
 ``LogicalViewScan``       materialization of an opaque logical view callable
 ``ViewScan``              full materialization of a classification view
 ``ViewPointRead``         Single Entity read on a view's direct maintainer
@@ -54,6 +56,7 @@ __all__ = [
     "PlanNode",
     "SeqScan",
     "IndexRange",
+    "SecondaryIndexRange",
     "LogicalViewScan",
     "ViewScan",
     "ServedContentsScan",
@@ -259,6 +262,109 @@ class IndexRange(PlanNode):
         key = self.predicate.bind(runtime.parameters)
         row = self.table.try_get_by_key(key)
         return [dict(row)] if row is not None else []
+
+
+class SecondaryIndexRange(PlanNode):
+    """B+-tree probe over a ``CREATE INDEX`` column, plus a heap fetch per match.
+
+    ``predicates`` are the conjuncts the index serves (``=``, ``<``, ``<=``,
+    ``>``, ``>=`` on the indexed column); their bound values are tightened to
+    one ``[low, high]`` interval at execution.  With ``order`` set the node is
+    *index-ordered*: rows come back sorted by the indexed column (the leaf
+    chain is walked in key order, reversed for ``desc``) and the planner
+    elided the ``Sort``/``TopK`` above; ``limit`` then caps how many record
+    ids are heap-fetched, which is the fused top-k win.
+
+    Execution re-resolves the index by name and falls back to a full heap
+    scan — sorted when ordered — whenever the index answer could differ from
+    scan semantics: the index was dropped (a cached plan raced the DDL), a
+    bound binds to NULL (``col = NULL`` matches NULL rows under this
+    dialect's ``compare_values``, but NULLs are never indexed), or an ordered
+    read finds unindexed NULL rows the ordering must still place.  The
+    residual ``Filter`` above re-checks every conjunct either way, so answers
+    stay byte-identical to a scan.
+    """
+
+    def __init__(
+        self,
+        table,
+        index_name: str,
+        column: str,
+        predicates,
+        order: str | None = None,
+        limit: int | None = None,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.table = table
+        self.index_name = index_name
+        self.column = column
+        self.predicates = tuple(predicates)
+        self.order = order
+        self.limit = limit
+
+    def label(self) -> str:
+        parts = [_render_predicates(self.predicates) or "unbounded"]
+        if self.order is not None:
+            parts.append(f"order={self.column} {self.order}")
+        if self.limit is not None:
+            parts.append(f"limit={self.limit}")
+        return f"SecondaryIndexRange({self.table.name}.{self.index_name}: {', '.join(parts)})"
+
+    def _bounds(self, parameters):
+        """Tighten the bound conjuncts to ``(low, high, incl_low, incl_high)``.
+
+        Returns None when any bound binds to NULL — the index cannot answer
+        that (NULLs are unindexed) and the caller must fall back to a scan.
+        """
+        low = high = None
+        include_low = include_high = True
+        for predicate in self.predicates:
+            value = predicate.bind(parameters)
+            if value is None:
+                return None
+            if predicate.operator in ("=", ">", ">="):
+                strict = predicate.operator == ">"
+                if low is None or value > low or (value == low and strict):
+                    low, include_low = value, not strict
+            if predicate.operator in ("=", "<", "<="):
+                strict = predicate.operator == "<"
+                if high is None or value < high or (value == high and strict):
+                    high, include_high = value, not strict
+        return low, high, include_low, include_high
+
+    def _fallback_scan(self) -> list[dict]:
+        rows = [dict(row) for row in self.table.scan()]
+        if self.order is not None:
+            rows.sort(key=_sort_key_for(self.column), reverse=self.order == "desc")
+        return rows
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        index = self.table.secondary_index(self.index_name)
+        if index is None:
+            return self._fallback_scan()
+        if self.order is not None and not index.covers_all_rows(self.table.row_count()):
+            # Unindexed NULL rows exist; index order would misplace (drop) them.
+            return self._fallback_scan()
+        bounds = self._bounds(runtime.parameters)
+        if bounds is None:
+            return self._fallback_scan()
+        low, high, include_low, include_high = bounds
+        scan = index.scan(low, high, include_low, include_high)
+        if self.limit is not None and self.order != "desc":
+            # Ascending fused limit: stop walking the leaf chain after k rids.
+            rids = []
+            for rid in scan:
+                rids.append(rid)
+                if len(rids) >= self.limit:
+                    break
+        else:
+            rids = list(scan)
+            if self.order == "desc":
+                rids.reverse()
+            if self.limit is not None:
+                rids = rids[: self.limit]
+        return [dict(self.table.heap.read(rid, sequential=False)) for rid in rids]
 
 
 class LogicalViewScan(PlanNode):

@@ -12,7 +12,14 @@ layer caches it per SQL text and re-binds ``?`` parameters without re-planning.
 Access-path choice per source:
 
 * base table — primary-key equality takes an :class:`IndexRange` point
-  lookup, everything else a :class:`SeqScan`;
+  lookup; otherwise every ``CREATE INDEX`` secondary index whose column
+  carries servable conjuncts (``=``/``<``/``<=``/``>``/``>=``) is costed as a
+  :class:`SecondaryIndexRange` (B+-tree probe + one heap fetch per estimated
+  match, selectivity from the index's own statistics) against the
+  :class:`SeqScan`, and the cheapest estimate wins — on the FROM side and the
+  JOIN side alike.  ``ORDER BY col LIMIT k`` over an indexed column
+  additionally considers the *index-ordered* form (walk the leaf chain, fetch
+  at most k rows, no ``Sort``/``TopK``) against scan-and-sort;
 * classification view, not served — ``read_single`` / ``read_all_members`` /
   ``read_range`` on the direct maintainer, full materialization otherwise;
 * classification view, served — the batcher point read, All Members
@@ -39,6 +46,7 @@ from repro.db.sql.plan import (
     PlanRuntime,
     Predicate,
     Project,
+    SecondaryIndexRange,
     SeqScan,
     ServedContentsScan,
     ServedPointRead,
@@ -56,6 +64,8 @@ from repro.exceptions import SQLPlanningError
 __all__ = ["Planner", "SelectPlan"]
 
 _RANGE_OPERATORS = ("<", "<=", ">", ">=")
+#: Operators a secondary B+-tree index can serve (NULL-valued literals excluded).
+_INDEXABLE_OPERATORS = ("=", "<", "<=", ">", ">=")
 
 
 class SelectPlan:
@@ -138,10 +148,18 @@ class _Source:
 
 
 class Planner:
-    """Builds :class:`SelectPlan` trees against one database's catalog."""
+    """Builds :class:`SelectPlan` trees against one database's catalog.
 
-    def __init__(self, database) -> None:
+    ``use_index_paths=False`` disables every index access path on base tables
+    (primary-key ``IndexRange``, ``SecondaryIndexRange``, index-ordered
+    reads): everything becomes a ``SeqScan`` under the residual ``Filter``.
+    That is the ground-truth reference executor the differential SQL oracle
+    compares index answers against.
+    """
+
+    def __init__(self, database, use_index_paths: bool = True) -> None:
         self._database = database
+        self._use_index_paths = use_index_paths
 
     # -- entry point ---------------------------------------------------------------------
 
@@ -221,6 +239,7 @@ class Planner:
             predicates.append(self._build_predicate(comparison, column, counter))
 
         topk_fused = False
+        order_fused = False
         if source.kind == "classification_view":
             topk_fused = self._is_margin_topk(select, source, predicates)
             access = (
@@ -229,7 +248,7 @@ class Planner:
                 else self._plan_view_access(source.obj, predicates)
             )
         elif source.kind == "table":
-            access = self._plan_table_access(source.obj, predicates)
+            access, order_fused = self._plan_table_read(source.obj, predicates, select, source)
         else:
             access = LogicalViewScan(
                 source.name,
@@ -246,7 +265,7 @@ class Planner:
                 estimated_seconds=0.0,
                 detail="residual re-check of every WHERE conjunct",
             )
-        node = self._wrap_order_limit(node, select, source, topk_fused)
+        node = self._wrap_order_limit(node, select, source, topk_fused, order_fused)
         node = self._wrap_output(node, select, source)
         views = [source.obj] if source.kind == "classification_view" else []
         return SelectPlan(
@@ -256,8 +275,24 @@ class Planner:
     # -- ORDER BY / LIMIT / COUNT / projection wrapping ----------------------------------
 
     def _wrap_order_limit(
-        self, node: PlanNode, select: Select, source: _Source | None, topk_fused: bool
+        self,
+        node: PlanNode,
+        select: Select,
+        source: _Source | None,
+        topk_fused: bool,
+        order_fused: bool = False,
     ) -> PlanNode:
+        if order_fused:
+            # The access path already yields rows in ORDER BY order; the Limit
+            # stays (the fallback scan inside the node returns everything).
+            if select.limit is not None:
+                return Limit(
+                    node,
+                    select.limit,
+                    estimated_seconds=0.0,
+                    detail="rows arrive index-ordered; Sort elided",
+                )
+            return node
         if topk_fused or select.order_by is None:
             if select.limit is not None and not topk_fused:
                 return Limit(node, select.limit, estimated_seconds=0.0)
@@ -368,8 +403,75 @@ class Planner:
 
     # -- access-path planning -------------------------------------------------------------
 
+    def _seq_scan_node(self, table) -> SeqScan:
+        cost_model = self._database.cost_model
+        return SeqScan(
+            table,
+            estimated_seconds=cost_model.statement_overhead
+            + cost_model.scan_cost(table.page_count(), table.row_count()),
+            detail=(
+                f"sequential scan of {table.page_count()} pages / "
+                f"{table.row_count()} tuples"
+            ),
+        )
+
+    @staticmethod
+    def _servable_by(index, predicates) -> list[Predicate]:
+        """The conjuncts a secondary index can answer (NULL literals excluded:
+        ``col = NULL`` matches NULL rows under this dialect, which a B+-tree
+        never stores)."""
+        return [
+            predicate
+            for predicate in predicates
+            if predicate.column.lower() == index.column.lower()
+            and predicate.operator in _INDEXABLE_OPERATORS
+            and predicate.value is not None
+        ]
+
+    @staticmethod
+    def _static_bounds(servable) -> tuple[object, object, bool, bool]:
+        """``(low, high, equality, bounds_known)`` from the literal conjuncts.
+
+        Placeholder values leave the bounds unknown at plan time — the
+        estimator then falls back to its default selectivities.
+        """
+        low = high = None
+        equality = False
+        known = True
+        for predicate in servable:
+            if predicate.operator == "=":
+                equality = True
+            if predicate.value is PLACEHOLDER:
+                known = False
+                continue
+            value = predicate.value
+            if predicate.operator in ("=", ">", ">="):
+                if low is None or value > low:
+                    low = value
+            if predicate.operator in ("=", "<", "<="):
+                if high is None or value < high:
+                    high = value
+        return low, high, equality, known
+
+    def _index_probe_estimate(self, index, est_matches: float, fetch_rows: float) -> float:
+        """Cost of one index read: descend the tree, walk ``est_matches``
+        entries, heap-fetch ``fetch_rows`` of them (one random page each).
+
+        The descent and entry walk are priced at ``tuple_cpu`` per level/entry
+        — exactly what execution charges for the in-memory tree — while each
+        heap fetch carries the random-page price the buffer pool may charge.
+        """
+        cost_model = self._database.cost_model
+        return (
+            cost_model.statement_overhead
+            + (index.height + est_matches) * cost_model.tuple_cpu
+            + fetch_rows * (cost_model.random_page_read + cost_model.tuple_cpu)
+        )
+
     def _plan_table_access(self, table, predicates) -> PlanNode:
         cost_model = self._database.cost_model
+        if not self._use_index_paths:
+            return self._seq_scan_node(table)
         pk = table.schema.primary_key
         point = None
         if pk is not None:
@@ -388,15 +490,85 @@ class Planner:
                 estimated_seconds=cost_model.statement_overhead + cost_model.random_page_read,
                 detail=f"primary-key hash lookup on {pk!r} (1 random page)",
             )
-        return SeqScan(
-            table,
-            estimated_seconds=cost_model.statement_overhead
-            + cost_model.scan_cost(table.page_count(), table.row_count()),
-            detail=(
-                f"sequential scan of {table.page_count()} pages / "
-                f"{table.row_count()} tuples"
-            ),
-        )
+        best = self._seq_scan_node(table)
+        best_cost = best.estimated_seconds
+        for index in table.secondary_indexes.values():
+            servable = self._servable_by(index, predicates)
+            if not servable:
+                continue
+            low, high, equality, known = self._static_bounds(servable)
+            est = index.estimate_matches(low, high, equality=equality, bounds_known=known)
+            cost = self._index_probe_estimate(index, est, est)
+            if cost < best_cost:
+                best_cost = cost
+                best = SecondaryIndexRange(
+                    table,
+                    index.name,
+                    index.column,
+                    servable,
+                    estimated_seconds=cost,
+                    detail=(
+                        f"B+-tree probe on {index.column!r} "
+                        f"(~{est:.0f} of {table.row_count()} rows) + heap fetch per match"
+                    ),
+                )
+        return best
+
+    def _plan_table_read(self, table, predicates, select: Select, source: _Source):
+        """Access path for a FROM-side base table, with index-ordered fusion.
+
+        Returns ``(node, order_fused)``.  ``ORDER BY col LIMIT k`` over a
+        column with a secondary index considers walking the index in key
+        order and heap-fetching at most k rows, priced against the best
+        unordered access plus an n·log n sort; fusion requires every WHERE
+        conjunct to be served by that same index (otherwise the residual
+        Filter could drop rows the early LIMIT already cut).
+        """
+        access = self._plan_table_access(table, predicates)
+        if (
+            not self._use_index_paths
+            or select.order_by is None
+            or select.limit is None
+            or isinstance(access, IndexRange)  # pk point: at most one row
+        ):
+            return access, False
+        cost_model = self._database.cost_model
+        order_column = self._strip_qualifier(select.order_by, source, select.order_by_position)
+        best = access
+        best_cost = None
+        order_fused = False
+        for index in table.indexes_on(order_column):
+            servable = self._servable_by(index, predicates)
+            if len(servable) != len(predicates):
+                continue  # a conjunct the index cannot serve survives the Filter
+            low, high, equality, known = self._static_bounds(servable)
+            est = index.estimate_matches(low, high, equality=equality, bounds_known=known)
+            fetches = min(est, float(select.limit))
+            # Ascending walks stop after k entries; descending must walk the
+            # whole range to find its tail (the leaf chain is forward-only).
+            walked = est if select.descending else fetches
+            fused_cost = self._index_probe_estimate(index, walked, fetches)
+            if best_cost is None:
+                best_cost = (access.estimated_seconds or 0.0) + cost_model.sort_cost(
+                    max(1, int(est))
+                )
+            if fused_cost < best_cost:
+                best_cost = fused_cost
+                order_fused = True
+                best = SecondaryIndexRange(
+                    table,
+                    index.name,
+                    index.column,
+                    servable,
+                    order="desc" if select.descending else "asc",
+                    limit=select.limit,
+                    estimated_seconds=fused_cost,
+                    detail=(
+                        f"index-ordered walk of {index.column!r}; at most "
+                        f"{select.limit} heap fetches, Sort/TopK elided"
+                    ),
+                )
+        return best, order_fused
 
     @staticmethod
     def _served_statement_overhead(shards) -> float:

@@ -1,4 +1,4 @@
-"""Tables: schema + heap file + primary-key hash index + triggers."""
+"""Tables: schema + heap file + primary-key hash index + secondary indexes + triggers."""
 
 from __future__ import annotations
 
@@ -9,6 +9,7 @@ from repro.db.hash_index import HashIndex
 from repro.db.heap import HeapFile
 from repro.db.page import RecordId
 from repro.db.schema import TableSchema
+from repro.db.secondary_index import SecondaryIndex
 from repro.db.triggers import Trigger, TriggerEvent, TriggerSet
 from repro.exceptions import DuplicateKeyError, KeyNotFoundError, SchemaError
 
@@ -20,6 +21,9 @@ class Table:
 
     All reads and writes go through the buffer pool so the database-wide
     :class:`~repro.db.buffer_pool.IOStatistics` ledger reflects every access.
+    ``CREATE INDEX`` attaches :class:`~repro.db.secondary_index.SecondaryIndex`
+    B+-trees which every write maintains inline, so index scans never observe
+    ghost or missing rows.
     """
 
     def __init__(self, schema: TableSchema, pool: BufferPool):
@@ -27,6 +31,7 @@ class Table:
         self.pool = pool
         self.heap = HeapFile(pool, sizer=schema.row_size)
         self.primary_index = HashIndex(schema.primary_key) if schema.primary_key else None
+        self.secondary_indexes: dict[str, SecondaryIndex] = {}
         self.triggers = TriggerSet()
 
     @property
@@ -48,6 +53,8 @@ class Table:
         rid = self.heap.insert(validated)
         if self.primary_index is not None:
             self.primary_index.insert(validated[self.schema.primary_key], rid)
+        for index in self.secondary_indexes.values():
+            index.insert(validated[index.column], rid)
         self.triggers.fire(TriggerEvent.AFTER_INSERT, self.name, validated, None)
         return rid
 
@@ -75,6 +82,8 @@ class Table:
         if new_key != key:
             self.primary_index.delete(key)
             self.primary_index.insert(new_key, rid)
+        for index in self.secondary_indexes.values():
+            index.replace(old_row[index.column], validated[index.column], rid)
         self.triggers.fire(TriggerEvent.AFTER_UPDATE, self.name, validated, old_row)
         return validated
 
@@ -86,14 +95,18 @@ class Table:
         old_row = dict(self.heap.read(rid))
         self.heap.delete(rid)
         self.primary_index.delete(key)
+        for index in self.secondary_indexes.values():
+            index.delete(old_row[index.column], rid)
         self.triggers.fire(TriggerEvent.AFTER_DELETE, self.name, None, old_row)
         return old_row
 
     def truncate(self) -> None:
-        """Remove every row (no triggers fire)."""
+        """Remove every row (no triggers fire; secondary indexes empty with the heap)."""
         self.heap.truncate()
         if self.primary_index is not None:
             self.primary_index.clear()
+        for index in self.secondary_indexes.values():
+            index.clear()
 
     # -- read path ---------------------------------------------------------------------
 
@@ -135,6 +148,50 @@ class Table:
     def approximate_size_bytes(self) -> int:
         """Approximate table size (pages x page size)."""
         return self.page_count() * self.pool.cost_model.page_size_bytes
+
+    # -- secondary indexes --------------------------------------------------------------
+
+    def create_secondary_index(self, name: str, column: str) -> SecondaryIndex:
+        """Build a B+-tree index over ``column``, backfilled from a full scan.
+
+        The backfill prices like the physical operation it models: one
+        sequential heap scan (charged by the scan itself) plus an n·log n
+        sort charge for building the tree, tagged ``index_build``.
+        """
+        key = name.lower()
+        if key in self.secondary_indexes:
+            raise DuplicateKeyError(
+                f"table {self.name!r} already has an index named {name!r}"
+            )
+        canonical = self.schema.column(column).name  # raises SchemaError if unknown
+        index = SecondaryIndex(name, canonical, self.pool)
+        for rid, row in self.heap.scan():
+            index.insert(row[canonical], rid)
+        self.pool.stats.charge(
+            self.pool.cost_model.sort_cost(len(index)), "index_build"
+        )
+        self.secondary_indexes[key] = index
+        return index
+
+    def drop_secondary_index(self, name: str) -> bool:
+        """Detach (and stop maintaining) the index called ``name``."""
+        return self.secondary_indexes.pop(name.lower(), None) is not None
+
+    def secondary_index(self, name: str) -> SecondaryIndex | None:
+        """The index called ``name``, or None."""
+        return self.secondary_indexes.get(name.lower())
+
+    def indexes_on(self, column: str) -> list[SecondaryIndex]:
+        """Every secondary index over ``column`` (case-insensitive)."""
+        return [
+            index
+            for index in self.secondary_indexes.values()
+            if index.column.lower() == column.lower()
+        ]
+
+    def secondary_index_names(self) -> list[str]:
+        """Sorted names of this table's secondary indexes."""
+        return sorted(index.name for index in self.secondary_indexes.values())
 
     # -- triggers -----------------------------------------------------------------------
 

@@ -179,3 +179,161 @@ class TestHashIndex:
         index.insert("a", RecordId(0, 0))
         index.insert("b", RecordId(0, 1))
         assert sorted(index.keys()) == ["a", "b"]
+
+
+class TestBPlusTreeCoercionAndStats:
+    def test_distinct_keys_tracks_inserts_and_deletes(self):
+        tree = BPlusTree(order=4)
+        assert tree.distinct_keys == 0
+        tree.insert(1.0, "a")
+        tree.insert(1.0, "b")
+        tree.insert(2.0, "c")
+        assert tree.distinct_keys == 2
+        tree.delete(1.0, "a")
+        assert tree.distinct_keys == 2  # bucket still holds "b"
+        tree.delete(1.0, "b")
+        assert tree.distinct_keys == 1
+        tree.clear()
+        assert tree.distinct_keys == 0
+
+    def test_uncoerced_tree_stores_strings(self):
+        tree = BPlusTree(order=4, coerce=None)
+        for word in ["delta", "alpha", "carol", "bob"]:
+            tree.insert(word, word.upper())
+        assert [key for key, _ in tree.items()] == ["alpha", "bob", "carol", "delta"]
+        assert tree.search("bob") == ["BOB"]
+        assert tree.delete("bob", "BOB")
+        assert tree.min_key() == "alpha" and tree.max_key() == "delta"
+        tree.check_invariants()
+
+    def test_default_tree_still_coerces_to_float(self):
+        tree = BPlusTree(order=4)
+        tree.insert(3, "x")  # int in ...
+        assert tree.search(3.0) == ["x"]  # ... float key out
+        assert tree.delete(3, "x")
+
+
+class TestSecondaryIndexMaintenance:
+    """Table-level maintenance: inserts, updates, deletes, NULLs, truncate."""
+
+    @staticmethod
+    def _table(db=None):
+        from repro.db.costmodel import CostModel
+        from repro.db.database import Database
+
+        db = db or Database(cost_model=CostModel.main_memory())
+        db.execute("CREATE TABLE t (id integer PRIMARY KEY, v integer, s text)")
+        return db, db.catalog.table("t")
+
+    def test_backfill_and_inline_maintenance(self):
+        db, table = self._table()
+        for i in range(10):
+            db.execute("INSERT INTO t (id, v, s) VALUES (?, ?, ?)", (i, i % 3, f"w{i}"))
+        index = table.create_secondary_index("idx_v", "v")
+        assert len(index) == 10
+        db.execute("INSERT INTO t (id, v) VALUES (10, 1)")
+        assert len(index) == 11
+        db.execute("UPDATE t SET v = 2 WHERE id = 10")
+        db.execute("DELETE FROM t WHERE id = 0")
+        rids = list(index.scan(2, 2))
+        rows = [table.heap.read(rid) for rid in rids]
+        assert sorted(row["id"] for row in rows) == [2, 5, 8, 10]
+
+    def test_nulls_are_not_indexed_and_coverage_reflects_it(self):
+        db, table = self._table()
+        db.execute("INSERT INTO t (id, v) VALUES (1, 5), (2, NULL), (3, 7)")
+        index = table.create_secondary_index("idx_v", "v")
+        assert len(index) == 2
+        assert not index.covers_all_rows(table.row_count())
+        db.execute("UPDATE t SET v = 9 WHERE id = 2")  # NULL -> value: now indexed
+        assert len(index) == 3
+        assert index.covers_all_rows(table.row_count())
+        db.execute("UPDATE t SET v = NULL WHERE id = 1")  # value -> NULL: removed
+        assert len(index) == 2
+
+    def test_strict_bounds_and_string_index(self):
+        db, table = self._table()
+        db.execute(
+            "INSERT INTO t (id, v, s) VALUES (1, 1, 'apple'), (2, 2, 'pear'), "
+            "(3, 3, 'fig'), (4, 4, 'pear')"
+        )
+        index = table.create_secondary_index("idx_s", "s")
+
+        def ids(rids):
+            return sorted(table.heap.read(rid)["id"] for rid in rids)
+
+        assert ids(index.scan("fig", "pear")) == [2, 3, 4]
+        assert ids(index.scan("fig", "pear", include_low=False)) == [2, 4]
+        assert ids(index.scan("fig", "pear", include_high=False)) == [3]
+        assert ids(index.scan(None, "fig")) == [1, 3]
+
+    def test_truncate_clears_indexes(self):
+        db, table = self._table()
+        db.execute("INSERT INTO t (id, v) VALUES (1, 1), (2, 2)")
+        index = table.create_secondary_index("idx_v", "v")
+        table.truncate()
+        assert len(index) == 0
+
+    def test_duplicate_index_name_rejected(self):
+        from repro.exceptions import SQLExecutionError
+
+        db, table = self._table()
+        db.execute("CREATE INDEX idx_v ON t (v)")
+        with pytest.raises(SQLExecutionError, match="already exists"):
+            db.execute("CREATE INDEX idx_v ON t (s)")
+
+    def test_index_ddl_diagnostics(self):
+        from repro.exceptions import CatalogError, SQLPlanningError
+
+        db, table = self._table()
+        with pytest.raises(SQLPlanningError, match="no column"):
+            db.execute("CREATE INDEX idx_x ON t (nope)")
+        with pytest.raises(SQLPlanningError, match="not a base table"):
+            db.execute("CREATE INDEX idx_x ON missing (v)")
+        with pytest.raises(CatalogError, match="no index"):
+            db.execute("DROP INDEX never_created")
+
+    def test_drop_table_forgets_its_indexes(self):
+        from repro.exceptions import CatalogError
+
+        db, table = self._table()
+        db.execute("CREATE INDEX idx_v ON t (v)")
+        db.execute("DROP TABLE t")
+        assert not db.catalog.has_index("idx_v")
+        with pytest.raises(CatalogError):
+            db.catalog.index_table("idx_v")
+
+    def test_estimate_matches_statistics(self):
+        db, table = self._table()
+        db.executemany(
+            "INSERT INTO t (id, v) VALUES (?, ?)", [(i, i % 10) for i in range(100)]
+        )
+        index = table.create_secondary_index("idx_v", "v")
+        assert index.estimate_matches(equality=True) == pytest.approx(10.0)
+        # Uniform interpolation over [0, 9]: [0, 3] covers a third of the span.
+        est = index.estimate_matches(0, 3)
+        assert 20 <= est <= 50
+        assert index.estimate_matches(bounds_known=False) == pytest.approx(100 / 3)
+        assert index.estimate_matches(20, 30) == 0.0
+
+    def test_nan_values_are_never_indexed(self):
+        from repro.db.costmodel import CostModel
+        from repro.db.database import Database
+
+        db = Database(cost_model=CostModel.main_memory())
+        db.execute("CREATE TABLE f (id integer PRIMARY KEY, v float)")
+        table = db.catalog.table("f")
+        db.execute("INSERT INTO f (id, v) VALUES (1, 3.5)")
+        index = table.create_secondary_index("idx_v", "v")
+        nan = float("nan")
+        db.execute("INSERT INTO f (id, v) VALUES (?, ?)", (2, nan))
+        assert len(index) == 1  # the NaN row is not indexed ...
+        assert not index.covers_all_rows(table.row_count())
+        db.execute("DELETE FROM f WHERE id = 2")  # ... so deleting leaves no ghost
+        assert len(index) == 1
+        assert index.covers_all_rows(table.row_count())
+        db.execute("INSERT INTO f (id, v) VALUES (?, ?)", (3, nan))
+        db.execute("UPDATE f SET v = 5.0 WHERE id = 3")  # NaN -> value: indexed now
+        assert len(index) == 2
+        # A NaN-valued parameter answers identically to the scan (empty).
+        assert db.execute("SELECT id FROM f WHERE v >= ?", (nan,)).rows == []

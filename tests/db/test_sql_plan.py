@@ -4,10 +4,13 @@ diagnostics, prepared-statement caching, and pushed-down range scans."""
 from __future__ import annotations
 
 import json
+import random
 
 import pytest
 
 import repro
+from repro.db.costmodel import CostModel
+from repro.db.database import Database
 from repro.db.sql.parser import parse
 from repro.db.sql.planner import Planner
 from repro.exceptions import SQLExecutionError, SQLPlanningError
@@ -173,6 +176,146 @@ class TestGoldenPlans:
         assert explain == planned
 
 
+def indexed_table_db(rows: int = 400):
+    """A main-memory database with an indexed measurement table."""
+    db = Database(cost_model=CostModel.main_memory())
+    db.execute(
+        "CREATE TABLE readings (id integer PRIMARY KEY, margin float, station integer)"
+    )
+    rng = random.Random(11)
+    db.executemany(
+        "INSERT INTO readings (id, margin, station) VALUES (?, ?, ?)",
+        [
+            (i, round(rng.uniform(0.0, 1.0), 4), rng.randrange(8))
+            for i in range(rows)
+        ],
+    )
+    db.execute("CREATE INDEX idx_margin ON readings (margin)")
+    return db
+
+
+class TestSecondaryIndexPlans:
+    """Golden plan text for the CREATE INDEX access paths."""
+
+    def test_index_equality_and_range_shapes(self):
+        db = indexed_table_db()
+        executor = db.executor
+        db.execute("CREATE INDEX idx_station ON readings (station)")
+        assert plan_nodes(executor, "SELECT id FROM readings WHERE station = 3") == [
+            "Project(id)",
+            "Filter(station = 3)",
+            "SecondaryIndexRange(readings.idx_station: station = 3)",
+        ]
+        assert plan_nodes(
+            executor, "SELECT id FROM readings WHERE margin >= 0.9 AND margin < 0.95"
+        ) == [
+            "Project(id)",
+            "Filter(margin >= 0.9 AND margin < 0.95)",
+            "SecondaryIndexRange(readings.idx_margin: margin >= 0.9 AND margin < 0.95)",
+        ]
+        # Placeholders keep the index path; bounds bind at execution.
+        assert plan_nodes(executor, "SELECT id FROM readings WHERE margin >= ?") == [
+            "Project(id)",
+            "Filter(margin >= ?)",
+            "SecondaryIndexRange(readings.idx_margin: margin >= ?)",
+        ]
+
+    def test_primary_key_point_still_wins(self):
+        db = indexed_table_db()
+        assert plan_nodes(db.executor, "SELECT * FROM readings WHERE id = 7") == [
+            "Filter(id = 7)",
+            "IndexRange(readings.id = 7)",
+        ]
+
+    def test_index_ordered_topk_elides_sort(self):
+        db = indexed_table_db()
+        assert plan_nodes(
+            db.executor, "SELECT id FROM readings ORDER BY margin DESC LIMIT 4"
+        ) == [
+            "Project(id)",
+            "Limit(4)",
+            "SecondaryIndexRange(readings.idx_margin: unbounded, order=margin desc, limit=4)",
+        ]
+        # ... and the ordered read equals the sort-based reference.
+        got = db.execute("SELECT id, margin FROM readings ORDER BY margin ASC LIMIT 6").rows
+        reference = sorted(
+            db.execute("SELECT * FROM readings").rows, key=lambda row: row["margin"]
+        )[:6]
+        assert [row["margin"] for row in got] == [row["margin"] for row in reference]
+
+    def test_index_backed_join_side(self):
+        db = indexed_table_db()
+        db.execute("CREATE TABLE stations (sid integer PRIMARY KEY, name text)")
+        db.executemany(
+            "INSERT INTO stations (sid, name) VALUES (?, ?)",
+            [(i, f"s{i}") for i in range(8)],
+        )
+        sql = (
+            "SELECT name, margin FROM stations JOIN readings "
+            "ON stations.sid = readings.station WHERE margin >= 0.97"
+        )
+        assert plan_nodes(db.executor, sql) == [
+            "Project(name, margin)",
+            "HashJoin(sid = station)",
+            "SeqScan(stations)",
+            "Filter(margin >= 0.97)",
+            "SecondaryIndexRange(readings.idx_margin: margin >= 0.97)",
+        ]
+        joined = db.execute(sql).rows
+        reference = [
+            (f"s{row['station']}", row["margin"])
+            for row in db.execute("SELECT * FROM readings").rows
+            if row["margin"] >= 0.97
+        ]
+        assert sorted((row["name"], row["margin"]) for row in joined) == sorted(reference)
+
+    def test_unselective_predicate_keeps_seq_scan(self):
+        db = indexed_table_db()
+        assert plan_nodes(db.executor, "SELECT id FROM readings WHERE margin >= 0.01")[
+            -1
+        ] == "SeqScan(readings)"
+
+    def test_explain_equals_executed_tree_for_index_plans(self):
+        db = indexed_table_db()
+        sql = "SELECT id FROM readings WHERE margin >= 0.9"
+        explain = [row["node"] for row in db.execute(f"EXPLAIN {sql}").rows]
+        analyzed = [row["node"] for row in db.execute(f"EXPLAIN ANALYZE {sql}").rows]
+        planned = [
+            row["node"] for row in db.executor.plan_select(parse(sql)).explain_rows()
+        ]
+        assert explain == analyzed == planned
+
+    def test_create_and_drop_index_replan_on_shared_engine_connection(self):
+        """Index DDL on one connection re-plans the other's cached plans."""
+        conn = repro.connect(cost_model=CostModel.main_memory())
+        other = repro.connect(engine=conn.engine)
+        try:
+            conn.execute("CREATE TABLE t (id integer PRIMARY KEY, v integer)")
+            conn.executemany(
+                "INSERT INTO t (id, v) VALUES (?, ?)", [(i, i % 50) for i in range(300)]
+            )
+            sql = "SELECT id FROM t WHERE v = 7"
+            before = other.execute(sql).fetchall()  # caches the SeqScan plan
+            assert other.prepare(sql).plan.explain_rows()[-1]["node"].strip() == (
+                "SeqScan(t)"
+            )
+            conn.execute("CREATE INDEX idx_v ON t (v)")
+            during = other.execute(sql).fetchall()
+            leaf = other.prepare(sql).plan.explain_rows()[-1]["node"].strip()
+            assert leaf == "SecondaryIndexRange(t.idx_v: v = 7)"
+            conn.execute("DROP INDEX idx_v")
+            after = other.execute(sql).fetchall()
+            assert other.prepare(sql).plan.explain_rows()[-1]["node"].strip() == (
+                "SeqScan(t)"
+            )
+            assert sorted(r["id"] for r in before) == sorted(
+                r["id"] for r in during
+            ) == sorted(r["id"] for r in after)
+        finally:
+            other.close()
+            conn.close()
+
+
 class TestExplainAnalyze:
     def test_actual_vs_estimated_per_node(self):
         db, _, _ = build_portal(count=20)
@@ -211,6 +354,51 @@ class TestExplainAnalyze:
         with pytest.raises(SQLExecutionError, match="EXPLAIN ANALYZE supports SELECT"):
             db.execute("EXPLAIN ANALYZE INSERT INTO papers (id, title) VALUES (999, 'x')")
         assert db.execute("SELECT COUNT(*) FROM papers WHERE id = 999").scalar() == 0
+
+
+class TestExplainAnalyzeCacheConsistency:
+    """Regression: a cached EXPLAIN [ANALYZE] plan must re-plan after DDL.
+
+    EXPLAIN goes through the prepared-statement cache like any SELECT; when a
+    DDL statement (here ``CREATE INDEX``, which changes access paths without
+    changing the namespace) bumps the catalog version on another shared-engine
+    connection, the next EXPLAIN ANALYZE must report the *re-planned* tree,
+    never the stale cached one.
+    """
+
+    def test_explain_analyze_reports_replanned_tree_after_ddl(self):
+        conn = repro.connect(cost_model=CostModel.main_memory())
+        other = repro.connect(engine=conn.engine)
+        try:
+            conn.execute("CREATE TABLE t (id integer PRIMARY KEY, v integer)")
+            conn.executemany(
+                "INSERT INTO t (id, v) VALUES (?, ?)", [(i, i % 40) for i in range(400)]
+            )
+            sql = "EXPLAIN ANALYZE SELECT id FROM t WHERE v = 3"
+            before = other.execute(sql).fetchall()  # caches the plan on `other`
+            assert before[-1]["node"].strip() == "SeqScan(t)"
+            assert other.prepare(sql).plan is not None  # EXPLAIN really is cached
+            conn.execute("CREATE INDEX idx_v ON t (v)")  # bumps the catalog version
+            after = other.execute(sql).fetchall()
+            assert after[-1]["node"].strip() == "SecondaryIndexRange(t.idx_v: v = 3)"
+            # The actuals prove the re-planned tree was the one executed.
+            assert after[-1]["rows"] == 10
+            conn.execute("DROP INDEX idx_v")
+            reverted = other.execute(sql).fetchall()
+            assert reverted[-1]["node"].strip() == "SeqScan(t)"
+        finally:
+            other.close()
+            conn.close()
+
+    def test_executor_honours_version_guard_on_supplied_explain_plan(self):
+        """Even a directly supplied stale plan is rebuilt by the executor."""
+        db = indexed_table_db()
+        statement = parse("EXPLAIN ANALYZE SELECT id FROM readings WHERE margin >= 0.9")
+        stale = db.executor.plan_select(statement.statement)
+        db.execute("DROP INDEX idx_margin")  # version moves; `stale` holds the index
+        rows = db.executor.execute(statement, plan=stale).rows
+        assert rows[-1]["node"].strip() == "SeqScan(readings)"
+        assert rows[-1]["rows"] > 0
 
 
 class TestPlanTimeDiagnostics:
