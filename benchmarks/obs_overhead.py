@@ -1,0 +1,124 @@
+"""Observability overhead: the instrumented SQL path vs the disabled baseline.
+
+Runs the same single-connection SQL read workload twice — once with a default
+(enabled) :class:`repro.obs.Observability`, once with ``enabled=False`` — and
+checks the two invariants the tentpole promises:
+
+* **simulated cost is identical**: tracing observes the cost ledgers, it never
+  charges them, so the paper-currency numbers cannot move;
+* **wall-clock overhead is bounded**: per-statement span bookkeeping must stay
+  within ``MAX_OVERHEAD_RATIO`` of the disabled baseline.  The two sides run
+  as *interleaved* pairs after a warmup pass, alternating which side goes
+  first within each pair (so frequency boost/throttle position bias cancels),
+  and the ratio compares the *medians* of the N runs per side — CPU clocks
+  drift both directions on shared runners, which makes the median a stabler
+  location estimate than the min, and GC is collected-then-disabled around
+  each timed loop so collector pauses don't add variance.
+
+``build_report()`` feeds the ``metrics`` section of ``run_all.py --json``; the
+pytest gate at the bottom runs in CI's bench-trajectory job.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+
+import repro
+from repro.obs import Observability
+
+STATEMENTS = 1000
+ROWS = 300
+RUNS_PER_SIDE = 10
+MAX_OVERHEAD_RATIO = 1.10
+
+
+def _run_workload(enabled: bool) -> dict[str, float]:
+    """One full workload pass; returns wall seconds and simulated seconds."""
+    conn = repro.connect(observability=Observability(enabled=enabled))
+    conn.execute("CREATE TABLE items (id integer PRIMARY KEY, bucket integer, v integer)")
+    conn.executemany(
+        "INSERT INTO items (id, bucket, v) VALUES (?, ?, ?)",
+        [(i, i % 10, i * 3) for i in range(ROWS)],
+    )
+    point = "SELECT v FROM items WHERE id = ?"
+    scan = "SELECT id FROM items WHERE bucket = ?"
+    # Collect-then-disable around the timed loop (pyperf-style): the enabled
+    # side allocates more (spans, retained traces), and letting collector
+    # pauses land inside either timed region just adds variance to a
+    # comparison that is about per-statement bookkeeping.
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        for index in range(STATEMENTS):
+            if index % 5 == 0:
+                conn.execute(scan, (index % 10,)).fetchall()
+            else:
+                conn.execute(point, (index % ROWS,)).fetchall()
+        wall = time.perf_counter() - started
+    finally:
+        gc.enable()
+    simulated = conn.database.stats.simulated_seconds
+    statements_seen = (
+        conn.database.obs.registry.value("sql.statements_total") if enabled else 0.0
+    )
+    conn.close()
+    return {
+        "wall_seconds": wall,
+        "simulated_seconds": simulated,
+        "statements_total": statements_seen or 0.0,
+    }
+
+
+def build_report() -> dict[str, object]:
+    """Median-of-N comparison of the enabled and disabled observability paths."""
+    _run_workload(enabled=True)  # warmup: bytecode caches, allocator, page pool
+    enabled_runs: list[dict[str, float]] = []
+    disabled_runs: list[dict[str, float]] = []
+    for index in range(RUNS_PER_SIDE):
+        if index % 2 == 0:
+            enabled_runs.append(_run_workload(enabled=True))
+            disabled_runs.append(_run_workload(enabled=False))
+        else:
+            disabled_runs.append(_run_workload(enabled=False))
+            enabled_runs.append(_run_workload(enabled=True))
+    enabled_wall = statistics.median(run["wall_seconds"] for run in enabled_runs)
+    disabled_wall = statistics.median(run["wall_seconds"] for run in disabled_runs)
+    simulated = {run["simulated_seconds"] for run in enabled_runs} | {
+        run["simulated_seconds"] for run in disabled_runs
+    }
+    return {
+        "statements": STATEMENTS,
+        "runs_per_side": RUNS_PER_SIDE,
+        "enabled_wall_seconds": round(enabled_wall, 4),
+        "disabled_wall_seconds": round(disabled_wall, 4),
+        "overhead_ratio": round(enabled_wall / max(1e-12, disabled_wall), 4),
+        "simulated_seconds_identical": len(simulated) == 1,
+        "traced_statements_total": enabled_runs[0]["statements_total"],
+    }
+
+
+def build_table() -> list[dict[str, object]]:
+    report = build_report()
+    return [report]
+
+
+def test_observability_overhead_bounded():
+    report = build_report()
+    assert report["simulated_seconds_identical"], (
+        "tracing must never perturb simulated cost"
+    )
+    assert report["traced_statements_total"] >= STATEMENTS
+    attempts = 0
+    while report["overhead_ratio"] > MAX_OVERHEAD_RATIO and attempts < 2:
+        # Shared CI runners see multi-second load spikes that can inflate a
+        # whole measurement window; re-measuring separates that from a real
+        # regression (which fails every attempt).
+        report = build_report()
+        attempts += 1
+    assert report["overhead_ratio"] <= MAX_OVERHEAD_RATIO, (
+        f"observability overhead {report['overhead_ratio']:.3f}x exceeds "
+        f"{MAX_OVERHEAD_RATIO}x budget"
+    )

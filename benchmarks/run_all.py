@@ -43,6 +43,7 @@ from benchmarks import (  # noqa: E402
     bench_secondary_index,
     bench_serving_throughput,
     bench_warm_restart,
+    obs_overhead,
 )
 from benchmarks.conftest import BENCH_SCALE  # noqa: E402
 
@@ -119,6 +120,15 @@ def main(argv: list[str]) -> None:
         }
         print()
         print(format_table(rows, title=f"{title}   [{elapsed:.1f}s]"))
+    # Observability health rides outside "figures" so the drift gate
+    # (repro.bench.compare flattens figures only) never keys on it.
+    report["metrics"] = obs_overhead.build_report()
+    print()
+    print(
+        format_table(
+            [report["metrics"]], title="Observability overhead (enabled vs disabled)"
+        )
+    )
     if args.json:
         path = Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)

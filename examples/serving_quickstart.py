@@ -109,6 +109,29 @@ def main() -> None:
     print(f"epoch after maintenance: {stats['epoch']}")
     print(f"read batching: {stats['batcher']}")
 
+    # The same numbers, through the SQL front door: the system.* virtual
+    # tables expose the whole metrics registry and the serving dashboard.
+    dashboard = conn.execute("SELECT * FROM system.served_views").fetchone()
+    print(
+        "system.served_views: "
+        f"{dashboard['view']} epoch={dashboard['epoch']} "
+        f"avg_batch={dashboard['batcher_avg_batch']:.2f} "
+        f"cache_hits={dashboard['cache_hits_total']}"
+    )
+    metric_rows = conn.execute(
+        "SELECT name, value FROM system.metrics ORDER BY name"
+    ).fetchall()
+    interesting = (
+        "sql.statements_total",
+        "serve.Labeled_Papers.batcher.requests_total",
+        "serve.Labeled_Papers.epochs_published_total",
+        "db.cost.simulated_seconds_total",
+    )
+    print(f"system.metrics ({len(metric_rows)} samples), a few of them:")
+    for row in metric_rows:
+        if row["name"] in interesting:
+            print(f"  {row['name']} = {row['value']:.6g}")
+
     # 4. Scatter/gather reads and the cost model's view of them.
     count = conn.execute(
         "SELECT COUNT(*) FROM Labeled_Papers WHERE class = 'database'"

@@ -13,6 +13,8 @@ The public API is organized as:
   bounds, the Skiing strategy, the three architectures and four maintenance
   strategies, and the :class:`~repro.core.engine.HazyEngine`;
 * :mod:`repro.serve` — the concurrent serving subsystem;
+* :mod:`repro.obs` — the observability layer: metrics registry, per-statement
+  trace trees, the slow-query log, and the ``system.*`` virtual tables;
 * :mod:`repro.persist` — checkpoint / warm-restart;
 * :mod:`repro.workloads` — synthetic stand-ins for the paper's data sets;
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
@@ -38,6 +40,8 @@ including the serving lifecycle::
     conn.execute("SERVE VIEW labeled_papers WITH (shards = 4)")
     conn.execute("INSERT INTO example_papers (id, label) VALUES (1, 'database')")
     conn.execute("SELECT COUNT(*) FROM labeled_papers WHERE class = 'database'").scalar()
+    conn.execute("SELECT * FROM system.metrics")       # registry snapshot
+    conn.execute("SELECT * FROM system.served_views")  # serving dashboard
     conn.execute("CHECKPOINT VIEW labeled_papers TO '/tmp/ckpt'")
     conn.close()  # quiesces every served view
 
@@ -68,6 +72,7 @@ from repro.db import CostModel, Database
 from repro.exceptions import HazyError
 from repro.learn import LinearModel, SGDTrainer, TrainingExample
 from repro.linalg import SparseVector
+from repro.obs import MetricsRegistry, Observability, render_text
 
 __version__ = "1.0.0"
 
@@ -84,6 +89,9 @@ __all__ = [
     "SGDTrainer",
     "TrainingExample",
     "HazyEngine",
+    "Observability",
+    "MetricsRegistry",
+    "render_text",
     "ClassificationViewDefinition",
     "SkiingStrategy",
     "InMemoryEntityStore",

@@ -47,6 +47,8 @@ worker connections in a multi-threaded client can come and go freely.
 
 from __future__ import annotations
 
+import itertools
+import time
 from collections import OrderedDict
 from collections.abc import Iterator, Sequence
 
@@ -74,9 +76,17 @@ from repro.db.sql.executor import ResultSet
 from repro.db.sql.parser import parse
 from repro.exceptions import ConfigurationError
 from repro.features import FeatureFunctionRegistry
+from repro.obs import (
+    Observability,
+    current_trace,
+    reset_current_trace,
+    set_current_trace,
+)
 from repro.serve.sync import SessionRegistry
 
 __all__ = ["connect", "Connection", "Cursor", "PreparedStatement"]
+
+_CONNECTION_IDS = itertools.count(1)
 
 #: Statements whose execution may invalidate cached plans (schema or serving
 #: topology changes).  CheckpointView is included for symmetry with the other
@@ -96,14 +106,21 @@ _CACHE_INVALIDATING = (
 
 
 class PreparedStatement:
-    """One cached compilation: the parsed AST plus, for SELECTs, its plan."""
+    """One cached compilation: the parsed AST plus, for SELECTs, its plan.
 
-    __slots__ = ("sql", "statement", "plan")
+    ``probe`` memoizes the plan's cost probe (``probe_plan`` records which
+    plan it was built for, so a refreshed plan rebuilds it) — the traced
+    execution path reads the probe on every statement.
+    """
+
+    __slots__ = ("sql", "statement", "plan", "probe", "probe_plan")
 
     def __init__(self, sql: str, statement: Statement, plan) -> None:
         self.sql = sql
         self.statement = statement
         self.plan = plan
+        self.probe = None
+        self.probe_plan = None
 
 
 class Cursor:
@@ -208,6 +225,23 @@ class Connection:
         self._closed = False
         self._plan_cache_size = int(plan_cache_size)
         self._statements: OrderedDict[str, PreparedStatement] = OrderedDict()
+        self.name = f"conn-{next(_CONNECTION_IDS)}"
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
+        self._plan_cache_invalidations = 0
+        obs = database.obs
+        obs.register_plan_cache(self.name, self.plan_cache_stats)
+        obs.registry.provider(f"connection.{self.name}.plan_cache", self.plan_cache_stats)
+
+    def plan_cache_stats(self) -> dict[str, float]:
+        """Prepared-statement cache counters (``system.plan_cache`` row shape)."""
+        return {
+            "hits_total": self._plan_cache_hits,
+            "misses_total": self._plan_cache_misses,
+            "invalidations_total": self._plan_cache_invalidations,
+            "entries": len(self._statements),
+            "capacity": self._plan_cache_size,
+        }
 
     # -- statement execution ------------------------------------------------------------
 
@@ -235,11 +269,17 @@ class Connection:
         return None
 
     def prepare(self, sql: str) -> PreparedStatement:
-        """Parse (and for SELECTs, plan) once; cached by SQL text in LRU order."""
+        """Parse (and for SELECTs, plan) once; cached by SQL text in LRU order.
+
+        Spans record work actually performed: a plan-cache hit parses and
+        plans nothing, so it records nothing — parse/plan spans appear on
+        misses (and a ``plan`` span on a stale-plan refresh).
+        """
         self._require_open()
         cached = self._statements.get(sql)
         if cached is not None:
             self._statements.move_to_end(sql)
+            self._plan_cache_hits += 1
             if (
                 cached.plan is not None
                 and cached.plan.catalog_version != self.database.catalog.version
@@ -248,9 +288,35 @@ class Connection:
                 # catalog; refresh the plan once here so the hot path does
                 # not re-plan on every execution forever.
                 cached.plan = self._plan_statement(cached.statement)
+                self._plan_cache_invalidations += 1
+                trace = current_trace()
+                if trace is not None:
+                    trace.add_span(
+                        "plan",
+                        parent_id=trace.cross_thread_parent_id,
+                        detail="stale plan refreshed",
+                    )
             return cached
+        self._plan_cache_misses += 1
+        trace = current_trace()
+        started = time.perf_counter()
         statement = parse(sql)
+        if trace is not None:
+            trace.add_span(
+                "parse",
+                parent_id=trace.cross_thread_parent_id,
+                wall_seconds=time.perf_counter() - started,
+            )
+        started = time.perf_counter()
         plan = self._plan_statement(statement)
+        if trace is not None:
+            trace.add_span(
+                "plan",
+                parent_id=trace.cross_thread_parent_id,
+                wall_seconds=time.perf_counter() - started,
+                estimated_seconds=plan.root.estimated_seconds if plan is not None else None,
+                detail="plan cache miss" if plan is not None else "not a planned statement",
+            )
         prepared = PreparedStatement(sql, statement, plan)
         if self._plan_cache_size > 0:
             self._statements[sql] = prepared
@@ -261,16 +327,71 @@ class Connection:
     def _invalidate_plans(self, statement: Statement) -> None:
         """Drop cached plans after statements that change schema or serving state."""
         if isinstance(statement, _CACHE_INVALIDATING):
+            self._plan_cache_invalidations += len(self._statements)
             self._statements.clear()
+
+    def _statement_cost_probe(self, prepared: PreparedStatement):
+        """Simulated-seconds probe covering every ledger this statement touches.
+
+        Planned SELECTs reuse the plan's own probe (database + served-shard +
+        view-store ledgers); everything else charges the database ledger only
+        (DML's serving-side cost is applied asynchronously by the maintenance
+        worker and attributed there).
+        """
+        plan = prepared.plan
+        if plan is not None:
+            if prepared.probe_plan is not plan:
+                prepared.probe = plan.cost_probe(self.database)
+                prepared.probe_plan = plan
+            return prepared.probe
+        return lambda: self.database.stats.simulated_seconds
 
     def _execute(self, sql: str, parameters: Sequence[object] | None) -> ResultSet:
         self._require_open()
-        prepared = self.prepare(sql)
-        result = self.database.executor.execute(
-            prepared.statement, parameters, self._sessions, plan=prepared.plan
-        )
+        obs = self.database.obs
+        trace = obs.begin_trace(sql)
+        if trace is None:
+            prepared = self.prepare(sql)
+            result = self.database.executor.execute(
+                prepared.statement, parameters, self._sessions, plan=prepared.plan
+            )
+            self._invalidate_plans(prepared.statement)
+            self._harvest_write_tickets(prepared.statement)
+            return result
+        wall_started = time.perf_counter()
+        root = trace.add_span("statement", detail=self.name)
+        trace.cross_thread_parent_id = root.span_id
+        token = set_current_trace(trace)
+        try:
+            prepared = self.prepare(sql)
+            probe = self._statement_cost_probe(prepared)
+            execute_span = trace.add_span(
+                "execute",
+                parent_id=root.span_id,
+                estimated_seconds=(
+                    prepared.plan.root.estimated_seconds
+                    if prepared.plan is not None
+                    else None
+                ),
+            )
+            trace.cross_thread_parent_id = execute_span.span_id
+            simulated_before = probe()
+            execute_started = time.perf_counter()
+            try:
+                result = self.database.executor.execute(
+                    prepared.statement, parameters, self._sessions, plan=prepared.plan
+                )
+            finally:
+                trace.cross_thread_parent_id = None
+            execute_span.wall_seconds = time.perf_counter() - execute_started
+            execute_span.simulated_seconds = probe() - simulated_before
+            execute_span.rows = result.rowcount
+        finally:
+            reset_current_trace(token)
         self._invalidate_plans(prepared.statement)
         self._harvest_write_tickets(prepared.statement)
+        trace.finalize(execute_span.simulated_seconds, time.perf_counter() - wall_started)
+        obs.record_trace(trace)
         return result
 
     def _executemany(self, sql: str, parameter_rows: Sequence[Sequence[object]]) -> int:
@@ -336,6 +457,8 @@ class Connection:
         self._closed = True
         self._statements.clear()
         self._sessions.clear()
+        self.database.obs.unregister_plan_cache(self.name)
+        self.database.obs.registry.remove_provider(f"connection.{self.name}.plan_cache")
         if self._owns_engine:
             for view in self.engine.served_views():
                 view.server.close(timeout=timeout)
@@ -353,6 +476,7 @@ def connect(
     *,
     cost_model: CostModel | None = None,
     buffer_pool_pages: int | None = None,
+    observability: Observability | None = None,
     registry: FeatureFunctionRegistry | None = None,
     architecture: str | None = None,
     strategy: str | None = None,
@@ -375,6 +499,12 @@ def connect(
     are rejected when ``engine=`` is supplied.  ``plan_cache_size`` bounds the
     per-connection prepared-statement LRU (parsed AST + SELECT plan per SQL
     text; 0 disables caching).
+
+    ``observability=`` supplies a preconfigured :class:`repro.obs.Observability`
+    for the new database (e.g. ``Observability(enabled=False)`` for the no-op
+    path, or a custom ``slow_query_seconds`` threshold); connections opened
+    over an existing ``engine=``/``database=`` share that database's context,
+    reachable as ``conn.database.obs``.
     """
     if engine is not None:
         if database is not None and engine.database is not database:
@@ -382,10 +512,10 @@ def connect(
                 "connect(database=..., engine=...) requires the engine to be "
                 "attached to that same database"
             )
-        if cost_model is not None or buffer_pool_pages is not None:
+        if cost_model is not None or buffer_pool_pages is not None or observability is not None:
             raise ConfigurationError(
-                "cost_model/buffer_pool_pages configure a new database; they "
-                "cannot be combined with engine="
+                "cost_model/buffer_pool_pages/observability configure a new "
+                "database; they cannot be combined with engine="
             )
         if (
             registry is not None
@@ -401,11 +531,15 @@ def connect(
             engine.database, engine, owns_engine=False, plan_cache_size=plan_cache_size
         )
     if database is None:
-        database = Database(cost_model=cost_model, buffer_pool_pages=buffer_pool_pages)
-    elif cost_model is not None or buffer_pool_pages is not None:
+        database = Database(
+            cost_model=cost_model,
+            buffer_pool_pages=buffer_pool_pages,
+            observability=observability,
+        )
+    elif cost_model is not None or buffer_pool_pages is not None or observability is not None:
         raise ConfigurationError(
-            "cost_model/buffer_pool_pages configure a new database; they "
-            "cannot be combined with database="
+            "cost_model/buffer_pool_pages/observability configure a new "
+            "database; they cannot be combined with database="
         )
     engine = HazyEngine(
         database,

@@ -479,6 +479,9 @@ class HazyEngine:
         # SELECTs against classification views need no reader hook: the
         # planner resolves the view object through the catalog and its plan
         # nodes read the maintainer or the ViewServer directly.
+        # Replace the database's placeholder system.served_views producer with
+        # one that can actually see this engine's serving registry.
+        database.catalog.register_system_table("system.served_views", self._served_views_rows)
 
     # -- factories ----------------------------------------------------------------------------
 
@@ -602,6 +605,7 @@ class HazyEngine:
             **server_options,
         )
         server.attach_view(view)
+        self._register_serving_metrics(view)
         return server
 
     # -- declarative serving surface (the SQL front door) -------------------------------------------
@@ -668,6 +672,7 @@ class HazyEngine:
         if server is None:
             raise ViewDefinitionError(f"view {name!r} is not being served")
         server.close()
+        self.database.obs.registry.remove_provider(f"serve.{view.name}")
         return view
 
     def checkpoint_view(self, name: str, path: str) -> dict[str, object]:
@@ -689,6 +694,42 @@ class HazyEngine:
     def served_views(self) -> list[ClassificationView]:
         """Every view currently behind a server (lifecycle management)."""
         return [view for view in self.views.values() if view.server is not None]
+
+    def _served_views_rows(self) -> list[dict[str, object]]:
+        """``system.served_views`` producer: one dashboard row per live server."""
+        rows: list[dict[str, object]] = []
+        for view in self.served_views():
+            server = view.server
+            stats = server.stats()
+            rows.append(
+                {
+                    "view": view.name,
+                    "epoch": stats["epoch"],
+                    "entities": stats["entities"],
+                    "num_shards": stats["num_shards"],
+                    "epochs_published_total": stats["epochs_published_total"],
+                    "trigger_diverts_total": stats["trigger_diverts_total"],
+                    "queue_backlog": stats["maintenance"]["backlog"],
+                    "batcher_requests_total": stats["batcher"]["requests_total"],
+                    "batcher_avg_batch": stats["batcher"]["avg_batch"],
+                    "cache_hits_total": stats["cache"]["hits_total"],
+                    "simulated_seconds_total": stats["simulated_seconds"],
+                }
+            )
+        return rows
+
+    def _register_serving_metrics(self, view: ClassificationView) -> None:
+        """Expose a live server's counters under ``serve.<view>.*`` in the registry.
+
+        The provider closes over the *view*, not the server: once serving
+        stops it reports nothing instead of poking a shut-down shard set.
+        """
+
+        def provider() -> dict[str, float]:
+            server = view.server
+            return server.metrics() if server is not None else {}
+
+        self.database.obs.registry.provider(f"serve.{view.name}", provider)
 
     def _handle_serving_statement(self, statement: Statement) -> ResultSet:
         """Executor hook: run one serving lifecycle statement, return its result row."""
@@ -811,6 +852,7 @@ class HazyEngine:
             self.views[key] = view
             self.database.catalog.register_classification_view(definition.view_name, view)
             server.attach_view(view)
+            self._register_serving_metrics(view)
             self._replay_post_checkpoint(view, server, checkpoint)
         except BaseException:
             self.views.pop(key, None)

@@ -30,6 +30,7 @@ class IOStatistics:
     random_reads: int = 0
     buffer_hits: int = 0
     buffer_misses: int = 0
+    evictions: int = 0
     tuples_read: int = 0
     tuples_written: int = 0
     dot_products: int = 0
@@ -51,6 +52,7 @@ class IOStatistics:
             random_reads=self.random_reads,
             buffer_hits=self.buffer_hits,
             buffer_misses=self.buffer_misses,
+            evictions=self.evictions,
             tuples_read=self.tuples_read,
             tuples_written=self.tuples_written,
             dot_products=self.dot_products,
@@ -68,6 +70,7 @@ class IOStatistics:
             random_reads=self.random_reads - earlier.random_reads,
             buffer_hits=self.buffer_hits - earlier.buffer_hits,
             buffer_misses=self.buffer_misses - earlier.buffer_misses,
+            evictions=self.evictions - earlier.evictions,
             tuples_read=self.tuples_read - earlier.tuples_read,
             tuples_written=self.tuples_written - earlier.tuples_written,
             dot_products=self.dot_products - earlier.dot_products,
@@ -198,6 +201,7 @@ class BufferPool:
             return
         while len(self._resident) > self.capacity_pages:
             evicted_id, evicted = self._resident.popitem(last=False)
+            self.stats.evictions += 1
             if evicted.dirty:
                 self._charge_write(sequential=False)
                 evicted.dirty = False

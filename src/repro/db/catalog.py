@@ -1,4 +1,4 @@
-"""The system catalog: named tables, views, and classification views."""
+"""The system catalog: tables, views, classification views, system tables."""
 
 from __future__ import annotations
 
@@ -23,6 +23,7 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, ViewFunction] = {}
         self._classification_views: dict[str, object] = {}
+        self._system_tables: dict[str, ViewFunction] = {}
         self._indexes: dict[str, str] = {}  # index name -> owning table name (lowered)
         self._version = 0
 
@@ -160,10 +161,40 @@ class Catalog:
         """Sorted classification view names."""
         return sorted(self._classification_views)
 
+    # -- system tables ---------------------------------------------------------------------
+
+    def register_system_table(self, name: str, producer: ViewFunction) -> None:
+        """Add (or replace) a virtual ``system.*`` table.
+
+        System tables are observability surfaces (``system.metrics``,
+        ``system.traces``, ...) backed by row-producing callables; unlike user
+        namespaces, re-registration silently replaces — rebuilding an engine
+        on the same database re-binds ``system.served_views`` rather than
+        erroring.  The version still bumps so cached plans re-resolve.
+        """
+        self._system_tables[name.lower()] = producer
+        self._version += 1
+
+    def system_table(self, name: str) -> ViewFunction:
+        """Look up a system table's row producer by name."""
+        producer = self._system_tables.get(name.lower())
+        if producer is None:
+            raise CatalogError(f"no system table named {name!r}")
+        return producer
+
+    def has_system_table(self, name: str) -> bool:
+        """Whether a system table with this name exists."""
+        return name.lower() in self._system_tables
+
+    def system_table_names(self) -> list[str]:
+        """Sorted system table names."""
+        return sorted(self._system_tables)
+
     def object_kind(self, name: str) -> str | None:
         """Which namespace a name lives in: ``"table"``, ``"view"``,
-        ``"classification_view"``, or None when unknown.  Used by the SQL
-        front-end to pick an access path without trial-and-error lookups."""
+        ``"classification_view"``, ``"system_table"``, or None when unknown.
+        Used by the SQL front-end to pick an access path without
+        trial-and-error lookups."""
         key = name.lower()
         if key in self._tables:
             return "table"
@@ -171,10 +202,13 @@ class Catalog:
             return "view"
         if key in self._classification_views:
             return "classification_view"
+        if key in self._system_tables:
+            return "system_table"
         return None
 
     def resolve(self, name: str) -> object:
-        """Return whichever catalog object (table/view/classification view) matches."""
+        """Return whichever catalog object (table/view/classification view/
+        system table) matches."""
         key = name.lower()
         if key in self._tables:
             return self._tables[key]
@@ -182,4 +216,6 @@ class Catalog:
             return self._views[key]
         if key in self._classification_views:
             return self._classification_views[key]
+        if key in self._system_tables:
+            return self._system_tables[key]
         raise CatalogError(f"no catalog object named {name!r}")

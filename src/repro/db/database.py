@@ -12,6 +12,7 @@ from repro.db.sql.executor import ResultSet, SQLExecutor
 from repro.db.sql.parser import parse
 from repro.db.table import Table
 from repro.db.types import DataType
+from repro.obs import Observability
 
 __all__ = ["Database"]
 
@@ -27,6 +28,11 @@ class Database:
         for an in-memory database.
     buffer_pool_pages:
         How many pages the buffer pool may cache (None = unbounded).
+    observability:
+        The :class:`repro.obs.Observability` context every layer above this
+        database shares (metrics registry, trace ring, slow-query log).
+        Default constructs an enabled one; pass
+        ``Observability(enabled=False)`` for the zero-overhead null path.
 
     Examples
     --------
@@ -42,12 +48,78 @@ class Database:
         self,
         cost_model: CostModel | None = None,
         buffer_pool_pages: int | None = None,
+        observability: Observability | None = None,
     ):
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.stats = IOStatistics()
         self.pool = BufferPool(self.cost_model, buffer_pool_pages, self.stats)
         self.catalog = Catalog()
         self.executor = SQLExecutor(self)
+        self.obs = observability if observability is not None else Observability()
+        self.obs.registry.provider("db", self._db_metrics)
+        self._register_system_tables()
+
+    # -- observability -----------------------------------------------------------------
+
+    def _db_metrics(self) -> dict[str, float]:
+        """Buffer-pool and cost-ledger counters, mirrored into the registry."""
+        stats = self.stats
+        metrics: dict[str, float] = {
+            "buffer.hits_total": stats.buffer_hits,
+            "buffer.misses_total": stats.buffer_misses,
+            "buffer.evictions_total": stats.evictions,
+            "buffer.resident_pages": self.pool.resident_page_count(),
+            "io.page_reads_total": stats.page_reads,
+            "io.page_writes_total": stats.page_writes,
+            "io.sequential_reads_total": stats.sequential_reads,
+            "io.random_reads_total": stats.random_reads,
+            "io.tuples_read_total": stats.tuples_read,
+            "io.tuples_written_total": stats.tuples_written,
+            "io.dot_products_total": stats.dot_products,
+            "cost.simulated_seconds_total": stats.simulated_seconds,
+        }
+        for tag, seconds in stats.detail.items():
+            metrics[f"cost.{tag}_simulated_seconds_total"] = seconds
+        return metrics
+
+    def _register_system_tables(self) -> None:
+        """Expose the observability surfaces as virtual ``system.*`` tables."""
+        obs = self.obs
+        catalog = self.catalog
+
+        def metrics_rows():
+            return [
+                {"name": sample.name, "kind": sample.kind, "value": sample.value}
+                for sample in obs.registry.collect()
+            ]
+
+        def trace_summary(trace):
+            return {
+                "trace_id": trace.trace_id,
+                "sql": trace.sql,
+                "simulated_seconds": trace.simulated_seconds,
+                "wall_seconds": trace.wall_seconds,
+                "spans": len(trace.spans()),
+            }
+
+        def slow_query_rows():
+            rows = []
+            for trace in obs.slow_queries.snapshot():
+                row = trace_summary(trace)
+                row["threshold_seconds"] = obs.slow_query_seconds
+                rows.append(row)
+            return rows
+
+        def trace_rows():
+            return [row for trace in obs.traces.snapshot() for row in trace.to_rows()]
+
+        catalog.register_system_table("system.metrics", metrics_rows)
+        catalog.register_system_table("system.slow_queries", slow_query_rows)
+        catalog.register_system_table("system.traces", trace_rows)
+        catalog.register_system_table("system.plan_cache", obs.plan_cache_rows)
+        # system.served_views starts empty; a HazyEngine re-registers it with
+        # a live producer the moment one is built on this database.
+        catalog.register_system_table("system.served_views", list)
 
     # -- schema management ---------------------------------------------------------------
 
@@ -132,6 +204,7 @@ class Database:
         self.stats.random_reads = fresh.random_reads
         self.stats.buffer_hits = fresh.buffer_hits
         self.stats.buffer_misses = fresh.buffer_misses
+        self.stats.evictions = fresh.evictions
         self.stats.tuples_read = fresh.tuples_read
         self.stats.tuples_written = fresh.tuples_written
         self.stats.dot_products = fresh.dot_products

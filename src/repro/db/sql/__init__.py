@@ -16,7 +16,21 @@ The dialect covers what the paper's examples and experiments need:
 * ``CREATE CLASSIFICATION VIEW`` — the model-based view DDL of Example 2.1
 * the serving lifecycle verbs (``SERVE VIEW`` / ``STOP SERVING`` /
   ``CHECKPOINT VIEW ... TO`` / ``RESTORE VIEW ... FROM``)
-* ``EXPLAIN`` and ``EXPLAIN ANALYZE``
+* ``EXPLAIN`` and ``EXPLAIN ANALYZE`` (the latter also reports buffer-pool
+  pages read/written by the statement)
+* the virtual ``system.*`` observability tables, readable with plain
+  ``SELECT`` (filters/ORDER BY/LIMIT apply; joins are rejected):
+
+  - ``system.metrics`` — every registry sample as ``(name, kind, value)``
+  - ``system.served_views`` — one dashboard row per live ``SERVE VIEW``
+  - ``system.plan_cache`` — per-connection plan-cache hit/miss/invalidation
+  - ``system.slow_queries`` — statements whose simulated cost met
+    ``Observability.slow_query_seconds``, with span counts
+  - ``system.traces`` — the recent-statement ring flattened to one row per
+    span (parse → plan → execute → plan nodes / batcher rounds / shards)
+
+  System-table scans cost zero simulated seconds by construction —
+  observability reads must never perturb the cost model they report on.
 
 The read path is **plan-first**; the pipeline is::
 

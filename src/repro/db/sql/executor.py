@@ -40,6 +40,7 @@ from repro.db.sql.plan import compare_values
 from repro.db.sql.planner import Planner, SelectPlan
 from repro.db.types import DataType
 from repro.exceptions import SQLExecutionError, SQLPlanningError
+from repro.obs import current_trace
 
 __all__ = ["ResultSet", "SQLExecutor"]
 
@@ -292,7 +293,12 @@ class SQLExecutor:
             # database bumps the version, and a stale plan holding a dropped
             # or replaced table/view object must be rebuilt, not walked.
             plan = self._planner.plan_select(statement)
-        rows, _ = plan.run(self._database, parameters, context)
+        rows, runtime = plan.run(self._database, parameters, context)
+        trace = current_trace()
+        if trace is not None:
+            # Mirror the executed tree's per-node actuals as spans; the same
+            # numbers EXPLAIN ANALYZE would report for this statement.
+            trace.add_plan_tree(plan, runtime, trace.cross_thread_parent_id)
         return ResultSet(rows=rows, rowcount=len(rows), statement_type="SELECT")
 
     def _execute_update(self, statement: Update, parameters: list) -> ResultSet:
@@ -362,8 +368,10 @@ class SQLExecutor:
             if plan is None or plan.catalog_version != self._database.catalog.version:
                 plan = self._planner.plan_select(inner)
             if statement.analyze:
+                before = self._database.stats.snapshot()
                 _, runtime = plan.run(self._database, parameters, context)
-                rows = plan.explain_rows(runtime)
+                io_delta = self._database.stats.diff(before)
+                rows = plan.explain_rows(runtime, io_delta)
                 return ResultSet(
                     rows=rows, rowcount=len(rows), statement_type="EXPLAIN ANALYZE"
                 )

@@ -94,6 +94,17 @@ class _Parser:
             )
         return token.value
 
+    def _parse_table_name(self) -> tuple[str, int]:
+        """A table reference (``papers`` or the dotted ``system.metrics``)
+        plus its position.  One dotted segment is allowed, matching the
+        ``system.*`` virtual-table namespace; deeper nesting is a syntax
+        error at the second dot's identifier."""
+        token = self._peek()
+        name = self._expect_identifier()
+        if self._accept_punctuation("."):
+            name = f"{name}.{self._expect_identifier()}"
+        return name, token.position
+
     def _parse_column_reference(self) -> tuple[str, int]:
         """An optionally qualified column (``id`` or ``t.id``) plus its position."""
         token = self._peek()
@@ -371,8 +382,7 @@ class _Parser:
                 if not self._accept_punctuation(","):
                     break
         self._expect_keyword("from")
-        table_token = self._peek()
-        table = self._expect_identifier()
+        table, table_position = self._parse_table_name()
         join = self._parse_join()
         where = self._parse_where()
         order_by: str | None = None
@@ -408,7 +418,7 @@ class _Parser:
             join=join,
             column_positions=tuple(column_positions) if not count and columns != ["*"] else (),
             order_by_position=order_by_position,
-            table_position=table_token.position,
+            table_position=table_position,
         )
 
     def _parse_join(self) -> Join | None:
@@ -417,8 +427,7 @@ class _Parser:
             self._expect_keyword("join")
         elif not self._accept_keyword("join"):
             return None
-        table_token = self._peek()
-        table = self._expect_identifier()
+        table, table_position = self._parse_table_name()
         self._expect_keyword("on")
         left_column, left_position = self._parse_column_reference()
         operator = self._advance()
@@ -434,7 +443,7 @@ class _Parser:
             table=table,
             left_column=left_column,
             right_column=right_column,
-            table_position=table_token.position,
+            table_position=table_position,
             left_position=left_position,
             right_position=right_position,
         )

@@ -58,6 +58,7 @@ __all__ = [
     "IndexRange",
     "SecondaryIndexRange",
     "LogicalViewScan",
+    "SystemTableScan",
     "ViewScan",
     "ServedContentsScan",
     "ViewPointRead",
@@ -377,6 +378,28 @@ class LogicalViewScan(PlanNode):
 
     def label(self) -> str:
         return f"LogicalViewScan({self.name})"
+
+    def _run(self, runtime: PlanRuntime) -> list[dict]:
+        return [dict(row) for row in self.producer()]
+
+
+class SystemTableScan(PlanNode):
+    """Materialization of a virtual ``system.*`` observability table.
+
+    Like :class:`LogicalViewScan`, the producer is a callable returning row
+    mappings; unlike every other access path it reads process state rather
+    than stored data, so its estimated cost is pinned to zero — observability
+    reads must never perturb the cost model they report on.
+    """
+
+    def __init__(self, name: str, producer, **kwargs):
+        kwargs.setdefault("estimated_seconds", 0.0)
+        super().__init__(**kwargs)
+        self.name = name
+        self.producer = producer
+
+    def label(self) -> str:
+        return f"SystemTableScan({self.name})"
 
     def _run(self, runtime: PlanRuntime) -> list[dict]:
         return [dict(row) for row in self.producer()]

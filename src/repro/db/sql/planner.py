@@ -52,6 +52,7 @@ from repro.db.sql.plan import (
     ServedPointRead,
     ServedRangeScan,
     ServedScatterGather,
+    SystemTableScan,
     Sort,
     TopK,
     ViewMembers,
@@ -91,6 +92,10 @@ class SelectPlan:
         rows = self.root.execute(runtime)
         return rows, runtime
 
+    def cost_probe(self, database):
+        """The probe ``run`` uses, for callers timing whole statements (tracing)."""
+        return self._cost_probe(database)
+
     def _cost_probe(self, database):
         """Sum every ledger this plan's sources charge (database + view stores)."""
         views = self._views
@@ -107,8 +112,14 @@ class SelectPlan:
 
         return probe
 
-    def explain_rows(self, runtime: PlanRuntime | None = None) -> list[dict]:
-        """One output row per plan node, pre-order, indented by depth."""
+    def explain_rows(self, runtime: PlanRuntime | None = None, io_delta=None) -> list[dict]:
+        """One output row per plan node, pre-order, indented by depth.
+
+        Under ANALYZE the executor also passes ``io_delta`` — the statement's
+        buffer-pool :class:`~repro.db.buffer_pool.IOStatistics` delta — whose
+        page totals are reported on the root row (``pages_read`` /
+        ``pages_written``; None on child rows, the counters are per statement).
+        """
         rows: list[dict] = []
         for depth, node in self.root.walk():
             row: dict[str, object] = {
@@ -119,6 +130,10 @@ class SelectPlan:
                 stats = runtime.stats_of(node)
                 row["actual_seconds"] = stats.seconds
                 row["rows"] = stats.rows
+            if io_delta is not None:
+                root_row = not rows
+                row["pages_read"] = io_delta.page_reads if root_row else None
+                row["pages_written"] = io_delta.page_writes if root_row else None
             row["detail"] = node.detail
             rows.append(row)
         return rows
@@ -129,11 +144,11 @@ class _Source:
 
     def __init__(self, name: str, kind: str, obj) -> None:
         self.name = name
-        self.kind = kind  # "table" | "classification_view" | "view"
+        self.kind = kind  # "table" | "classification_view" | "view" | "system_table"
         self.obj = obj
 
     def columns(self) -> list[str] | None:
-        """Statically known column names (None for opaque logical views)."""
+        """Statically known column names (None for opaque logical/system views)."""
         if self.kind == "table":
             return list(self.obj.schema.column_names())
         if self.kind == "classification_view":
@@ -180,6 +195,8 @@ class Planner:
             return _Source(name, kind, self._database.catalog.table(name))
         if kind == "classification_view":
             return _Source(name, kind, self._database.catalog.classification_view(name))
+        if kind == "system_table":
+            return _Source(name, kind, self._database.catalog.system_table(name))
         return _Source(name, kind, self._database.catalog.view(name))
 
     @staticmethod
@@ -249,6 +266,12 @@ class Planner:
             )
         elif source.kind == "table":
             access, order_fused = self._plan_table_read(source.obj, predicates, select, source)
+        elif source.kind == "system_table":
+            access = SystemTableScan(
+                source.name,
+                source.obj,
+                detail="virtual observability table; reads process state, costs nothing",
+            )
         else:
             access = LogicalViewScan(
                 source.name,
@@ -725,7 +748,7 @@ class Planner:
             if source.kind not in ("table", "classification_view"):
                 raise SQLPlanningError(
                     f"joins support base tables and classification views; "
-                    f"{source.name!r} is a logical view",
+                    f"{source.name!r} is a {source.kind.replace('_', ' ')}",
                     position=position,
                     token=source.name,
                 )

@@ -30,6 +30,8 @@ import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future
 
+from repro.obs import TraceContext, current_trace
+
 __all__ = ["ReadBatcher", "AdaptiveBatchWindow"]
 
 _SHUTDOWN = object()
@@ -116,6 +118,12 @@ class ReadBatcher:
         arrival rates instead of the fixed ``max_wait_s``.
     max_wait_cap_s / ewma_alpha:
         Bound and smoothing factor for the adaptive window.
+    cost_probe:
+        Zero-arg callable returning the cumulative simulated seconds the
+        batched reads draw against (the shard ledgers).  When set, each round
+        records a ``batcher.round`` span — with the round's simulated-cost
+        delta — into every distinct trace whose statement contributed a
+        request, so per-query traces stay complete across the thread hop.
     """
 
     def __init__(
@@ -126,12 +134,14 @@ class ReadBatcher:
         adaptive: bool = False,
         max_wait_cap_s: float = 0.002,
         ewma_alpha: float = 0.2,
+        cost_probe: Callable[[], float] | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self._execute_batch = execute_batch
         self._max_batch = int(max_batch)
         self._max_wait_s = float(max_wait_s)
+        self._cost_probe = cost_probe
         self.window = (
             AdaptiveBatchWindow(max_batch, max_wait_cap_s, ewma_alpha) if adaptive else None
         )
@@ -154,7 +164,10 @@ class ReadBatcher:
         if self.window is not None:
             self.window.observe(time.monotonic())
         future: Future = Future()
-        self._queue.put((key, future))
+        # Capture the submitting statement's trace here, on the client thread:
+        # the collector thread has no context of its own, so the trace must
+        # ride along with the request.
+        self._queue.put((key, future, current_trace()))
         return future
 
     def read(self, key: object, timeout: float | None = None):
@@ -163,7 +176,7 @@ class ReadBatcher:
 
     # -- collector thread -------------------------------------------------------------------
 
-    def _collect(self) -> list[tuple[object, Future]] | None:
+    def _collect(self) -> list[tuple[object, Future, TraceContext | None]] | None:
         """Block for the first request, then opportunistically fill the round."""
         item = self._queue.get()
         if item is _SHUTDOWN:
@@ -194,25 +207,63 @@ class ReadBatcher:
                 break
             keys: list[object] = []
             seen: set[object] = set()
-            for key, _ in batch:
+            for key, _, _ in batch:
                 if key not in seen:
                     seen.add(key)
                     keys.append(key)
             self.rounds += 1
             self.requests += len(batch)
             self.largest_batch = max(self.largest_batch, len(batch))
+            cost_before = self._cost_probe() if self._cost_probe is not None else 0.0
+            wall_started = time.perf_counter()
             try:
                 results = self._execute_batch(keys)
             except BaseException as error:  # propagate to every waiter
-                for _, future in batch:
+                self._record_round(batch, keys, cost_before, wall_started)
+                for _, future, _ in batch:
                     future.set_exception(error)
                 continue
-            for key, future in batch:
+            # Record spans before resolving futures: a waiter may finalize its
+            # trace the instant its future resolves, and the round's span must
+            # already be in the tree by then.
+            self._record_round(batch, keys, cost_before, wall_started)
+            for key, future, _ in batch:
                 value = results[key]
                 if isinstance(value, BaseException):
                     future.set_exception(value)
                 else:
                     future.set_result(value)
+
+    def _record_round(
+        self,
+        batch: list[tuple[object, Future, TraceContext | None]],
+        keys: list[object],
+        cost_before: float,
+        wall_started: float,
+    ) -> None:
+        """Hang one ``batcher.round`` span under every distinct submitting trace."""
+        traces: list[TraceContext] = []
+        trace_ids: set[int] = set()
+        for _, _, trace in batch:
+            if trace is not None and trace.trace_id not in trace_ids:
+                trace_ids.add(trace.trace_id)
+                traces.append(trace)
+        if not traces:
+            return
+        wall = time.perf_counter() - wall_started
+        simulated = (
+            self._cost_probe() - cost_before if self._cost_probe is not None else 0.0
+        )
+        detail = f"coalesced {len(batch)} requests into {len(keys)} keys"
+        for trace in traces:
+            trace.add_span(
+                "batcher.round",
+                parent_id=trace.cross_thread_parent_id,
+                simulated_seconds=simulated,
+                wall_seconds=wall,
+                rows=len(keys),
+                detail=detail,
+            )
 
     # -- lifecycle ---------------------------------------------------------------------------
 
@@ -230,17 +281,27 @@ class ReadBatcher:
             except queue.Empty:
                 break
             if item is not _SHUTDOWN:
-                _, future = item
+                _, future, _ = item
                 future.set_exception(RuntimeError("batcher is closed"))
 
     def stats(self) -> dict[str, float]:
-        """Coalescing counters (average batch size is the interesting one)."""
+        """Coalescing counters (average batch size is the interesting one).
+
+        Canonical keys carry the ``_total`` / ``_seconds`` suffixes; the bare
+        ``rounds`` / ``requests`` / ``adaptive_window_s`` spellings are legacy
+        aliases kept for one release.
+        """
         stats: dict[str, float] = {
-            "rounds": self.rounds,
-            "requests": self.requests,
+            "rounds_total": self.rounds,
+            "requests_total": self.requests,
             "largest_batch": self.largest_batch,
             "avg_batch": self.requests / self.rounds if self.rounds else 0.0,
+            # Legacy aliases (pre-unification key names).
+            "rounds": self.rounds,
+            "requests": self.requests,
         }
         if self.window is not None:
-            stats["adaptive_window_s"] = self.window.window_s()
+            window = self.window.window_s()
+            stats["adaptive_window_seconds"] = window
+            stats["adaptive_window_s"] = window  # legacy alias
         return stats

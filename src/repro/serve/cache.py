@@ -103,10 +103,18 @@ class WaterBandResultCache:
         return len(self._eps)
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/invalidation counters plus current size."""
+        """Hit/miss/invalidation counters plus current size.
+
+        Canonical keys carry the ``_total`` suffix; the bare spellings are
+        legacy aliases kept for one release.
+        """
         return {
+            "hits_total": self.hits,
+            "misses_total": self.misses,
+            "invalidations_total": self.invalidations,
+            "entries": len(self._eps),
+            # Legacy aliases (pre-unification key names).
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
-            "entries": len(self._eps),
         }

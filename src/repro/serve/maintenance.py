@@ -68,6 +68,7 @@ class MaintenanceWorker:
         self._max_batch = int(max_batch)
         self.batches_applied = 0
         self.ops_applied = 0
+        self.backpressure_waits = 0
         self.last_error: BaseException | None = None
         self._thread = threading.Thread(
             target=self._run, name="hazy-maintenance", daemon=True
@@ -84,7 +85,12 @@ class MaintenanceWorker:
 
     def enqueue(self, op: WriteOp, timeout: float | None = None) -> WriteTicket:
         """Admit one write; blocks when the queue is full (backpressure)."""
-        self._queue.put(op, timeout=timeout)
+        try:
+            self._queue.put_nowait(op)
+        except queue.Full:
+            # The bound is doing its job: count the stall, then block as before.
+            self.backpressure_waits += 1
+            self._queue.put(op, timeout=timeout)
         return op.ticket
 
     def flush(self, timeout: float | None = None) -> int:
@@ -216,12 +222,20 @@ class MaintenanceWorker:
             op.ticket.resolve(epoch)
 
     def stats(self) -> dict[str, float]:
-        """Worker counters for dashboards and benchmarks."""
+        """Worker counters for dashboards and benchmarks.
+
+        Canonical keys carry the ``_total`` suffix; the bare spellings are
+        legacy aliases kept for one release.
+        """
         return {
-            "batches_applied": self.batches_applied,
-            "ops_applied": self.ops_applied,
+            "batches_applied_total": self.batches_applied,
+            "ops_applied_total": self.ops_applied,
+            "backpressure_waits_total": self.backpressure_waits,
             "avg_ops_per_batch": (
                 self.ops_applied / self.batches_applied if self.batches_applied else 0.0
             ),
             "backlog": self.backlog(),
+            # Legacy aliases (pre-unification key names).
+            "batches_applied": self.batches_applied,
+            "ops_applied": self.ops_applied,
         }

@@ -30,8 +30,10 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Callable, Iterable, Sequence
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.core.maintainers.base import ViewMaintainer
@@ -45,6 +47,7 @@ from repro.exceptions import KeyNotFoundError, MaintenanceError
 from repro.learn.model import LinearModel, sign
 from repro.learn.sgd import SGDTrainer, TrainingExample
 from repro.linalg import SparseVector
+from repro.obs import Counter, current_trace
 from repro.persist.checkpoint import (
     shard_file_name,
     write_feature_function,
@@ -253,15 +256,23 @@ class ViewServer:
         self._dispatched_tables: list = []
         self._trigger_kinds: dict[str, WriteKind] = {}
         self._ticket_local = threading.local()
+        #: Observability counters (thread-safe; mirrored into the metrics
+        #: registry by the engine's per-view provider and by ``stats()``).
+        self.epochs_published = Counter()
+        self.trigger_diverts = Counter()
         if read_batch_wait_s == "adaptive":
             self.batcher = ReadBatcher(
-                self._execute_read_batch, max_batch=max_read_batch, adaptive=True
+                self._execute_read_batch,
+                max_batch=max_read_batch,
+                adaptive=True,
+                cost_probe=self.shards.simulated_seconds,
             )
         else:
             self.batcher = ReadBatcher(
                 self._execute_read_batch,
                 max_batch=max_read_batch,
                 max_wait_s=float(read_batch_wait_s),
+                cost_probe=self.shards.simulated_seconds,
             )
         self.worker = MaintenanceWorker(
             self, queue_capacity=queue_capacity, max_batch=max_write_batch
@@ -284,6 +295,40 @@ class ViewServer:
             for key, value in labels.items()
         }
 
+    @contextmanager
+    def _shard_span(self, operation: str):
+        """Record a scatter/gather read as spans on the active trace.
+
+        One parent span for the whole gather plus one child per shard, each
+        carrying that shard's simulated-seconds delta (read off the shard
+        store ledgers from the calling thread — benign races, the shard
+        workers only ever grow them).  No-op when nothing is tracing.
+        """
+        trace = current_trace()
+        if trace is None:
+            yield
+            return
+        shards = self.shards.shards
+        before = [shard.maintainer.store.stats.simulated_seconds for shard in shards]
+        parent = trace.add_span(
+            f"serve.{operation}",
+            parent_id=trace.cross_thread_parent_id,
+            detail=f"scatter/gather across {len(shards)} shards",
+        )
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            parent.wall_seconds = time.perf_counter() - started
+            after = [shard.maintainer.store.stats.simulated_seconds for shard in shards]
+            parent.simulated_seconds = sum(after) - sum(before)
+            for index, (earlier, later) in enumerate(zip(before, after)):
+                trace.add_span(
+                    f"shard[{index}]",
+                    parent_id=parent.span_id,
+                    simulated_seconds=later - earlier,
+                )
+
     def label_of_tagged(self, entity_id: object) -> tuple[int, int]:
         """Single Entity read through the batcher: ``(label, epoch)``."""
         return self.batcher.read(entity_id)
@@ -294,7 +339,7 @@ class ViewServer:
 
     def all_members_tagged(self, label: int = 1) -> tuple[list[object], int]:
         """Scatter/gather All Members read: ``(ids, epoch)``."""
-        with self.rw_lock.read_locked():
+        with self._shard_span("all_members"), self.rw_lock.read_locked():
             epoch = self.epoch_clock.epoch
             members = self.shards.all_members(label)
         return members, epoch
@@ -309,7 +354,7 @@ class ViewServer:
 
     def top_k_tagged(self, k: int, label: int = 1) -> tuple[list[tuple[object, float]], int]:
         """Scatter/gather ranked read: ``([(id, margin)], epoch)``."""
-        with self.rw_lock.read_locked():
+        with self._shard_span("top_k"), self.rw_lock.read_locked():
             epoch = self.epoch_clock.epoch
             ranked = self.shards.top_k(k, label)
         return ranked, epoch
@@ -328,7 +373,7 @@ class ViewServer:
         its own eps-clustered store with the key filter applied before any
         classification work — under one coherent epoch.
         """
-        with self.rw_lock.read_locked():
+        with self._shard_span("range_scan"), self.rw_lock.read_locked():
             epoch = self.epoch_clock.epoch
             members = self.shards.range_scan(
                 label, low, high, include_low=include_low, include_high=include_high
@@ -392,7 +437,7 @@ class ViewServer:
 
     def contents(self) -> dict[object, int]:
         """The full view ``{id: label}`` under one coherent epoch."""
-        with self.rw_lock.read_locked():
+        with self._shard_span("contents"), self.rw_lock.read_locked():
             return self.shards.contents()
 
     def session(self) -> ClientSession:
@@ -539,6 +584,7 @@ class ViewServer:
             self._model_snapshot = final_model.copy()
         self._published_examples = tuple(self._examples)
         epoch = self.epoch_clock.advance()
+        self.epochs_published.inc()
         self._epoch_models[epoch] = self._model_snapshot.copy()
         while len(self._epoch_models) > self._epoch_history:
             self._epoch_models.popitem(last=False)
@@ -726,6 +772,7 @@ class ViewServer:
         if kind is None or not self._accepting:
             return False  # not ours (or closing): run inline
         ticket = self.worker.enqueue(WriteOp(kind=kind, row=new_row, old_row=old_row))
+        self.trigger_diverts.inc()
         self._ticket_local.ticket = ticket
         return True
 
@@ -810,17 +857,60 @@ class ViewServer:
         return self.shards.simulated_read_seconds()
 
     def stats(self) -> dict[str, object]:
-        """One dashboard dict: epoch, batcher, worker, cache, shard counters."""
-        return {
-            "epoch": self.epoch,
-            "entities": self.shards.count(),
-            "num_shards": len(self.shards),
-            "batcher": self.batcher.stats(),
-            "maintenance": self.worker.stats(),
-            "cache": self.shards.cache_stats(),
-            "simulated_seconds": self.simulated_seconds(),
-            "simulated_read_seconds": self.simulated_read_seconds(),
+        """One dashboard dict: epoch, batcher, worker, cache, shard counters.
+
+        Assembled under the shared side of the readers/writer lock so the
+        snapshot is consistent: a maintenance batch mid-apply can never leak
+        a new epoch paired with the old queue/cache numbers (or vice versa).
+        Counter keys follow the house convention (``_total`` / ``_seconds``);
+        the nested component dicts also carry their pre-unification legacy
+        keys for one release.
+        """
+        with self.rw_lock.read_locked():
+            return {
+                "epoch": self.epoch,
+                "entities": self.shards.count(),
+                "num_shards": len(self.shards),
+                "epochs_published_total": self.epochs_published.value,
+                "trigger_diverts_total": self.trigger_diverts.value,
+                "batcher": self.batcher.stats(),
+                "maintenance": self.worker.stats(),
+                "cache": self.shards.cache_stats(),
+                "simulated_seconds": self.simulated_seconds(),
+                "simulated_read_seconds": self.simulated_read_seconds(),
+            }
+
+    def metrics(self) -> dict[str, float]:
+        """Flat canonical-key metrics for the registry's per-view provider.
+
+        Same consistent snapshot as :meth:`stats`, flattened to dotted
+        ``snake_case`` names with no legacy aliases (the registry must not
+        report the same counter twice).
+        """
+        stats = self.stats()
+        flat: dict[str, float] = {
+            "epoch": stats["epoch"],
+            "entities": stats["entities"],
+            "num_shards": stats["num_shards"],
+            "epochs_published_total": stats["epochs_published_total"],
+            "trigger_diverts_total": stats["trigger_diverts_total"],
+            "simulated_seconds_total": stats["simulated_seconds"],
+            "simulated_read_seconds_total": stats["simulated_read_seconds"],
         }
+        for component in ("batcher", "maintenance", "cache"):
+            for key, value in stats[component].items():
+                if key.endswith(("_total", "_seconds")) or key in (
+                    "largest_batch",
+                    "avg_batch",
+                    "avg_ops_per_batch",
+                    "backlog",
+                    "entries",
+                ):
+                    flat[f"{component}.{key}"] = value
+        for index, shard_stats in enumerate(self.shards.per_shard_stats()):
+            for key, value in shard_stats.items():
+                flat[f"shard{index}.{key}"] = value
+        return flat
 
 
 def _architecture_name(store: EntityStore) -> str:

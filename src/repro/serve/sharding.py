@@ -362,12 +362,35 @@ class ShardSet:
         return sum(shard.maintainer.stats.simulated_read_seconds for shard in self.shards)
 
     def cache_stats(self) -> dict[str, int]:
-        """Aggregated result-cache counters."""
-        totals = {"hits": 0, "misses": 0, "invalidations": 0, "entries": 0}
+        """Aggregated result-cache counters (summed over whatever keys shards report)."""
+        totals: dict[str, int] = {}
         for shard in self.shards:
             for key, value in shard.cache.stats().items():
-                totals[key] += value
+                totals[key] = totals.get(key, 0) + value
         return totals
+
+    def per_shard_stats(self) -> list[dict[str, float]]:
+        """Per-shard ledger and cache counters, indexed by shard position.
+
+        This is the ground truth the aggregated registry metrics must
+        reconcile against: summing any key over this list equals the
+        corresponding total reported elsewhere.
+        """
+        rows: list[dict[str, float]] = []
+        for shard in self.shards:
+            cache = shard.cache.stats()
+            rows.append(
+                {
+                    "entities": shard.maintainer.store.count(),
+                    "simulated_seconds_total": shard.maintainer.store.stats.simulated_seconds,
+                    "simulated_read_seconds_total": shard.maintainer.stats.simulated_read_seconds,
+                    "cache_hits_total": cache["hits_total"],
+                    "cache_misses_total": cache["misses_total"],
+                    "cache_invalidations_total": cache["invalidations_total"],
+                    "cache_entries": cache["entries"],
+                }
+            )
+        return rows
 
     def __len__(self) -> int:
         return len(self.shards)

@@ -326,13 +326,17 @@ class TestExplainAnalyze:
         ]
         for row in rows:
             assert set(row) == {
-                "node", "estimated_seconds", "actual_seconds", "rows", "detail",
+                "node", "estimated_seconds", "actual_seconds", "rows",
+                "pages_read", "pages_written", "detail",
             }
         # The point lookup actually charged the ledger; the filter is CPU-free.
         index_row = rows[1]
         assert index_row["rows"] == 1
         assert index_row["actual_seconds"] > 0
         assert rows[0]["actual_seconds"] == pytest.approx(0.0)
+        # The statement's buffer-pool delta rides on the root row only.
+        assert rows[0]["pages_read"] >= 0
+        assert rows[1]["pages_read"] is None
 
     def test_analyze_executes_through_the_served_path(self):
         db, engine, documents = build_portal()
