@@ -42,6 +42,7 @@ from benchmarks import (  # noqa: E402
     bench_range_scan,
     bench_secondary_index,
     bench_serving_throughput,
+    bench_vectorized,
     bench_warm_restart,
     obs_overhead,
 )
@@ -75,6 +76,7 @@ def build_figures(datasets):
         "serving": ("Serving: concurrent ViewServer vs direct engine", lambda: bench_serving_throughput.build_table(dblife)),
         "range_scan": ("Pushed-down range scan vs post-filtered scatter/gather", lambda: bench_range_scan.build_table(dblife)),
         "secondary_index": ("Secondary index vs sequential scan", bench_secondary_index.build_table),
+        "vectorized": ("Vectorized batch execution", bench_vectorized.build_table),
         "warm_restart": ("Warm restart vs cold bulk load", bench_warm_restart.build_table),
         "ablation_alpha": ("Ablation: alpha sensitivity", lambda: bench_ablation_skiing.build_alpha_table(dblife)),
         "ablation_skiing": ("Ablation: Skiing vs optimal schedule", lambda: bench_ablation_skiing.build_ratio_table(dblife)),

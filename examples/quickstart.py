@@ -23,7 +23,13 @@ def main() -> None:
     # 1. One connection: database + engine behind a cursor-style API.  The
     # main-memory cost model is the paper's Hazy-MM architecture; it is also
     # what makes per-match index probes cheap relative to rescanning below.
-    conn = repro.connect(cost_model=CostModel.main_memory())
+    # The connection is a context manager: leaving the block quiesces any
+    # served views and closes the engine.
+    with repro.connect(cost_model=CostModel.main_memory()) as conn:
+        run_demo(conn)
+
+
+def run_demo(conn: repro.Connection) -> None:
     conn.execute(
         "CREATE TABLE papers (id integer PRIMARY KEY, title text, year integer)"
     )
@@ -100,7 +106,6 @@ def main() -> None:
         == ("database" if doc.label == 1 else "not_database")
     )
     print(f"agreement with ground truth: {correct}/{len(corpus)}")
-    conn.close()
 
 
 if __name__ == "__main__":

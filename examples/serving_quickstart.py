@@ -76,26 +76,24 @@ def main() -> None:
     #    hammer point SELECTs (coalesced by the batcher); a writer streams
     #    feedback as INSERTs and immediately re-reads its own writes.
     def reader(offset: int) -> None:
-        client = repro.connect(engine=conn.engine)
-        for step in range(200):
-            doc = corpus[(offset + step * 13) % len(corpus)]
-            client.execute(
-                "SELECT class FROM Labeled_Papers WHERE id = ?", (doc.entity_id,)
-            ).scalar()
-        client.close()
+        with repro.connect(engine=conn.engine) as client:
+            for step in range(200):
+                doc = corpus[(offset + step * 13) % len(corpus)]
+                client.execute(
+                    "SELECT class FROM Labeled_Papers WHERE id = ?", (doc.entity_id,)
+                ).scalar()
 
     def writer() -> None:
-        client = repro.connect(engine=conn.engine)
-        for doc in corpus[60:120]:
-            client.execute(
-                "INSERT INTO example_papers (id, label) VALUES (?, ?)",
-                (doc.entity_id, "database" if doc.label == 1 else "other"),
-            )
-            # Read-your-writes: this SELECT reflects the INSERT just queued.
-            client.execute(
-                "SELECT class FROM Labeled_Papers WHERE id = ?", (doc.entity_id,)
-            ).scalar()
-        client.close()
+        with repro.connect(engine=conn.engine) as client:
+            for doc in corpus[60:120]:
+                client.execute(
+                    "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+                    (doc.entity_id, "database" if doc.label == 1 else "other"),
+                )
+                # Read-your-writes: this SELECT reflects the INSERT just queued.
+                client.execute(
+                    "SELECT class FROM Labeled_Papers WHERE id = ?", (doc.entity_id,)
+                ).scalar()
 
     threads = [threading.Thread(target=reader, args=(i * 37,)) for i in range(4)]
     threads.append(threading.Thread(target=writer))
@@ -153,25 +151,29 @@ def main() -> None:
     conn.close()  # quiesces the served view — the "kill"
 
     # 6. A fresh process: recreate the durable base tables, RESTORE the view.
-    conn2 = repro.connect()
-    build_base_tables(conn2, corpus)
-    conn2.executemany(
-        "INSERT INTO example_papers (id, label) VALUES (?, ?)",
-        [
-            (doc.entity_id, "database" if doc.label == 1 else "other")
-            for doc in corpus[:120]
-        ],
-    )
-    restored = conn2.execute(f"RESTORE VIEW Labeled_Papers FROM '{checkpoint_dir}'").fetchone()
-    print(f"restored: serving again from epoch {restored['epoch']}")
-    answers_after = conn2.execute("SELECT id, class FROM Labeled_Papers ORDER BY id").fetchall()
-    print(f"bit-identical answers after restore: {answers_after == answers_before}")
+    #    The connection context manager quiesces everything on exit.
+    with repro.connect() as conn2:
+        build_base_tables(conn2, corpus)
+        conn2.executemany(
+            "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+            [
+                (doc.entity_id, "database" if doc.label == 1 else "other")
+                for doc in corpus[:120]
+            ],
+        )
+        restored = conn2.execute(
+            f"RESTORE VIEW Labeled_Papers FROM '{checkpoint_dir}'"
+        ).fetchone()
+        print(f"restored: serving again from epoch {restored['epoch']}")
+        answers_after = conn2.execute(
+            "SELECT id, class FROM Labeled_Papers ORDER BY id"
+        ).fetchall()
+        print(f"bit-identical answers after restore: {answers_after == answers_before}")
 
-    # 7. Hand the view back; plain SQL keeps working on the direct maintainer.
-    conn2.execute("STOP SERVING Labeled_Papers")
-    total = conn2.execute("SELECT COUNT(*) FROM Labeled_Papers").scalar()
-    print(f"stopped serving; direct view still answers over {total} papers")
-    conn2.close()
+        # 7. Hand the view back; SQL keeps working on the direct maintainer.
+        conn2.execute("STOP SERVING Labeled_Papers")
+        total = conn2.execute("SELECT COUNT(*) FROM Labeled_Papers").scalar()
+        print(f"stopped serving; direct view still answers over {total} papers")
 
 
 if __name__ == "__main__":

@@ -140,20 +140,48 @@ class Cursor:
         self.rowcount: int = -1
         self.statement_type: str = ""
         self._cursor_position = 0
+        self._closed = False
 
     # -- execution ---------------------------------------------------------------------
 
     def execute(self, sql: str, parameters: Sequence[object] | None = None) -> "Cursor":
         """Run one SQL statement; the cursor then holds its result rows."""
+        if self._closed:
+            raise ConfigurationError("cursor is closed")
         result = self.connection._execute(sql, parameters)
         self._load(result)
         return self
 
     def executemany(self, sql: str, parameter_rows: Sequence[Sequence[object]]) -> "Cursor":
         """Run a prepared statement once per parameter row."""
+        if self._closed:
+            raise ConfigurationError("cursor is closed")
         total = self.connection._executemany(sql, parameter_rows)
         self._load(ResultSet(rowcount=total, statement_type="EXECUTEMANY"))
         return self
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the result set; further ``execute`` calls raise (idempotent).
+
+        The connection stays open — closing a cursor only invalidates this
+        handle, as in DB-API.
+        """
+        self._closed = True
+        self.rows = []
+        self._cursor_position = 0
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _load(self, result: ResultSet) -> None:
         self.rows = result.rows
@@ -477,6 +505,7 @@ def connect(
     cost_model: CostModel | None = None,
     buffer_pool_pages: int | None = None,
     observability: Observability | None = None,
+    execution_mode: str | None = None,
     registry: FeatureFunctionRegistry | None = None,
     architecture: str | None = None,
     strategy: str | None = None,
@@ -504,7 +533,15 @@ def connect(
     for the new database (e.g. ``Observability(enabled=False)`` for the no-op
     path, or a custom ``slow_query_seconds`` threshold); connections opened
     over an existing ``engine=``/``database=`` share that database's context,
-    reachable as ``conn.database.obs``.
+    reachable as ``conn.database.obs``.  ``execution_mode=`` picks the new
+    database's plan-execution protocol (``"batched"`` columnar chunks by
+    default, ``"row"`` for the costed row-at-a-time path).
+
+    Connections and cursors are context managers::
+
+        with repro.connect() as conn:
+            with conn.execute("SELECT COUNT(*) FROM papers") as cursor:
+                total = cursor.scalar()
     """
     if engine is not None:
         if database is not None and engine.database is not database:
@@ -512,10 +549,15 @@ def connect(
                 "connect(database=..., engine=...) requires the engine to be "
                 "attached to that same database"
             )
-        if cost_model is not None or buffer_pool_pages is not None or observability is not None:
+        if (
+            cost_model is not None
+            or buffer_pool_pages is not None
+            or observability is not None
+            or execution_mode is not None
+        ):
             raise ConfigurationError(
-                "cost_model/buffer_pool_pages/observability configure a new "
-                "database; they cannot be combined with engine="
+                "cost_model/buffer_pool_pages/observability/execution_mode "
+                "configure a new database; they cannot be combined with engine="
             )
         if (
             registry is not None
@@ -535,11 +577,17 @@ def connect(
             cost_model=cost_model,
             buffer_pool_pages=buffer_pool_pages,
             observability=observability,
+            execution_mode=execution_mode if execution_mode is not None else "batched",
         )
-    elif cost_model is not None or buffer_pool_pages is not None or observability is not None:
+    elif (
+        cost_model is not None
+        or buffer_pool_pages is not None
+        or observability is not None
+        or execution_mode is not None
+    ):
         raise ConfigurationError(
-            "cost_model/buffer_pool_pages/observability configure a new "
-            "database; they cannot be combined with database="
+            "cost_model/buffer_pool_pages/observability/execution_mode "
+            "configure a new database; they cannot be combined with database="
         )
     engine = HazyEngine(
         database,

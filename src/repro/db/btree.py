@@ -25,7 +25,7 @@ __all__ = ["BPlusTree"]
 class _Node:
     """Internal representation shared by leaf and interior nodes."""
 
-    __slots__ = ("is_leaf", "keys", "children", "values", "next_leaf")
+    __slots__ = ("is_leaf", "keys", "children", "values", "next_leaf", "prev_leaf")
 
     def __init__(self, is_leaf: bool):
         self.is_leaf = is_leaf
@@ -35,6 +35,7 @@ class _Node:
         # Leaf nodes: values[i] is the list of payloads stored under keys[i].
         self.values: list[list[object]] = []
         self.next_leaf: "_Node | None" = None
+        self.prev_leaf: "_Node | None" = None
 
 
 class BPlusTree:
@@ -118,6 +119,40 @@ class BPlusTree:
             node = node.next_leaf
             index = 0
 
+    def range_scan_reversed(
+        self, low: float | None = None, high: float | None = None
+    ) -> Iterator[tuple[float, object]]:
+        """Yield ``(key, payload)`` pairs with ``low <= key <= high`` in
+        *descending* key order.
+
+        Walks the doubly-linked leaf chain backwards from the last leaf that
+        can hold ``high``, so ``ORDER BY col DESC LIMIT k`` consumers can
+        early-exit after k entries exactly like the ascending walk.  Payloads
+        under a shared key come out in reverse insertion order (the mirror of
+        the forward scan).
+        """
+        if low is not None and high is not None and low > high:
+            return
+        if high is not None:
+            leaf = self._find_leaf(high)
+            # bisect_right - 1 lands on the last key <= high in this leaf; if
+            # every key here is > high the walk starts in the previous leaf.
+            index = bisect.bisect_right(leaf.keys, high) - 1
+        else:
+            leaf = self._rightmost_leaf()
+            index = len(leaf.keys) - 1
+        node: _Node | None = leaf
+        while node is not None:
+            while index >= 0:
+                key = node.keys[index]
+                if low is not None and key < low:
+                    return
+                for payload in reversed(node.values[index]):
+                    yield key, payload
+                index -= 1
+            node = node.prev_leaf
+            index = len(node.keys) - 1 if node is not None else -1
+
     def items(self) -> Iterator[tuple[float, object]]:
         """Every ``(key, payload)`` pair in key order."""
         return self.range_scan(None, None)
@@ -138,6 +173,12 @@ class BPlusTree:
         node = self._root
         while not node.is_leaf:
             node = node.children[0]
+        return node
+
+    def _rightmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[-1]
         return node
 
     # -- mutation -----------------------------------------------------------------------
@@ -189,6 +230,9 @@ class BPlusTree:
         node.keys = node.keys[:middle]
         node.values = node.values[:middle]
         right.next_leaf = node.next_leaf
+        right.prev_leaf = node
+        if right.next_leaf is not None:
+            right.next_leaf.prev_leaf = right
         node.next_leaf = right
         return right.keys[0], right
 
@@ -252,6 +296,19 @@ class BPlusTree:
         keys = [key for key, _ in self.items()]
         if keys != sorted(keys):
             raise DatabaseError("leaf chain is not in sorted order")
+        # The prev_leaf chain must be the exact mirror of next_leaf.
+        leaf = self._leftmost_leaf()
+        if leaf.prev_leaf is not None:
+            raise DatabaseError("leftmost leaf has a prev_leaf")
+        while leaf.next_leaf is not None:
+            if leaf.next_leaf.prev_leaf is not leaf:
+                raise DatabaseError("leaf back-chain does not mirror the forward chain")
+            leaf = leaf.next_leaf
+        if leaf is not self._rightmost_leaf():
+            raise DatabaseError("forward leaf chain does not end at the rightmost leaf")
+        reverse_keys = [key for key, _ in self.range_scan_reversed()]
+        if reverse_keys != keys[::-1]:
+            raise DatabaseError("reverse scan disagrees with the forward scan")
 
     def _check_node(self, node: _Node, low: float | None, high: float | None) -> None:
         if node.keys != sorted(node.keys):

@@ -33,6 +33,11 @@ class Database:
         database shares (metrics registry, trace ring, slow-query log).
         Default constructs an enabled one; pass
         ``Observability(enabled=False)`` for the zero-overhead null path.
+    execution_mode:
+        ``"batched"`` (default) runs plan nodes over columnar chunks;
+        ``"row"`` forces the row-at-a-time path and charges
+        ``row_interpret_cpu`` per tuple per operator, modeling Volcano-style
+        interpretation overhead.  Both modes produce identical rows.
 
     Examples
     --------
@@ -49,7 +54,11 @@ class Database:
         cost_model: CostModel | None = None,
         buffer_pool_pages: int | None = None,
         observability: Observability | None = None,
+        execution_mode: str = "batched",
     ):
+        if execution_mode not in ("batched", "row"):
+            raise ValueError(f"unknown execution_mode {execution_mode!r}; use 'batched' or 'row'")
+        self.execution_mode = execution_mode
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.stats = IOStatistics()
         self.pool = BufferPool(self.cost_model, buffer_pool_pages, self.stats)

@@ -1,30 +1,39 @@
 """Secondary B+-tree indexes on base-table columns (``CREATE INDEX``).
 
-A :class:`SecondaryIndex` maps one column's values to the heap record ids of
-the rows carrying them, backed by the same :class:`~repro.db.btree.BPlusTree`
-that clusters the scratch table on ``eps``.  The table maintains its indexes
-inline on every INSERT/UPDATE/DELETE, so an index scan is always exactly as
-fresh as a heap scan; the planner prices the two against each other and the
-:class:`~repro.db.sql.plan.SecondaryIndexRange` node is what an index win
-executes.
+A :class:`SecondaryIndex` maps one or more columns' values to the heap record
+ids of the rows carrying them, backed by the same
+:class:`~repro.db.btree.BPlusTree` that clusters the scratch table on ``eps``.
+Single-column indexes store the raw column value as the tree key; composite
+indexes (``CREATE INDEX idx ON t (a, b)``) store the tuple of column values,
+compared lexicographically, which gives the planner the classic
+leftmost-prefix rule: equality conjuncts on leading columns plus at most one
+range on the next column become a contiguous key range.  The table maintains
+its indexes inline on every INSERT/UPDATE/DELETE, so an index scan is always
+exactly as fresh as a heap scan; the planner prices the access paths against
+each other and the :class:`~repro.db.sql.plan.SecondaryIndexRange` node is
+what an index win executes.
 
-NULL values are **not** indexed (as in most engines): a predicate never
-selects them through a B+-tree, and the residual ``Filter`` the planner keeps
-above every access path re-checks the original conjuncts anyway.  The
-``covers_all_rows`` probe tells order-sensitive consumers (index-ordered
-``ORDER BY ... LIMIT k``) whether the index saw every live row.
+NULL values are **not** indexed (as in most engines), and a composite entry is
+skipped when *any* key component is NULL: a predicate never selects such rows
+through a B+-tree, and the residual ``Filter`` the planner keeps above every
+access path re-checks the original conjuncts anyway.  The ``covers_all_rows``
+probe tells order-sensitive consumers (index-ordered ``ORDER BY ... LIMIT k``)
+and covering scans whether the index saw every live row.
 
 Cost accounting follows the house convention: *actual* charges are CPU-style
 (``tuple_cpu`` per descent level and per visited entry, tagged
 ``index_read``/``index_write``/``index_build`` in the ledger detail); the heap
 fetch for each matching rid goes through the buffer pool and prices its own
-pages.  *Estimates* (``estimate_matches``) are pure statistics — entry count,
-distinct keys, min/max interpolation — so planning never touches data.
+pages — unless the scan is *covering*, in which case the caller rebuilds rows
+from the keys this scan yields and no heap page is ever touched.  *Estimates*
+(``estimate_matches`` / ``estimate_prefix_matches``) are pure statistics —
+entry count, distinct keys, min/max interpolation — so planning never touches
+data.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 
 from repro.db.btree import BPlusTree
 from repro.db.buffer_pool import BufferPool
@@ -37,21 +46,69 @@ __all__ = ["SecondaryIndex"]
 DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
 
 
-class SecondaryIndex:
-    """A named B+-tree over one column: value -> record ids (duplicates allowed)."""
+class _Top:
+    """Compares greater than every column value.
 
-    def __init__(self, name: str, column: str, pool: BufferPool, order: int = 64):
+    Appending this sentinel to a key prefix produces an upper bound that
+    admits every tuple key extending the prefix while excluding the next
+    prefix, so prefix scans need no knowledge of the column's value domain.
+    """
+
+    __slots__ = ()
+
+    def __lt__(self, other: object) -> bool:
+        return False
+
+    def __le__(self, other: object) -> bool:
+        return other is self
+
+    def __gt__(self, other: object) -> bool:
+        return other is not self
+
+    def __ge__(self, other: object) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "<top>"
+
+
+_TOP = _Top()
+
+
+class SecondaryIndex:
+    """A named B+-tree over one or more columns: key -> record ids (dups allowed)."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: str | Sequence[str],
+        pool: BufferPool,
+        order: int = 64,
+    ):
         self.name = name
-        self.column = column
+        if isinstance(columns, str):
+            columns = (columns,)
+        self.columns: tuple[str, ...] = tuple(columns)
+        if not self.columns:
+            raise ValueError("secondary index needs at least one column")
         self.pool = pool
         self.tree = BPlusTree(order=order, coerce=None)
+
+    @property
+    def column(self) -> str:
+        """Leading key column (the whole key for single-column indexes)."""
+        return self.columns[0]
+
+    @property
+    def is_composite(self) -> bool:
+        return len(self.columns) > 1
 
     def __len__(self) -> int:
         return len(self.tree)
 
     @property
     def distinct_keys(self) -> int:
-        """Distinct indexed values (the equality-selectivity denominator)."""
+        """Distinct indexed keys (the equality-selectivity denominator)."""
         return self.tree.distinct_keys
 
     @property
@@ -71,26 +128,58 @@ class SecondaryIndex:
         fallback path."""
         return value is not None and value == value
 
-    def insert(self, value: object, rid: RecordId) -> None:
-        """Index ``value -> rid``; NULL and NaN are skipped."""
-        if not self._indexable(value):
+    def key_of(self, row: dict) -> object | None:
+        """The tree key for ``row``, or None when the row is unindexable.
+
+        Single-column indexes key on the raw value; composite indexes key on
+        the tuple of values.  Any NULL/NaN component makes the whole row
+        unindexable (so ``covers_all_rows`` keeps its meaning for tuples).
+        """
+        if len(self.columns) == 1:
+            value = row.get(self.columns[0])
+            return value if self._indexable(value) else None
+        parts = tuple(row.get(column) for column in self.columns)
+        if all(self._indexable(part) for part in parts):
+            return parts
+        return None
+
+    @staticmethod
+    def _same_key(old: object, new: object) -> bool:
+        if type(old) is not type(new):
+            return False
+        if isinstance(old, tuple):
+            return len(old) == len(new) and all(
+                a == b and type(a) is type(b) for a, b in zip(old, new)
+            )
+        return old == new
+
+    def insert(self, row: dict, rid: RecordId) -> None:
+        """Index ``row -> rid``; rows with NULL/NaN key components are skipped."""
+        key = self.key_of(row)
+        if key is None:
             return
-        self.tree.insert(value, rid)
+        self.tree.insert(key, rid)
         self.pool.stats.charge(self.pool.cost_model.tuple_cpu, "index_write")
 
-    def delete(self, value: object, rid: RecordId) -> None:
-        """Drop one ``value -> rid`` entry (no-op for NULL/NaN / absent entries)."""
-        if not self._indexable(value):
+    def delete(self, row: dict, rid: RecordId) -> None:
+        """Drop one ``row -> rid`` entry (no-op for unindexable / absent entries)."""
+        key = self.key_of(row)
+        if key is None:
             return
-        self.tree.delete(value, rid)
+        self.tree.delete(key, rid)
         self.pool.stats.charge(self.pool.cost_model.tuple_cpu, "index_write")
 
-    def replace(self, old_value: object, new_value: object, rid: RecordId) -> None:
-        """Re-key ``rid`` after an UPDATE changed the indexed column."""
-        if old_value == new_value and type(old_value) is type(new_value):
+    def replace(self, old_row: dict, new_row: dict, rid: RecordId) -> None:
+        """Re-key ``rid`` after an UPDATE changed some indexed column."""
+        old_key, new_key = self.key_of(old_row), self.key_of(new_row)
+        if old_key is not None and new_key is not None and self._same_key(old_key, new_key):
             return
-        self.delete(old_value, rid)
-        self.insert(new_value, rid)
+        if old_key is not None:
+            self.tree.delete(old_key, rid)
+            self.pool.stats.charge(self.pool.cost_model.tuple_cpu, "index_write")
+        if new_key is not None:
+            self.tree.insert(new_key, rid)
+            self.pool.stats.charge(self.pool.cost_model.tuple_cpu, "index_write")
 
     def clear(self) -> None:
         """Drop every entry (table truncation)."""
@@ -99,8 +188,31 @@ class SecondaryIndex:
     # -- probes --------------------------------------------------------------------------
 
     def covers_all_rows(self, live_rows: int) -> bool:
-        """Whether every live row is indexed (False when the column has NULLs)."""
+        """Whether every live row is indexed (False when key columns have NULLs)."""
         return len(self.tree) == live_rows
+
+    def _tree_bounds(
+        self,
+        low: object | None,
+        high: object | None,
+        equalities: tuple,
+    ) -> tuple[object | None, object | None]:
+        """Full tree-key bounds for an equality prefix plus a range on the
+        next column.  A shorter tuple is already an inclusive lower bound for
+        every extension; the upper bound appends :data:`_TOP` so every
+        extension of the bounded prefix stays in range."""
+        if len(self.columns) == 1:
+            return low, high
+        tree_low: object | None = equalities + ((low,) if low is not None else ())
+        if not tree_low:
+            tree_low = None
+        if high is not None:
+            tree_high: object | None = equalities + (high, _TOP)
+        elif equalities:
+            tree_high = equalities + (_TOP,)
+        else:
+            tree_high = None
+        return tree_low, tree_high
 
     def scan(
         self,
@@ -108,23 +220,42 @@ class SecondaryIndex:
         high: object | None = None,
         include_low: bool = True,
         include_high: bool = True,
-    ) -> Iterator[RecordId]:
-        """Record ids with ``low <op> key <op> high`` in key order.
+        equalities: Sequence[object] = (),
+        reverse: bool = False,
+        with_keys: bool = False,
+    ) -> Iterator[RecordId] | Iterator[tuple[object, RecordId]]:
+        """Record ids (or ``(key, rid)`` pairs) matching the probe, in key order.
 
-        ``None`` bounds are unbounded on that side; strict bounds drop the
-        equal key while walking the (inclusive) leaf chain.  Each visited
-        entry and each descent level charges ``tuple_cpu`` to the ledger.
+        ``equalities`` pins the leading key columns (composite indexes only);
+        ``low``/``high`` bound the next key column, ``None`` meaning unbounded
+        on that side.  Strict bounds drop the equal key while walking the
+        (inclusive) leaf chain.  ``reverse=True`` walks the leaf back-chain so
+        descending consumers can early-exit; ``with_keys=True`` additionally
+        yields the tree key, which is how covering scans rebuild rows without
+        touching the heap.  Each visited entry and each descent level charges
+        ``tuple_cpu`` to the ledger.
         """
+        equalities = tuple(equalities)
+        if equalities and len(self.columns) == 1:
+            raise ValueError("equality prefix requires a composite index")
         charge = self.pool.stats.charge
         tuple_cpu = self.pool.cost_model.tuple_cpu
         charge(self.tree.height * tuple_cpu, "index_read")
-        for key, rid in self.tree.range_scan(low, high):
+        tree_low, tree_high = self._tree_bounds(low, high, equalities)
+        entries = (
+            self.tree.range_scan_reversed(tree_low, tree_high)
+            if reverse
+            else self.tree.range_scan(tree_low, tree_high)
+        )
+        position = len(equalities)
+        for key, rid in entries:
             charge(tuple_cpu, "index_read")
-            if not include_low and low is not None and key == low:
+            part = key if len(self.columns) == 1 else key[position]
+            if not include_low and low is not None and part == low:
                 continue
-            if not include_high and high is not None and key == high:
+            if not include_high and high is not None and part == high:
                 continue
-            yield rid
+            yield (key, rid) if with_keys else rid
 
     # -- statistics for the planner -------------------------------------------------------
 
@@ -139,7 +270,7 @@ class SecondaryIndex:
         equality: bool = False,
         bounds_known: bool = True,
     ) -> float:
-        """Estimated matching entries for a ``[low, high]`` probe.
+        """Estimated matching entries for a single-column ``[low, high]`` probe.
 
         Pure statistics — no data access.  Equality probes use the classic
         ``n / distinct`` estimator; ranges with known numeric bounds
@@ -169,8 +300,47 @@ class SecondaryIndex:
             return 0.0
         return n * min(1.0, covered / span)
 
+    def estimate_prefix_matches(
+        self,
+        eq_count: int,
+        has_range: bool,
+        low: object | None = None,
+        high: object | None = None,
+        bounds_known: bool = True,
+    ) -> float:
+        """Estimated matches for an equality prefix of ``eq_count`` leading
+        columns plus an optional range on the next one.
+
+        Single-column probes delegate to :meth:`estimate_matches` so their
+        estimates are unchanged.  Composite probes assume independent columns:
+        the full-tuple distinct count spreads evenly across the key columns,
+        so each leading equality divides by ``distinct ** (1/ncols)`` (which
+        degenerates to the classic ``n / distinct`` when the whole key is
+        pinned), and a trailing range multiplies by
+        :data:`DEFAULT_RANGE_SELECTIVITY` (tuple min/max keys do not
+        interpolate).
+        """
+        n = len(self.tree)
+        if n == 0:
+            return 0.0
+        ncols = len(self.columns)
+        if ncols == 1:
+            if eq_count:
+                return self.estimate_matches(equality=True)
+            return self.estimate_matches(low, high, equality=False, bounds_known=bounds_known)
+        if eq_count >= ncols:
+            return n / max(1, self.tree.distinct_keys)
+        estimate = float(n)
+        if eq_count:
+            per_column = max(1.0, self.tree.distinct_keys ** (1.0 / ncols))
+            estimate /= per_column**eq_count
+        if has_range:
+            estimate *= DEFAULT_RANGE_SELECTIVITY
+        return min(estimate, float(n))
+
     def __repr__(self) -> str:
+        columns = ", ".join(repr(column) for column in self.columns)
         return (
-            f"SecondaryIndex({self.name!r} ON {self.column!r}, "
+            f"SecondaryIndex({self.name!r} ON ({columns}), "
             f"entries={len(self.tree)}, distinct={self.tree.distinct_keys})"
         )

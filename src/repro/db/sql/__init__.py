@@ -3,10 +3,16 @@
 The dialect covers what the paper's examples and experiments need:
 
 * ``CREATE TABLE`` / ``DROP TABLE``
-* ``CREATE INDEX name ON table (column)`` / ``DROP INDEX name`` — secondary
-  B+-tree indexes on base-table columns, maintained inline on every write and
-  chosen by the planner whenever the cost model prices the index probe below
-  the sequential scan
+* ``CREATE INDEX name ON table (column)`` and the composite form
+  ``CREATE INDEX name ON table (col_a, col_b, ...)`` / ``DROP INDEX name`` —
+  secondary B+-tree indexes on base-table columns, maintained inline on every
+  write and chosen by the planner whenever the cost model prices the index
+  probe below the sequential scan.  Composite indexes key on tuples and serve
+  **leftmost-prefix** predicates (equalities pinning the leading columns plus
+  at most one range on the next); a row with NULL in *any* key column is
+  unindexed.  When the SELECT's columns all live inside the index key the
+  planner emits the **covering** (index-only) variant, which skips the
+  per-match heap fetch entirely
 * ``INSERT INTO ... VALUES`` (with ``?`` placeholders for prepared statements)
 * ``SELECT`` with ``*``, column lists or ``COUNT(*)``, ``WHERE`` conjunctions
   of simple comparisons (columns optionally qualified as ``t.col``),
@@ -43,6 +49,14 @@ The read path is **plan-first**; the pipeline is::
                                                   ServedRangeScan, TopK, Filter,
                                                   Project, HashJoin, Limit, ...)
         --SQLExecutor---------> rows             (executor.py walks the tree)
+
+Execution is **batched by default**: the executor walks the same tree
+chunk-to-chunk (columnar :class:`~repro.db.sql.plan.Chunk` batches, NumPy
+predicate kernels in ``Filter``), materializing rows only at the root; the
+explicit ``execution_mode="row"`` runs tuple-at-a-time and charges the cost
+model's ``row_interpret_cpu`` per tuple per operator.  Every access node's
+``EXPLAIN`` detail carries a ``mode=batched|row`` flag (and
+``covering=true`` for index-only scans).
 
 ``EXPLAIN`` prints exactly the tree the executor would walk; ``EXPLAIN
 ANALYZE`` walks it and reports actual vs estimated simulated seconds per

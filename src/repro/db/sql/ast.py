@@ -57,17 +57,25 @@ class DropTable(Statement):
 
 @dataclass(frozen=True)
 class CreateIndex(Statement):
-    """``CREATE INDEX name ON table (column)`` — a secondary B+-tree index.
+    """``CREATE INDEX name ON table (col[, col...])`` — a secondary B+-tree index.
 
-    ``table_position``/``column_position`` carry the source offsets of the
-    table and column tokens for machine-readable execution diagnostics.
+    A single column builds a value-keyed index; multiple columns build a
+    composite index keyed on the tuple of values (leftmost-prefix matching in
+    the planner).  ``table_position``/``column_positions`` carry the source
+    offsets of the table and column tokens for machine-readable execution
+    diagnostics.
     """
 
     name: str
     table: str
-    column: str
+    columns: tuple[str, ...]
     table_position: int | None = field(default=None, compare=False)
-    column_position: int | None = field(default=None, compare=False)
+    column_positions: tuple[int | None, ...] = field(default=(), compare=False)
+
+    @property
+    def column(self) -> str:
+        """Leading indexed column (the whole key for single-column indexes)."""
+        return self.columns[0]
 
 
 @dataclass(frozen=True)

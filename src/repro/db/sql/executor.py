@@ -197,13 +197,23 @@ class SQLExecutor:
                 token=statement.table,
             )
         table = catalog.table(statement.table)
-        if not table.schema.has_column(statement.column):
-            raise SQLPlanningError(
-                f"table {table.name!r} has no column {statement.column!r}",
-                position=statement.column_position,
-                token=statement.column,
-            )
-        table.create_secondary_index(statement.name, statement.column)
+        positions = statement.column_positions or (None,) * len(statement.columns)
+        seen: set[str] = set()
+        for column, position in zip(statement.columns, positions):
+            if not table.schema.has_column(column):
+                raise SQLPlanningError(
+                    f"table {table.name!r} has no column {column!r}",
+                    position=position,
+                    token=column,
+                )
+            if column.lower() in seen:
+                raise SQLPlanningError(
+                    f"index {statement.name!r} lists column {column!r} more than once",
+                    position=position,
+                    token=column,
+                )
+            seen.add(column.lower())
+        table.create_secondary_index(statement.name, statement.columns)
         catalog.register_index(statement.name, table.name)
         return ResultSet(statement_type="CREATE INDEX")
 

@@ -294,15 +294,21 @@ class _Parser:
         table_token = self._peek()
         table = self._expect_identifier()
         self._expect_punctuation("(")
-        column_token = self._peek()
-        column = self._expect_identifier()
+        columns: list[str] = []
+        positions: list[int | None] = []
+        while True:
+            column_token = self._peek()
+            columns.append(self._expect_identifier())
+            positions.append(column_token.position)
+            if not self._accept_punctuation(","):
+                break
         self._expect_punctuation(")")
         return CreateIndex(
             name=name,
             table=table,
-            column=column,
+            columns=tuple(columns),
             table_position=table_token.position,
-            column_position=column_token.position,
+            column_positions=tuple(positions),
         )
 
     def _parse_drop(self) -> Statement:

@@ -12,14 +12,20 @@ layer caches it per SQL text and re-binds ``?`` parameters without re-planning.
 Access-path choice per source:
 
 * base table — primary-key equality takes an :class:`IndexRange` point
-  lookup; otherwise every ``CREATE INDEX`` secondary index whose column
+  lookup; otherwise every ``CREATE INDEX`` secondary index whose key
   carries servable conjuncts (``=``/``<``/``<=``/``>``/``>=``) is costed as a
   :class:`SecondaryIndexRange` (B+-tree probe + one heap fetch per estimated
   match, selectivity from the index's own statistics) against the
   :class:`SeqScan`, and the cheapest estimate wins — on the FROM side and the
-  JOIN side alike.  ``ORDER BY col LIMIT k`` over an indexed column
-  additionally considers the *index-ordered* form (walk the leaf chain, fetch
-  at most k rows, no ``Sort``/``TopK``) against scan-and-sort;
+  JOIN side alike.  Composite indexes follow the leftmost-prefix rule:
+  equality conjuncts pin leading key columns and at most one range applies to
+  the next column.  When the query's referenced columns (SELECT list, WHERE,
+  ORDER BY) all sit inside an index's key, the probe becomes a *covering*
+  index-only scan that skips every heap fetch and is costed without the
+  random-page term.  ``ORDER BY col LIMIT k`` over an indexed column
+  additionally considers the *index-ordered* form (walk the leaf chain in
+  either direction — the ``prev_leaf`` back-chain makes DESC early-exit too —
+  fetch at most k rows, no ``Sort``/``TopK``) against scan-and-sort;
 * classification view, not served — ``read_single`` / ``read_all_members`` /
   ``read_range`` on the direct maintainer, full materialization otherwise;
 * classification view, served — the batcher point read, All Members
@@ -169,12 +175,25 @@ class Planner:
     (primary-key ``IndexRange``, ``SecondaryIndexRange``, index-ordered
     reads): everything becomes a ``SeqScan`` under the residual ``Filter``.
     That is the ground-truth reference executor the differential SQL oracle
-    compares index answers against.
+    compares index answers against.  ``use_covering_scans=False`` keeps the
+    index paths but disables the index-only (covering) variant, forcing the
+    heap-fetching probe — the baseline the covering benchmark compares
+    against.
     """
 
-    def __init__(self, database, use_index_paths: bool = True) -> None:
+    def __init__(
+        self, database, use_index_paths: bool = True, use_covering_scans: bool = True
+    ) -> None:
         self._database = database
         self._use_index_paths = use_index_paths
+        self._use_covering_scans = use_covering_scans
+
+    def _detail_flags(self, covering: bool = False) -> str:
+        """The ``mode=``/``covering=`` suffix every table-access detail carries."""
+        mode = getattr(self._database, "execution_mode", "batched")
+        if covering:
+            return f"covering=true; mode={mode}"
+        return f"mode={mode}"
 
     # -- entry point ---------------------------------------------------------------------
 
@@ -434,15 +453,15 @@ class Planner:
             + cost_model.scan_cost(table.page_count(), table.row_count()),
             detail=(
                 f"sequential scan of {table.page_count()} pages / "
-                f"{table.row_count()} tuples"
+                f"{table.row_count()} tuples; {self._detail_flags()}"
             ),
         )
 
     @staticmethod
     def _servable_by(index, predicates) -> list[Predicate]:
-        """The conjuncts a secondary index can answer (NULL literals excluded:
-        ``col = NULL`` matches NULL rows under this dialect, which a B+-tree
-        never stores)."""
+        """The conjuncts a single-column secondary index can answer (NULL
+        literals excluded: ``col = NULL`` matches NULL rows under this
+        dialect, which a B+-tree never stores)."""
         return [
             predicate
             for predicate in predicates
@@ -450,6 +469,49 @@ class Planner:
             and predicate.operator in _INDEXABLE_OPERATORS
             and predicate.value is not None
         ]
+
+    @staticmethod
+    def _composite_servable(index, predicates):
+        """Leftmost-prefix match of ``predicates`` against a composite key.
+
+        Walks the key columns in order, consuming pure-equality conjuncts for
+        leading columns and stopping at the first column with a range (or no)
+        conjunct.  Returns ``(servable, eq_count, has_range, low, high,
+        bounds_known)`` — or None when even the leading column is unserved.
+        """
+        by_column: dict[str, list[Predicate]] = {}
+        for predicate in predicates:
+            if predicate.operator in _INDEXABLE_OPERATORS and predicate.value is not None:
+                by_column.setdefault(predicate.column.lower(), []).append(predicate)
+        servable: list[Predicate] = []
+        eq_count = 0
+        has_range = False
+        low = high = None
+        bounds_known = True
+        for column in index.columns:
+            conjuncts = by_column.get(column.lower())
+            if not conjuncts:
+                break
+            servable.extend(conjuncts)
+            if all(p.operator == "=" for p in conjuncts):
+                eq_count += 1
+                if any(p.value is PLACEHOLDER for p in conjuncts):
+                    bounds_known = False
+                continue
+            has_range = True
+            low, high, _, range_known = Planner._static_bounds(conjuncts)
+            bounds_known = bounds_known and range_known
+            break
+        if not servable:
+            return None
+        return servable, eq_count, has_range, low, high, bounds_known
+
+    def _covers(self, index, needed) -> bool:
+        """Whether every column the query touches sits inside the index key."""
+        if not self._use_covering_scans or needed is None:
+            return False
+        key = {column.lower() for column in index.columns}
+        return set(needed) <= key
 
     @staticmethod
     def _static_bounds(servable) -> tuple[object, object, bool, bool]:
@@ -491,7 +553,7 @@ class Planner:
             + fetch_rows * (cost_model.random_page_read + cost_model.tuple_cpu)
         )
 
-    def _plan_table_access(self, table, predicates) -> PlanNode:
+    def _plan_table_access(self, table, predicates, needed=None) -> PlanNode:
         cost_model = self._database.cost_model
         if not self._use_index_paths:
             return self._seq_scan_node(table)
@@ -511,43 +573,107 @@ class Planner:
                 table,
                 point,
                 estimated_seconds=cost_model.statement_overhead + cost_model.random_page_read,
-                detail=f"primary-key hash lookup on {pk!r} (1 random page)",
+                detail=f"primary-key hash lookup on {pk!r} (1 random page); "
+                f"{self._detail_flags()}",
             )
         best = self._seq_scan_node(table)
         best_cost = best.estimated_seconds
         for index in table.secondary_indexes.values():
-            servable = self._servable_by(index, predicates)
-            if not servable:
-                continue
-            low, high, equality, known = self._static_bounds(servable)
-            est = index.estimate_matches(low, high, equality=equality, bounds_known=known)
-            cost = self._index_probe_estimate(index, est, est)
+            if index.is_composite:
+                match = self._composite_servable(index, predicates)
+                if match is None:
+                    continue
+                servable, eq_count, has_range, low, high, known = match
+                est = index.estimate_prefix_matches(
+                    eq_count, has_range, low=low, high=high, bounds_known=known
+                )
+                probe = "(" + ", ".join(repr(c) for c in index.columns) + ") prefix"
+            else:
+                servable = self._servable_by(index, predicates)
+                if not servable:
+                    continue
+                low, high, equality, known = self._static_bounds(servable)
+                est = index.estimate_matches(low, high, equality=equality, bounds_known=known)
+                probe = f"{index.column!r}"
+            covering = self._covers(index, needed)
+            cost = self._index_probe_estimate(index, est, 0.0 if covering else est)
             if cost < best_cost:
                 best_cost = cost
+                fetch = (
+                    "index-only, no heap fetches" if covering else "heap fetch per match"
+                )
                 best = SecondaryIndexRange(
                     table,
                     index.name,
                     index.column,
                     servable,
+                    key_columns=index.columns,
+                    covering=covering,
                     estimated_seconds=cost,
                     detail=(
-                        f"B+-tree probe on {index.column!r} "
-                        f"(~{est:.0f} of {table.row_count()} rows) + heap fetch per match"
+                        f"B+-tree probe on {probe} "
+                        f"(~{est:.0f} of {table.row_count()} rows) + {fetch}; "
+                        f"{self._detail_flags(covering)}"
                     ),
                 )
         return best
 
+    def _needed_columns(self, select: Select, table, predicates) -> set[str]:
+        """Every column this single-table read touches (for covering checks)."""
+        if select.columns == ("*",) and not select.count:
+            return {name.lower() for name in table.schema.column_names()}
+        needed: set[str] = set()
+        if not select.count:
+            for column in select.columns:
+                needed.add(self._split_reference(column)[1].lower())
+        for predicate in predicates:
+            needed.add(predicate.column.lower())
+        if select.order_by is not None:
+            needed.add(self._split_reference(select.order_by)[1].lower())
+        return needed
+
+    def _order_fusion_eligible(self, index, order_column: str, predicates) -> bool:
+        """Whether walking ``index`` in key order yields ``order_column`` order.
+
+        The order column must be a key column with every earlier key column
+        pinned by pure-equality conjuncts (a fixed prefix makes the tuple-key
+        order the order column's order), and every WHERE conjunct must be
+        servable by those same columns — a residual-only conjunct could drop
+        rows the early LIMIT already cut.
+        """
+        columns = [column.lower() for column in index.columns]
+        try:
+            position = columns.index(order_column.lower())
+        except ValueError:
+            return False
+        usable = set(columns[: position + 1])
+        for predicate in predicates:
+            if (
+                predicate.column.lower() not in usable
+                or predicate.operator not in _INDEXABLE_OPERATORS
+                or predicate.value is None
+            ):
+                return False
+        for column in columns[:position]:
+            conjuncts = [p for p in predicates if p.column.lower() == column]
+            if not conjuncts or any(p.operator != "=" for p in conjuncts):
+                return False
+        return True
+
     def _plan_table_read(self, table, predicates, select: Select, source: _Source):
         """Access path for a FROM-side base table, with index-ordered fusion.
 
-        Returns ``(node, order_fused)``.  ``ORDER BY col LIMIT k`` over a
-        column with a secondary index considers walking the index in key
-        order and heap-fetching at most k rows, priced against the best
-        unordered access plus an n·log n sort; fusion requires every WHERE
-        conjunct to be served by that same index (otherwise the residual
-        Filter could drop rows the early LIMIT already cut).
+        Returns ``(node, order_fused)``.  ``ORDER BY col LIMIT k`` over an
+        index key column (leading, or prefixed by equality-pinned columns)
+        considers walking the index in key order — forward or along the
+        ``prev_leaf`` back-chain for DESC — and heap-fetching at most k rows,
+        priced against the best unordered access plus an n·log n sort; fusion
+        requires every WHERE conjunct to be served by that same index
+        (otherwise the residual Filter could drop rows the early LIMIT
+        already cut).
         """
-        access = self._plan_table_access(table, predicates)
+        needed = self._needed_columns(select, table, predicates)
+        access = self._plan_table_access(table, predicates, needed=needed)
         if (
             not self._use_index_paths
             or select.order_by is None
@@ -557,20 +683,32 @@ class Planner:
             return access, False
         cost_model = self._database.cost_model
         order_column = self._strip_qualifier(select.order_by, source, select.order_by_position)
+        if not table.schema.has_column(order_column):
+            return access, False  # _wrap_order_limit raises the planning error
+        order_column = table.schema.column(order_column).name
         best = access
         best_cost = None
         order_fused = False
-        for index in table.indexes_on(order_column):
-            servable = self._servable_by(index, predicates)
-            if len(servable) != len(predicates):
-                continue  # a conjunct the index cannot serve survives the Filter
-            low, high, equality, known = self._static_bounds(servable)
-            est = index.estimate_matches(low, high, equality=equality, bounds_known=known)
+        for index in table.secondary_indexes.values():
+            if not self._order_fusion_eligible(index, order_column, predicates):
+                continue
+            if index.is_composite:
+                match = self._composite_servable(index, predicates)
+                servable, eq_count, has_range, low, high, known = match or ((), 0, False, None, None, True)
+                est = index.estimate_prefix_matches(
+                    eq_count, has_range, low=low, high=high, bounds_known=known
+                )
+                servable = list(servable)
+            else:
+                servable = self._servable_by(index, predicates)
+                low, high, equality, known = self._static_bounds(servable)
+                est = index.estimate_matches(low, high, equality=equality, bounds_known=known)
             fetches = min(est, float(select.limit))
-            # Ascending walks stop after k entries; descending must walk the
-            # whole range to find its tail (the leaf chain is forward-only).
-            walked = est if select.descending else fetches
-            fused_cost = self._index_probe_estimate(index, walked, fetches)
+            # Both directions early-exit after k entries: ascending walks the
+            # leaf chain forward, descending walks the prev_leaf back-chain.
+            walked = fetches
+            covering = self._covers(index, needed)
+            fused_cost = self._index_probe_estimate(index, walked, 0.0 if covering else fetches)
             if best_cost is None:
                 best_cost = (access.estimated_seconds or 0.0) + cost_model.sort_cost(
                     max(1, int(est))
@@ -578,17 +716,22 @@ class Planner:
             if fused_cost < best_cost:
                 best_cost = fused_cost
                 order_fused = True
+                fetch = (
+                    "no heap fetches" if covering else f"at most {select.limit} heap fetches"
+                )
                 best = SecondaryIndexRange(
                     table,
                     index.name,
-                    index.column,
+                    order_column,
                     servable,
                     order="desc" if select.descending else "asc",
                     limit=select.limit,
+                    key_columns=index.columns,
+                    covering=covering,
                     estimated_seconds=fused_cost,
                     detail=(
-                        f"index-ordered walk of {index.column!r}; at most "
-                        f"{select.limit} heap fetches, Sort/TopK elided"
+                        f"index-ordered walk of {order_column!r}; {fetch}, "
+                        f"Sort/TopK elided; {self._detail_flags(covering)}"
                     ),
                 )
         return best, order_fused

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.db.buffer_pool import BufferPool
 from repro.db.hash_index import HashIndex
@@ -54,7 +54,7 @@ class Table:
         if self.primary_index is not None:
             self.primary_index.insert(validated[self.schema.primary_key], rid)
         for index in self.secondary_indexes.values():
-            index.insert(validated[index.column], rid)
+            index.insert(validated, rid)
         self.triggers.fire(TriggerEvent.AFTER_INSERT, self.name, validated, None)
         return rid
 
@@ -83,7 +83,7 @@ class Table:
             self.primary_index.delete(key)
             self.primary_index.insert(new_key, rid)
         for index in self.secondary_indexes.values():
-            index.replace(old_row[index.column], validated[index.column], rid)
+            index.replace(old_row, validated, rid)
         self.triggers.fire(TriggerEvent.AFTER_UPDATE, self.name, validated, old_row)
         return validated
 
@@ -96,7 +96,7 @@ class Table:
         self.heap.delete(rid)
         self.primary_index.delete(key)
         for index in self.secondary_indexes.values():
-            index.delete(old_row[index.column], rid)
+            index.delete(old_row, rid)
         self.triggers.fire(TriggerEvent.AFTER_DELETE, self.name, None, old_row)
         return old_row
 
@@ -151,22 +151,36 @@ class Table:
 
     # -- secondary indexes --------------------------------------------------------------
 
-    def create_secondary_index(self, name: str, column: str) -> SecondaryIndex:
-        """Build a B+-tree index over ``column``, backfilled from a full scan.
+    def create_secondary_index(
+        self, name: str, columns: str | Sequence[str]
+    ) -> SecondaryIndex:
+        """Build a B+-tree index over ``columns``, backfilled from a full scan.
 
-        The backfill prices like the physical operation it models: one
-        sequential heap scan (charged by the scan itself) plus an n·log n
-        sort charge for building the tree, tagged ``index_build``.
+        A single column name builds a classic value-keyed index; a sequence of
+        names builds a composite index keyed on the tuple of values.  The
+        backfill prices like the physical operation it models: one sequential
+        heap scan (charged by the scan itself) plus an n·log n sort charge for
+        building the tree, tagged ``index_build``.
         """
         key = name.lower()
         if key in self.secondary_indexes:
             raise DuplicateKeyError(
                 f"table {self.name!r} already has an index named {name!r}"
             )
-        canonical = self.schema.column(column).name  # raises SchemaError if unknown
+        if isinstance(columns, str):
+            columns = (columns,)
+        # raises SchemaError if any column is unknown
+        canonical = tuple(self.schema.column(column).name for column in columns)
+        seen: set[str] = set()
+        for column in canonical:
+            if column.lower() in seen:
+                raise SchemaError(
+                    f"index {name!r} lists column {column!r} more than once"
+                )
+            seen.add(column.lower())
         index = SecondaryIndex(name, canonical, self.pool)
         for rid, row in self.heap.scan():
-            index.insert(row[canonical], rid)
+            index.insert(row, rid)
         self.pool.stats.charge(
             self.pool.cost_model.sort_cost(len(index)), "index_build"
         )
@@ -182,7 +196,8 @@ class Table:
         return self.secondary_indexes.get(name.lower())
 
     def indexes_on(self, column: str) -> list[SecondaryIndex]:
-        """Every secondary index over ``column`` (case-insensitive)."""
+        """Every secondary index whose *leading* key column is ``column``
+        (case-insensitive) — the ones whose key order sorts by it."""
         return [
             index
             for index in self.secondary_indexes.values()

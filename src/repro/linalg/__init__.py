@@ -8,6 +8,7 @@ from it.  :mod:`repro.linalg.norms` provides the p-norms and Hölder conjugate
 pairs that the low/high-water bound computation relies on (Lemma 3.1).
 """
 
+from repro.linalg.kernels import batch_dot, batch_eps, batch_margins, compare
 from repro.linalg.norms import holder_conjugate, p_norm
 from repro.linalg.vectors import SparseVector, dot, to_dense, to_sparse
 
@@ -18,4 +19,8 @@ __all__ = [
     "to_sparse",
     "p_norm",
     "holder_conjugate",
+    "batch_dot",
+    "batch_margins",
+    "batch_eps",
+    "compare",
 ]

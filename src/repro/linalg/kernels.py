@@ -1,0 +1,99 @@
+"""Batched NumPy kernels for margin/eps scoring and predicate evaluation.
+
+The scalar paths (:meth:`SparseVector.dot`, ``compare_values`` in the SQL
+executor) touch one value at a time; these kernels process a whole batch per
+call so the per-element Python interpretation cost is paid once per *chunk*
+instead of once per *value*.  They back two hot loops:
+
+* ``batch_margins`` / ``batch_eps`` score many entities against one model in
+  a single flattened gather + segmented sum — the bulk form of the
+  ``w · f − b`` evaluation every Hazy reclassification performs.
+* ``compare`` evaluates one comparison operator over a whole column array at
+  once and is what the batched ``Filter``/scan nodes use for scan-side
+  predicate evaluation on numeric columns.
+
+Everything here is pure computation: no cost-model charges, no I/O.  Callers
+remain responsible for ledger accounting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.linalg.vectors import SparseVector
+
+__all__ = ["compare", "batch_dot", "batch_margins", "batch_eps"]
+
+_COMPARISONS = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def compare(values: np.ndarray | Sequence[float], operator: str, bound: float) -> np.ndarray:
+    """Boolean mask of ``values <operator> bound``, evaluated elementwise.
+
+    Semantics match the scalar ``compare_values`` on numeric inputs,
+    including NaN (never less/greater/equal, always not-equal).
+    """
+    try:
+        kernel = _COMPARISONS[operator]
+    except KeyError:
+        raise ValueError(f"unsupported comparison operator {operator!r}") from None
+    return kernel(np.asarray(values), bound)
+
+
+def batch_dot(vectors: Sequence[SparseVector], weights: np.ndarray) -> np.ndarray:
+    """``w · f_i`` for every sparse vector in one flattened NumPy pass.
+
+    Flattens all (index, value) pairs, gathers the matching weights, and
+    reduces per-vector segments with ``np.add.reduceat``.  Indices beyond the
+    weight vector's dimension contribute zero, matching the scalar
+    :meth:`SparseVector.dot` against a dense array.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    count = len(vectors)
+    out = np.zeros(count, dtype=np.float64)
+    if count == 0:
+        return out
+    sizes = np.fromiter((vector.nnz() for vector in vectors), dtype=np.int64, count=count)
+    total = int(sizes.sum())
+    if total == 0:
+        return out
+    indices = np.empty(total, dtype=np.int64)
+    values = np.empty(total, dtype=np.float64)
+    offset = 0
+    for vector in vectors:
+        for index, value in vector.items():
+            indices[offset] = index
+            values[offset] = value
+            offset += 1
+    dimension = weights.shape[0]
+    if dimension == 0:
+        products = np.zeros(total, dtype=np.float64)
+    else:
+        in_range = indices < dimension
+        products = np.where(in_range, values * weights[np.minimum(indices, dimension - 1)], 0.0)
+    starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    nonempty = sizes > 0
+    # reduceat over the non-empty segment starts: each segment runs to the
+    # next non-empty start, and the skipped empty segments hold no elements.
+    out[nonempty] = np.add.reduceat(products, starts[nonempty])
+    return out
+
+
+def batch_margins(
+    vectors: Sequence[SparseVector], weights: np.ndarray, bias: float = 0.0
+) -> np.ndarray:
+    """``w · f_i − b`` for a whole batch of entities (the margin/eps score)."""
+    return batch_dot(vectors, weights) - bias
+
+
+# ``eps`` in the paper is the same functional form as the margin: w(s)·f − b(s).
+batch_eps = batch_margins

@@ -17,6 +17,11 @@ import numpy as np
 
 __all__ = ["SparseVector", "dot", "to_dense", "to_sparse", "axpy"]
 
+# Smallest positive normal double: naive power sums below this (or non-finite
+# ones) have lost precision to subnormal underflow or overflow and are redone
+# with pre-scaled components.
+_NORMAL_MIN = 2.2250738585072014e-308
+
 
 class SparseVector:
     """A sparse vector stored as a mapping from integer index to float value.
@@ -159,10 +164,25 @@ class SparseVector:
         if p == 1:
             return sum(abs(v) for v in self._data.values())
         if p == 2:
-            return math.sqrt(sum(v * v for v in self._data.values()))
+            total = sum(v * v for v in self._data.values())
+            if math.isfinite(total) and total >= _NORMAL_MIN:
+                return math.sqrt(total)
+            return self._scaled_norm(2.0)
         if p <= 0:
             raise ValueError(f"p-norm requires p > 0, got {p}")
-        return sum(abs(v) ** p for v in self._data.values()) ** (1.0 / p)
+        total = sum(abs(v) ** p for v in self._data.values())
+        if math.isfinite(total) and total >= _NORMAL_MIN:
+            return total ** (1.0 / p)
+        return self._scaled_norm(p)
+
+    def _scaled_norm(self, p: float) -> float:
+        """`p`-norm computed with components pre-scaled by the largest
+        magnitude, for vectors whose powers under- or overflow the naive sum
+        (e.g. a component near 1e-160 squares into the subnormal range)."""
+        scale = max(abs(v) for v in self._data.values())
+        if scale == 0.0 or not math.isfinite(scale):
+            return scale
+        return scale * sum((abs(v) / scale) ** p for v in self._data.values()) ** (1.0 / p)
 
     def normalized(self, p: float = 2.0) -> "SparseVector":
         """Return the vector scaled to unit `p`-norm (zero vector unchanged).

@@ -287,21 +287,15 @@ class ReadBatcher:
     def stats(self) -> dict[str, float]:
         """Coalescing counters (average batch size is the interesting one).
 
-        Canonical keys carry the ``_total`` / ``_seconds`` suffixes; the bare
-        ``rounds`` / ``requests`` / ``adaptive_window_s`` spellings are legacy
-        aliases kept for one release.
+        Keys are canonical ``snake_case`` with ``_total`` / ``_seconds``
+        suffixes.
         """
         stats: dict[str, float] = {
             "rounds_total": self.rounds,
             "requests_total": self.requests,
             "largest_batch": self.largest_batch,
             "avg_batch": self.requests / self.rounds if self.rounds else 0.0,
-            # Legacy aliases (pre-unification key names).
-            "rounds": self.rounds,
-            "requests": self.requests,
         }
         if self.window is not None:
-            window = self.window.window_s()
-            stats["adaptive_window_seconds"] = window
-            stats["adaptive_window_s"] = window  # legacy alias
+            stats["adaptive_window_seconds"] = self.window.window_s()
         return stats

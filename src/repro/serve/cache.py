@@ -103,18 +103,11 @@ class WaterBandResultCache:
         return len(self._eps)
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/invalidation counters plus current size.
-
-        Canonical keys carry the ``_total`` suffix; the bare spellings are
-        legacy aliases kept for one release.
-        """
+        """Hit/miss/invalidation counters plus current size (canonical
+        ``_total``-suffixed keys only)."""
         return {
             "hits_total": self.hits,
             "misses_total": self.misses,
             "invalidations_total": self.invalidations,
             "entries": len(self._eps),
-            # Legacy aliases (pre-unification key names).
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
         }

@@ -222,11 +222,8 @@ class MaintenanceWorker:
             op.ticket.resolve(epoch)
 
     def stats(self) -> dict[str, float]:
-        """Worker counters for dashboards and benchmarks.
-
-        Canonical keys carry the ``_total`` suffix; the bare spellings are
-        legacy aliases kept for one release.
-        """
+        """Worker counters for dashboards and benchmarks (canonical
+        ``_total``-suffixed keys only)."""
         return {
             "batches_applied_total": self.batches_applied,
             "ops_applied_total": self.ops_applied,
@@ -235,7 +232,4 @@ class MaintenanceWorker:
                 self.ops_applied / self.batches_applied if self.batches_applied else 0.0
             ),
             "backlog": self.backlog(),
-            # Legacy aliases (pre-unification key names).
-            "batches_applied": self.batches_applied,
-            "ops_applied": self.ops_applied,
         }

@@ -862,9 +862,8 @@ class ViewServer:
         Assembled under the shared side of the readers/writer lock so the
         snapshot is consistent: a maintenance batch mid-apply can never leak
         a new epoch paired with the old queue/cache numbers (or vice versa).
-        Counter keys follow the house convention (``_total`` / ``_seconds``);
-        the nested component dicts also carry their pre-unification legacy
-        keys for one release.
+        Counter keys — nested component dicts included — follow the house
+        convention (``snake_case`` with ``_total`` / ``_seconds`` suffixes).
         """
         with self.rw_lock.read_locked():
             return {

@@ -62,6 +62,39 @@ class TestCursor:
         assert conn.execute("SELECT COUNT(*) FROM notes").scalar() == 2
         conn.close()
 
+    def test_cursor_context_manager_closes_cursor_only(self):
+        conn, _ = build_connection(count=20)
+        with conn.execute("SELECT id FROM papers ORDER BY id LIMIT 3") as cursor:
+            assert cursor.description == ["id"]
+            assert cursor.rowcount == 3
+        assert cursor.closed
+        assert cursor.fetchone() is None  # result set released
+        with pytest.raises(ConfigurationError, match="cursor is closed"):
+            cursor.execute("SELECT COUNT(*) FROM papers")
+        with pytest.raises(ConfigurationError, match="cursor is closed"):
+            cursor.executemany("INSERT INTO papers (id, title) VALUES (?, ?)", [(999, "x")])
+        # The connection itself stays usable — only the cursor handle died.
+        assert not conn.closed
+        assert conn.execute("SELECT COUNT(*) FROM papers").scalar() == 20
+        conn.close()
+
+    def test_cursor_close_is_idempotent(self):
+        conn, _ = build_connection(count=20)
+        cursor = conn.execute("SELECT id FROM papers LIMIT 1")
+        cursor.close()
+        cursor.close()
+        assert cursor.closed
+        conn.close()
+
+    def test_description_empty_for_dml(self):
+        conn, _ = build_connection(count=20)
+        cursor = conn.execute("CREATE TABLE d (id integer PRIMARY KEY)")
+        assert cursor.description == []
+        cursor = conn.execute("INSERT INTO d (id) VALUES (7)")
+        assert cursor.description == []
+        assert cursor.rowcount == 1
+        conn.close()
+
 
 class TestSessions:
     def test_sql_read_your_writes(self):

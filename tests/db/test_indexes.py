@@ -337,3 +337,143 @@ class TestSecondaryIndexMaintenance:
         assert len(index) == 2
         # A NaN-valued parameter answers identically to the scan (empty).
         assert db.execute("SELECT id FROM f WHERE v >= ?", (nan,)).rows == []
+
+
+class TestReverseRangeScan:
+    """The doubly-linked leaf chain: descending scans mirror ascending ones."""
+
+    def test_reverse_scan_mirrors_forward_scan(self):
+        tree = BPlusTree(order=4)
+        keys = random.Random(7).sample(range(1000), 300)
+        for key in keys:
+            tree.insert(key, f"p{key}")
+        tree.check_invariants()
+        forward = list(tree.range_scan(None, None))
+        assert list(tree.range_scan_reversed(None, None)) == forward[::-1]
+        assert list(tree.range_scan_reversed(100, 500)) == list(
+            tree.range_scan(100, 500)
+        )[::-1]
+
+    def test_reverse_scan_bounds_and_duplicates(self):
+        tree = BPlusTree(order=4)
+        for key, payload in [(1, "a"), (2, "b"), (2, "c"), (3, "d")]:
+            tree.insert(key, payload)
+        assert list(tree.range_scan_reversed(2, 2)) == [(2.0, "c"), (2.0, "b")]
+        assert list(tree.range_scan_reversed(5, 1)) == []
+        assert list(tree.range_scan_reversed(None, 1.5)) == [(1.0, "a")]
+        assert list(tree.range_scan_reversed(2.5, None)) == [(3.0, "d")]
+
+    def test_prev_leaf_chain_survives_deletes(self):
+        tree = BPlusTree(order=4)
+        for key in range(120):
+            tree.insert(key, key)
+        for key in range(0, 120, 3):
+            assert tree.delete(key, key)
+        tree.check_invariants()
+        remaining = sorted(set(range(120)) - set(range(0, 120, 3)))
+        assert [key for key, _ in tree.range_scan_reversed(None, None)] == [
+            float(key) for key in reversed(remaining)
+        ]
+
+    def test_empty_tree_reverse_scan(self):
+        tree = BPlusTree(order=4)
+        assert list(tree.range_scan_reversed(None, None)) == []
+
+
+class TestCompositeSecondaryIndex:
+    """Multi-column (tuple-key) secondary indexes and their prefix probes."""
+
+    @staticmethod
+    def _table():
+        from repro.db.costmodel import CostModel
+        from repro.db.database import Database
+
+        db = Database(cost_model=CostModel.main_memory())
+        db.execute(
+            "CREATE TABLE m (id integer PRIMARY KEY, a integer, b float, c text)"
+        )
+        return db, db.catalog.table("m")
+
+    def _ids(self, table, entries):
+        return sorted(table.heap.read(rid)["id"] for rid in entries)
+
+    def test_tuple_keys_and_prefix_scan(self):
+        db, table = self._table()
+        db.executemany(
+            "INSERT INTO m (id, a, b) VALUES (?, ?, ?)",
+            [(i, i % 3, float(i)) for i in range(12)],
+        )
+        index = table.create_secondary_index("idx_ab", ("a", "b"))
+        assert index.is_composite
+        assert index.columns == ("a", "b")
+        assert len(index) == 12
+        # Full-key equality.
+        assert self._ids(table, index.scan(4.0, 4.0, equalities=(1,))) == [4]
+        # Prefix equality, unbounded range: every a=1 row, ordered by b.
+        rids = list(index.scan(None, None, equalities=(1,)))
+        assert [table.heap.read(rid)["id"] for rid in rids] == [1, 4, 7, 10]
+        # Prefix equality + range on the second column.
+        assert self._ids(table, index.scan(4.0, 8.0, equalities=(1,))) == [4, 7]
+        assert self._ids(
+            table, index.scan(4.0, 8.0, include_low=False, equalities=(1,))
+        ) == [7]
+        # Reverse walk early-exits from the high end.
+        rids = list(index.scan(None, None, equalities=(1,), reverse=True))
+        assert [table.heap.read(rid)["id"] for rid in rids] == [10, 7, 4, 1]
+
+    def test_null_in_any_key_column_unindexes_the_row(self):
+        db, table = self._table()
+        db.execute("INSERT INTO m (id, a, b) VALUES (1, 1, 1.0), (2, 1, NULL), (3, NULL, 2.0)")
+        index = table.create_secondary_index("idx_ab", ("a", "b"))
+        assert len(index) == 1
+        assert not index.covers_all_rows(table.row_count())
+        db.execute("UPDATE m SET b = 5.0 WHERE id = 2")
+        assert len(index) == 2
+
+    def test_maintenance_replace_and_delete(self):
+        db, table = self._table()
+        db.execute("INSERT INTO m (id, a, b) VALUES (1, 1, 1.0), (2, 2, 2.0)")
+        index = table.create_secondary_index("idx_ab", ("a", "b"))
+        db.execute("UPDATE m SET b = 9.0 WHERE id = 1")
+        assert self._ids(table, index.scan(9.0, 9.0, equalities=(1,))) == [1]
+        assert self._ids(table, index.scan(1.0, 1.0, equalities=(1,))) == []
+        db.execute("DELETE FROM m WHERE id = 2")
+        assert len(index) == 1
+
+    def test_composite_ddl_and_catalog(self):
+        from repro.exceptions import SQLPlanningError
+
+        db, table = self._table()
+        db.execute("CREATE INDEX idx_ab ON m (a, b)")
+        index = table.secondary_index("idx_ab")
+        assert index is not None and index.columns == ("a", "b")
+        with pytest.raises(SQLPlanningError, match="more than once"):
+            db.execute("CREATE INDEX idx_dup ON m (a, a)")
+        with pytest.raises(SQLPlanningError, match="no column"):
+            db.execute("CREATE INDEX idx_bad ON m (a, nope)")
+        db.execute("DROP INDEX idx_ab")
+        assert table.secondary_index("idx_ab") is None
+
+    def test_single_column_scan_rejects_equalities(self):
+        db, table = self._table()
+        db.execute("INSERT INTO m (id, a, b) VALUES (1, 1, 1.0)")
+        index = table.create_secondary_index("idx_a", "a")
+        with pytest.raises(ValueError):
+            list(index.scan(None, None, equalities=(1,)))
+
+    def test_estimate_prefix_matches(self):
+        db, table = self._table()
+        db.executemany(
+            "INSERT INTO m (id, a, b) VALUES (?, ?, ?)",
+            [(i, i % 4, float(i % 25)) for i in range(100)],
+        )
+        index = table.create_secondary_index("idx_ab", ("a", "b"))
+        # Full-key equality: n / distinct keys.
+        full = index.estimate_prefix_matches(2, False)
+        assert full == pytest.approx(100 / index.tree.distinct_keys)
+        # One equality column: n / distinct^(1/2).
+        one_eq = index.estimate_prefix_matches(1, False)
+        assert one_eq == pytest.approx(100 / (index.tree.distinct_keys**0.5))
+        # Adding a range tightens the estimate further.
+        assert index.estimate_prefix_matches(1, True) < one_eq
+        assert index.estimate_prefix_matches(0, False) == pytest.approx(100.0)

@@ -1,14 +1,17 @@
 """Differential SQL oracle: index plans vs a forced-SeqScan ground truth.
 
-A seeded generator produces random tables, secondary indexes, and a stream of
-SELECTs — equality and range predicates, multi-conjunct WHEREs, one join,
-ORDER BY/LIMIT — and every query is executed twice: once through the
-planner's chosen plan (index paths enabled) and once through a reference
+A seeded generator produces random tables, secondary indexes — single-column
+and composite — and a stream of SELECTs: equality and range predicates,
+multi-conjunct WHEREs, one join, explicit projections (which can make an
+index probe *covering*), ``ORDER BY ... ASC|DESC`` with and without LIMIT —
+and every query is executed twice: once through the planner's chosen plan
+(index paths enabled) and once through a reference
 ``Planner(db, use_index_paths=False)`` whose only base-table access path is
 ``SeqScan`` under the residual ``Filter``.  The two answers must be
 identical: same row multiset always, and for ordered queries the same
 ORDER BY column sequence (SQL leaves tie order unspecified, so ties are
-compared as sets).
+compared as sets).  Each program also draws its execution mode (``batched``
+or ``row``) at random, so both protocols face the oracle.
 
 The seed is fixed for the tier-1 run so failures reproduce; CI's nightly-style
 job rotates it through ``SQL_DIFFERENTIAL_SEED`` to keep exploring new
@@ -91,7 +94,10 @@ class Program:
 
     def __init__(self, rng: random.Random, cost_model: CostModel):
         self.rng = rng
-        self.db = Database(cost_model=cost_model)
+        self.db = Database(
+            cost_model=cost_model,
+            execution_mode=rng.choice(("batched", "row")),
+        )
         self.reference_planner = Planner(self.db, use_index_paths=False)
         self.columns = {
             "t_a": ["id", "num", "score", "tag"],
@@ -143,8 +149,11 @@ class Program:
         elif roll < 0.92 or not self.live_indexes:
             name = f"idx_{self.next_index}"
             self.next_index += 1
-            column = rng.choice(["num", "score", "tag"])
-            self.db.execute(f"CREATE INDEX {name} ON {table} ({column})")
+            if rng.random() < 0.45:  # composite: two or three key columns
+                columns = rng.sample(["num", "score", "tag"], rng.choice((2, 3)))
+            else:
+                columns = [rng.choice(["num", "score", "tag"])]
+            self.db.execute(f"CREATE INDEX {name} ON {table} ({', '.join(columns)})")
             self.live_indexes.append(name)
         else:
             victim = self.live_indexes.pop(rng.randrange(len(self.live_indexes)))
@@ -180,19 +189,31 @@ class Program:
                     sql += f" AND {self._predicate('t_b.')}"
             return sql, None, None
         table = rng.choice(list(self.columns))
-        sql = f"SELECT * FROM {table}"
+        where = ""
         if rng.random() < 0.85:
             conjuncts = [self._predicate() for _ in range(rng.choice((1, 1, 2, 3)))]
-            sql += " WHERE " + " AND ".join(conjuncts)
+            where = " WHERE " + " AND ".join(conjuncts)
         order_by = None
-        unlimited_sql = None
+        order_clause = ""
+        with_limit = False
         if rng.random() < 0.5:
             order_by = rng.choice(["id", "num", "score"])
             direction = rng.choice(("ASC", "DESC"))
-            sql += f" ORDER BY {order_by} {direction}"
-            if rng.random() < 0.6:
-                unlimited_sql = sql
-                sql += f" LIMIT {rng.randrange(1, 12)}"
+            order_clause = f" ORDER BY {order_by} {direction}"
+            with_limit = rng.random() < 0.6
+        # Explicit projections exercise covered (index-only) plans whenever the
+        # selected columns land inside a live index's key.
+        projection = "*"
+        if rng.random() < 0.4:
+            selected = rng.sample(["id", "num", "score", "tag"], rng.choice((1, 2, 3)))
+            if order_by is not None and order_by not in selected:
+                selected.append(order_by)
+            projection = ", ".join(selected)
+        sql = f"SELECT {projection} FROM {table}{where}{order_clause}"
+        unlimited_sql = None
+        if with_limit:
+            unlimited_sql = sql
+            sql += f" LIMIT {rng.randrange(1, 12)}"
         return sql, order_by, unlimited_sql
 
     # -- the two executions --------------------------------------------------------------
@@ -247,3 +268,45 @@ def test_reference_planner_never_uses_indexes():
         labels = [row["node"].strip() for row in plan.explain_rows()]
         assert any(label.startswith("SeqScan") for label in labels), labels
         assert not any("IndexRange" in label for label in labels), labels
+
+
+def test_composite_covering_and_desc_shapes_against_reference():
+    """Deterministic battery: the new query shapes answer byte-identically.
+
+    Composite leftmost-prefix probes, covered projections (index-only scans),
+    and ``ORDER BY ... DESC LIMIT k`` each get checked against the
+    forced-SeqScan reference, and the EXPLAIN labels confirm the intended
+    access paths were actually chosen (so the shapes cannot silently
+    degenerate into plain scans).
+    """
+    db = Database(cost_model=CostModel.main_memory())
+    db.execute(
+        "CREATE TABLE t (id integer PRIMARY KEY, num integer, score float, tag text)"
+    )
+    rng = random.Random(7)
+    for i in range(180):
+        db.execute(
+            "INSERT INTO t (id, num, score, tag) VALUES (?, ?, ?, ?)",
+            (i, rng.randrange(0, 12), round(rng.uniform(-2.0, 2.0), 2),
+             rng.choice(("alpha", "beta", "gamma"))),
+        )
+    db.execute("CREATE INDEX idx_ns ON t (num, score)")
+    db.execute("CREATE INDEX idx_score ON t (score)")
+    reference = Planner(db, use_index_paths=False)
+    cases = {
+        "SELECT * FROM t WHERE num = 4 AND score >= 0.0": "SecondaryIndexRange",
+        "SELECT num, score FROM t WHERE num = 4 AND score >= 0.0": "covering",
+        "SELECT * FROM t ORDER BY score DESC LIMIT 8": "order=score desc",
+        "SELECT * FROM t WHERE num = 7 ORDER BY score DESC LIMIT 5": "order=score desc",
+    }
+    for sql, expected_label_part in cases.items():
+        labels = [row["node"].strip() for row in db.execute(f"EXPLAIN {sql}").rows]
+        assert any(expected_label_part in label for label in labels), (sql, labels)
+        chosen = db.execute(sql).rows
+        rows, _ = reference.plan_select(parse(sql)).run(db, [], None)
+        if "ORDER BY" in sql:
+            assert _order_column_values(chosen, "score") == _order_column_values(
+                rows, "score"
+            ), sql
+        else:
+            assert_equivalent(chosen, rows, sql)

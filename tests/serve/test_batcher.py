@@ -173,7 +173,7 @@ def test_adaptive_batcher_reports_window_and_serves():
     try:
         assert batcher.read(3, timeout=5) == 6
         stats = batcher.stats()
-        assert "adaptive_window_s" in stats
-        assert 0.0 <= stats["adaptive_window_s"] <= batcher.window.max_wait_cap_s
+        assert "adaptive_window_seconds" in stats
+        assert 0.0 <= stats["adaptive_window_seconds"] <= batcher.window.max_wait_cap_s
     finally:
         batcher.close()
