@@ -1,0 +1,322 @@
+"""Network serving: the wire front door under a mixed multi-client workload.
+
+Stands up a real :class:`repro.net.server.SQLServer` over a served
+classification view and drives it through loopback TCP sockets, measuring
+three gates the tentpole must clear:
+
+* **bit-identical answers** — every row a network client reads (point reads,
+  the full All-Members scan with ``class``/``margin`` floats, aggregates)
+  must serialize identically to the same statement executed in-process on
+  the same engine;
+* **pooled throughput** — ``CLIENTS`` threads sharing a
+  :class:`~repro.net.pool.ConnectionPool` must push at least **2x** the
+  point-read throughput of a single serialized client issuing the same
+  reads one at a time;
+* **tail latency under pressure** — with All-Members scan clients (the
+  membership read, scatter/gathered across every shard) and SQL writers
+  hammering the bulk lane, the point-read p99 must stay within **3x** of
+  the unloaded p99.  This is the admission controller's whole job: the bulk
+  lane's slot cap keeps at most one scan executing while the weighted
+  scheduler keeps granting the point lane.
+
+Every timing column is named ``wall_*`` — over real sockets these numbers
+are machine noise to the drift gate, exactly like the serving figure's
+batcher columns; the deterministic columns (read/write/cell counts) anchor
+the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+import repro  # noqa: E402
+from repro.bench.reporting import format_table  # noqa: E402
+from repro.net import ConnectionPool, SQLServer, connect  # noqa: E402
+from repro.workloads import update_trace  # noqa: E402
+
+from benchmarks.bench_serving_throughput import _sql_portal  # noqa: E402
+
+CLIENTS = 8
+POINT_READS = 600  # per throughput phase (serial and pooled alike)
+P99_SAMPLES = 500  # per latency phase (unloaded and loaded alike)
+SCAN_CLIENTS = 2
+WRITER_CLIENTS = 2
+WRITES = 80
+NUM_SHARDS = 4
+TIMEOUT_S = 60.0
+
+
+def _setup(dataset):
+    """Portal + served view + wire server; returns (conn, server, trace)."""
+    trace = update_trace(dataset, warmup=400, timed=WRITES, seed=7)
+    conn = _sql_portal(dataset, trace.warm_examples())
+    # A 2ms coalescing window: long enough that the dispatch sleep — not
+    # scheduler jitter — dominates the unloaded tail, which keeps the
+    # loaded/unloaded p99 ratio a stable measure of admission quality.
+    conn.execute(
+        f"SERVE VIEW served_entities WITH (shards = {NUM_SHARDS}, "
+        "max_read_batch = 64, max_wait_s = 0.002)"
+    )
+    server = SQLServer(
+        conn.engine,
+        # Enough slots for every pooled reader to be in flight (the batcher
+        # coalesces concurrent point reads), but at most ONE scan at a time:
+        # the bulk cap plus an 8:1 grant ratio protect the point-read tail.
+        slots=CLIENTS,
+        bulk_slot_cap=1,
+        point_weight=8,
+        bulk_weight=1,
+        admission_timeout_s=TIMEOUT_S,
+    ).start()
+    return conn, server, trace
+
+
+def _point_ids(dataset, count: int, stride: int = 7) -> list:
+    ids = [entity_id for entity_id, _ in dataset.entities]
+    return [ids[(index * stride) % len(ids)] for index in range(count)]
+
+
+def _canonical(rows) -> str:
+    """Bit-faithful serialization: repr-based floats expose any drift."""
+    return json.dumps(rows, sort_keys=True)
+
+
+def run_bit_identical(dataset, conn, server) -> dict:
+    """Gate (a): network answers == in-process answers, bitwise."""
+    conn.engine.view("served_entities").server.flush(timeout=120)
+    local = repro.connect(engine=conn.engine)
+    statements = [
+        ("SELECT id, class FROM served_entities ORDER BY id", ()),
+        # The top-k read carries raw float margins: the bitwise comparison
+        # below is only meaningful if repr-serialized floats survive intact.
+        ("SELECT id, margin FROM served_entities ORDER BY margin DESC LIMIT 25", ()),
+        ("SELECT COUNT(*) FROM served_entities", ()),
+    ]
+    for entity_id in _point_ids(dataset, 50, stride=13):
+        statements.append(
+            ("SELECT id, class FROM served_entities WHERE id = ?", (entity_id,))
+        )
+    cells = 0
+    identical = True
+    with connect(server.host, server.port, timeout=TIMEOUT_S) as remote:
+        for sql, params in statements:
+            over_wire = remote.execute(sql, params).fetchall()
+            in_process = local.execute(sql, params).fetchall()
+            cells += sum(len(row) for row in in_process)
+            if _canonical(over_wire) != _canonical(in_process):
+                identical = False
+    local.close()
+    return {
+        "cell": "bit-identical",
+        "statements": len(statements),
+        "cells_compared": cells,
+        "identical": identical,
+    }
+
+
+def run_serial_throughput(dataset, server) -> dict:
+    """Gate (b) baseline: one client, one socket, one read at a time."""
+    ids = _point_ids(dataset, POINT_READS)
+    with connect(server.host, server.port, timeout=TIMEOUT_S) as client:
+        start = time.perf_counter()
+        for entity_id in ids:
+            client.execute(
+                "SELECT class FROM served_entities WHERE id = ?", (entity_id,)
+            ).scalar()
+        wall = time.perf_counter() - start
+    return {
+        "cell": "serial-1-client",
+        "reads": len(ids),
+        "wall_reads_per_s": round(len(ids) / wall, 1),
+    }
+
+
+def run_pooled_throughput(dataset, server) -> dict:
+    """Gate (b): CLIENTS pooled threads issuing the same point reads."""
+    ids = _point_ids(dataset, POINT_READS)
+    chunks = [ids[index::CLIENTS] for index in range(CLIENTS)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(CLIENTS)
+    with ConnectionPool(server.host, server.port, size=CLIENTS, timeout=TIMEOUT_S) as pool:
+
+        def reader(chunk):
+            try:
+                barrier.wait(timeout=TIMEOUT_S)
+                with pool.connection() as client:
+                    for entity_id in chunk:
+                        client.execute(
+                            "SELECT class FROM served_entities WHERE id = ?", (entity_id,)
+                        ).scalar()
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader, args=(chunk,)) for chunk in chunks]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+    assert not errors, errors
+    return {
+        "cell": f"pooled-{CLIENTS}-clients",
+        "reads": len(ids),
+        "wall_reads_per_s": round(len(ids) / wall, 1),
+    }
+
+
+def _point_latencies(server, ids, warmup: int = 50) -> list[float]:
+    """Per-read wall latencies; the first ``warmup`` reads are discarded so
+    connection dialing and cold caches don't pollute the order statistic."""
+    latencies = []
+    with connect(server.host, server.port, timeout=TIMEOUT_S) as client:
+        for index, entity_id in enumerate(list(ids[:warmup]) + list(ids)):
+            start = time.perf_counter()
+            client.execute(
+                "SELECT class FROM served_entities WHERE id = ?", (entity_id,)
+            ).scalar()
+            if index >= warmup:
+                latencies.append(time.perf_counter() - start)
+    return latencies
+
+
+def _p99_ms(latencies: list[float]) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))] * 1000.0
+
+
+def run_tail_latency(dataset, server, trace) -> list[dict]:
+    """Gate (c): point-read p99 with and without bulk-lane pressure."""
+    ids = _point_ids(dataset, P99_SAMPLES, stride=11)
+
+    unloaded = _point_latencies(server, ids)
+
+    # Pressure: scan clients loop the All-Members membership read (every
+    # entity the model currently places in the class — a scatter/gather
+    # across all shards), writers stream the timed examples — all through
+    # the bulk lane, all over real sockets.
+    stop = threading.Event()
+    errors: list[BaseException] = []
+    scans_done = [0]
+    writes_done = [0]
+
+    def scanner():
+        try:
+            with connect(server.host, server.port, timeout=TIMEOUT_S) as client:
+                while not stop.is_set():
+                    client.execute(
+                        "SELECT id FROM served_entities WHERE class = 1"
+                    ).fetchall()
+                    scans_done[0] += 1
+        except BaseException as error:  # pragma: no cover
+            errors.append(error)
+
+    def writer(examples):
+        try:
+            with connect(server.host, server.port, timeout=TIMEOUT_S) as client:
+                for example in examples:
+                    if stop.is_set():
+                        break
+                    client.execute(
+                        "INSERT INTO examples (id, label) VALUES (?, ?)",
+                        (example.entity_id, example.label),
+                    )
+                    writes_done[0] += 1
+                    time.sleep(0.002)  # a steady trickle, not a burst
+        except BaseException as error:  # pragma: no cover
+            errors.append(error)
+
+    timed = list(trace.timed_examples())
+    pressure = [threading.Thread(target=scanner) for _ in range(SCAN_CLIENTS)]
+    pressure += [
+        threading.Thread(target=writer, args=(timed[index::WRITER_CLIENTS],))
+        for index in range(WRITER_CLIENTS)
+    ]
+    # Shorter GIL quanta keep scan threads from parking the point reader for
+    # a full switch interval per grant.
+    previous_switch = sys.getswitchinterval()
+    sys.setswitchinterval(0.0005)
+    try:
+        for thread in pressure:
+            thread.start()
+        time.sleep(0.1)  # let the scanners reach steady state
+        loaded = _point_latencies(server, ids)
+    finally:
+        stop.set()
+        for thread in pressure:
+            thread.join(timeout=TIMEOUT_S)
+        sys.setswitchinterval(previous_switch)
+    assert not errors, errors
+
+    unloaded_p99 = _p99_ms(unloaded)
+    loaded_p99 = _p99_ms(loaded)
+    return [
+        {
+            "cell": "point-p99-unloaded",
+            "reads": len(ids),
+            "wall_p99_ms": round(unloaded_p99, 3),
+            "wall_median_ms": round(statistics.median(unloaded) * 1000.0, 3),
+        },
+        {
+            "cell": "point-p99-under-pressure",
+            "reads": len(ids),
+            # Scan count depends on wall-clock (the scanners loop for the
+            # duration of the loaded phase), so it carries the volatile prefix.
+            "wall_scans": scans_done[0],
+            "writes": writes_done[0],
+            "wall_p99_ms": round(loaded_p99, 3),
+            "wall_median_ms": round(statistics.median(loaded) * 1000.0, 3),
+            "wall_p99_ratio": round(loaded_p99 / max(1e-9, unloaded_p99), 2),
+        },
+    ]
+
+
+def build_table(dataset):
+    conn, server, trace = _setup(dataset)
+    try:
+        serial = run_serial_throughput(dataset, server)
+        pooled = run_pooled_throughput(dataset, server)
+        pooled["wall_speedup_vs_serial"] = round(
+            pooled["wall_reads_per_s"] / max(1e-9, serial["wall_reads_per_s"]), 2
+        )
+        latency_rows = run_tail_latency(dataset, server, trace)
+        # Writers ran during the pressure phase; verify the wire path agreed
+        # with the in-process path on the final state, floats and all.
+        identical = run_bit_identical(dataset, conn, server)
+        return [identical, serial, pooled, *latency_rows]
+    finally:
+        server.close()
+        conn.close(timeout=60)
+
+
+def test_network_serving_gates(dblife_dataset):
+    rows = build_table(dblife_dataset)
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Network serving: {CLIENTS} pooled clients, "
+                f"{SCAN_CLIENTS} scanners + {WRITER_CLIENTS} writers pressure"
+            ),
+        )
+    )
+    identical, serial, pooled, unloaded, loaded = rows
+    assert identical["identical"] is True, (
+        "network answers must be bit-identical to the in-process path"
+    )
+    assert pooled["wall_speedup_vs_serial"] >= 2.0, (
+        f"pooled clients reached only {pooled['wall_speedup_vs_serial']}x "
+        "the serialized client; the wire front door must parallelize"
+    )
+    assert loaded["wall_p99_ratio"] <= 3.0, (
+        f"point-read p99 degraded {loaded['wall_p99_ratio']}x under scan "
+        "pressure; admission lanes must protect the tail"
+    )

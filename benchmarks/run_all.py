@@ -39,6 +39,7 @@ from benchmarks import (  # noqa: E402
     bench_fig12a_feature_sensitivity,
     bench_fig12b_multiclass,
     bench_fig13_waterband,
+    bench_network_serving,
     bench_range_scan,
     bench_secondary_index,
     bench_serving_throughput,
@@ -74,6 +75,7 @@ def build_figures(datasets):
         "fig12b": ("Figure 12(B): multiclass updates", bench_fig12b_multiclass.build_table),
         "fig13": ("Figure 13: water-band size", lambda: bench_fig13_waterband.build_table(datasets)),
         "serving": ("Serving: concurrent ViewServer vs direct engine", lambda: bench_serving_throughput.build_table(dblife)),
+        "network_serving": ("Network serving: pooled wire clients, admission tail latency", lambda: bench_network_serving.build_table(dblife)),
         "range_scan": ("Pushed-down range scan vs post-filtered scatter/gather", lambda: bench_range_scan.build_table(dblife)),
         "secondary_index": ("Secondary index vs sequential scan", bench_secondary_index.build_table),
         "vectorized": ("Vectorized batch execution", bench_vectorized.build_table),

@@ -1,0 +1,150 @@
+"""Network quickstart: the wire front door, end to end.
+
+Launches ``repro-serve`` (the SQL-over-socket server) as a *separate
+process*, seeds it from an ``--init`` SQL script, then talks to it over real
+TCP sockets:
+
+* :func:`repro.net.connect` gives a network connection with the exact same
+  DB-API surface as an in-process :func:`repro.connect` — ``execute``,
+  ``executemany``, cursors, ``scalar()``;
+* a :class:`repro.net.ConnectionPool` shares a few sockets between many
+  threads with health-checked checkout;
+* each wire connection is its own server-side session: a client that INSERTs
+  feedback immediately reads its own writes;
+* server-side SQL errors arrive as the *same* exception classes — catching
+  ``SQLSyntaxError`` with its ``position``/``token`` diagnostics works
+  identically over the network;
+* ``system.connections`` shows the live wire roster, and SIGTERM shuts the
+  server down cleanly.
+
+Run with::
+
+    python examples/network_quickstart.py
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.exceptions import SQLSyntaxError
+from repro.net import ConnectionPool, connect
+from repro.workloads import SparseCorpusGenerator
+
+INIT_SQL = """
+CREATE TABLE papers (id integer PRIMARY KEY, title text);
+CREATE TABLE paper_area (label text PRIMARY KEY);
+CREATE TABLE example_papers (id integer PRIMARY KEY, label text);
+INSERT INTO paper_area (label) VALUES ('database'), ('other');
+CREATE CLASSIFICATION VIEW Labeled_Papers KEY id
+    ENTITIES FROM Papers KEY id
+    LABELS FROM Paper_Area LABEL label
+    EXAMPLES FROM Example_Papers KEY id LABEL label
+    FEATURE FUNCTION tf_bag_of_words
+    USING SVM;
+"""
+
+
+def launch_server(init_path: Path) -> tuple[subprocess.Popen, str, int]:
+    """Start ``repro-serve`` on an ephemeral port and parse its banner."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.net", "--port", "0", "--init", str(init_path)],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    banner = process.stdout.readline().strip()
+    # "repro-serve listening on 127.0.0.1:PORT"
+    host, _, port = banner.rpartition(" ")[2].rpartition(":")
+    print(banner)
+    return process, host, int(port)
+
+
+def main() -> None:
+    corpus = SparseCorpusGenerator(
+        vocabulary_size=500, nonzeros_per_document=12, positive_fraction=0.35, seed=42
+    ).generate_list(200)
+
+    init_path = Path(tempfile.mkdtemp(prefix="repro-net-")) / "init.sql"
+    init_path.write_text(INIT_SQL)
+    process, host, port = launch_server(init_path)
+    try:
+        # 1. One connection loads the corpus — executemany is a single
+        #    parse/plan on the server, N bindings over one frame.
+        with connect(host, port) as loader:
+            loaded = loader.executemany(
+                "INSERT INTO papers (id, title) VALUES (?, ?)",
+                [(doc.entity_id, doc.text) for doc in corpus],
+            )
+            loader.executemany(
+                "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+                [
+                    (doc.entity_id, "database" if doc.label == 1 else "other")
+                    for doc in corpus[:40]
+                ],
+            )
+            print(f"loaded {loaded.rowcount} papers over the wire")
+
+        # 2. Two pooled clients working concurrently over shared sockets.
+        with ConnectionPool(host, port, size=2) as pool:
+
+            def reader() -> None:
+                with pool.connection() as client:
+                    for doc in corpus[::7]:
+                        client.execute(
+                            "SELECT class FROM Labeled_Papers WHERE id = ?",
+                            (doc.entity_id,),
+                        ).scalar()
+
+            def writer() -> None:
+                with pool.connection() as client:
+                    for doc in corpus[40:60]:
+                        client.execute(
+                            "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+                            (doc.entity_id, "database" if doc.label == 1 else "other"),
+                        )
+                        # Read-your-writes across the network: this SELECT
+                        # sees the INSERT this session just made.
+                        client.execute(
+                            "SELECT class FROM Labeled_Papers WHERE id = ?",
+                            (doc.entity_id,),
+                        ).scalar()
+
+            threads = [threading.Thread(target=reader), threading.Thread(target=writer)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            print(f"pool stats after the burst: {pool.stats()}")
+
+            # 3. Structured errors cross the wire as themselves.
+            with pool.connection() as client:
+                try:
+                    client.execute("SELEC class FROM Labeled_Papers")
+                except SQLSyntaxError as error:
+                    print(
+                        f"server-side syntax error, rebuilt client-side: "
+                        f"{error} (position={error.position}, token={error.token!r})"
+                    )
+
+                # 4. The server's own dashboard, through the same wire.
+                count = client.execute(
+                    "SELECT COUNT(*) FROM Labeled_Papers WHERE class = 'database'"
+                ).scalar()
+                print(f"papers labeled 'database': {count}")
+                roster = client.execute(
+                    "SELECT connection, state, statements_total FROM system.connections"
+                ).fetchall()
+                print(f"live wire connections: {len(roster)}")
+    finally:
+        # 5. Clean shutdown: SIGTERM drains handlers and closes the engine.
+        process.send_signal(signal.SIGTERM)
+        process.wait(timeout=30)
+    print("repro-serve exited cleanly")
+
+
+if __name__ == "__main__":
+    main()

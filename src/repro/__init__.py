@@ -13,6 +13,9 @@ The public API is organized as:
   bounds, the Skiing strategy, the three architectures and four maintenance
   strategies, and the :class:`~repro.core.engine.HazyEngine`;
 * :mod:`repro.serve` — the concurrent serving subsystem;
+* :mod:`repro.net` — the wire front door: ``SQLServer`` speaking a
+  length-prefixed JSON frame protocol over TCP, pooled network clients with
+  the same DB-API surface, and two-lane admission control;
 * :mod:`repro.obs` — the observability layer: metrics registry, per-statement
   trace trees, the slow-query log, and the ``system.*`` virtual tables;
 * :mod:`repro.persist` — checkpoint / warm-restart;

@@ -129,6 +129,9 @@ class Database:
         # system.served_views starts empty; a HazyEngine re-registers it with
         # a live producer the moment one is built on this database.
         catalog.register_system_table("system.served_views", list)
+        # Likewise system.connections: a repro.net.SQLServer fronting this
+        # database re-registers it with its live wire-connection roster.
+        catalog.register_system_table("system.connections", list)
 
     # -- schema management ---------------------------------------------------------------
 

@@ -29,6 +29,8 @@ The dialect covers what the paper's examples and experiments need:
 
   - ``system.metrics`` — every registry sample as ``(name, kind, value)``
   - ``system.served_views`` — one dashboard row per live ``SERVE VIEW``
+  - ``system.connections`` — one row per live wire connection when a
+    :class:`repro.net.server.SQLServer` fronts this database (empty otherwise)
   - ``system.plan_cache`` — per-connection plan-cache hit/miss/invalidation
   - ``system.slow_queries`` — statements whose simulated cost met
     ``Observability.slow_query_seconds``, with span counts
@@ -67,6 +69,17 @@ machine-readable ``position``/``token`` diagnostics.  The connection layer
 (:mod:`repro.connection`) caches ``SelectPlan`` objects per SQL text, so
 repeated statements re-bind ``?`` parameters without re-parsing or
 re-planning.
+
+The dialect is also servable over TCP (:mod:`repro.net`).  The wire format is
+deliberately boring: every frame is a 4-byte big-endian length followed by
+that many bytes of UTF-8 JSON, capped at 64 MiB.  The server greets with
+``{"server": "repro-serve", "protocol": 1, "connection": <name>}``; requests
+are ``{"op": "query", "sql": ..., "params": [...]}`` (plus ``executemany`` /
+``ping`` / ``goodbye``), responses ``{"ok": true, "rows": ..., "rowcount":
+..., "statement_type": ...}`` or ``{"ok": false, "error": {...}}`` where the
+error object names the exception class and carries the same
+``position``/``token`` diagnostics described above, so network clients see
+exactly the errors in-process callers do.
 """
 
 from repro.db.sql.ast import (

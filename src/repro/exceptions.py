@@ -124,6 +124,49 @@ class MaintenanceError(ViewError):
 
 
 # ---------------------------------------------------------------------------
+# Network serving tier
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(HazyError):
+    """Base class for errors raised by the wire front door ``repro.net``."""
+
+
+class ProtocolError(NetworkError):
+    """A wire frame was malformed (bad length prefix, truncated payload,
+    not valid JSON, or an unknown operation)."""
+
+
+class ConnectionClosedError(NetworkError):
+    """The peer went away: the socket reported EOF or reset mid-exchange."""
+
+
+class NetworkTimeoutError(NetworkError):
+    """A socket operation exceeded its deadline.
+
+    The connection that raised this is *poisoned* — the response may still
+    arrive later and desynchronize the framing — so callers must close it
+    (the pool's health check replaces poisoned members automatically).
+    """
+
+
+class PoolExhaustedError(NetworkError):
+    """``ConnectionPool.acquire`` found no free connection within its timeout."""
+
+
+class AdmissionError(NetworkError):
+    """Base class for admission-control refusals (server-side backpressure)."""
+
+
+class AdmissionRejectedError(AdmissionError):
+    """The statement's admission lane was at capacity; retry later."""
+
+
+class AdmissionTimeoutError(AdmissionError):
+    """The statement waited in its admission lane past its deadline."""
+
+
+# ---------------------------------------------------------------------------
 # Checkpoint / recovery subsystem
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,53 @@
+"""``repro.net`` — the wire front door: SQL over a socket.
+
+The subsystem map (each module's docstring has the detail):
+
+* :mod:`repro.net.protocol` — the length-prefixed JSON frame codec and the
+  structured error codec (``position``/``token`` diagnostics survive the
+  round trip);
+* :mod:`repro.net.admission` — the two-lane (point reads / everything else)
+  bounded admission queue with a weighted slot scheduler, sitting in front of
+  the executor so scans cannot starve point reads;
+* :mod:`repro.net.server` — :class:`SQLServer`, which maps every accepted
+  socket onto a server-side :func:`repro.connect` connection (prepared
+  statements, per-connection read-your-writes sessions), plus the
+  ``repro-serve`` console entry point;
+* :mod:`repro.net.client` — :func:`connect(host, port) <connect>` returning a
+  :class:`NetworkConnection` with the in-process DB-API surface;
+* :mod:`repro.net.pool` — :class:`ConnectionPool`, thread-safe with
+  health-checked checkout/checkin and timeouts.
+
+Observability: a running server mirrors its admission lanes as the
+``net.admission`` pull provider, its own counters as ``net.server``, and
+publishes the live roster through the virtual ``system.connections`` SQL
+table — all visible in :func:`repro.obs.render_text` exposition.
+
+Quickstart::
+
+    import repro
+    from repro.net import SQLServer, ConnectionPool
+
+    conn = repro.connect()
+    ...  # CREATE/INSERT/CREATE CLASSIFICATION VIEW/SERVE VIEW as usual
+    with SQLServer(conn.engine) as server:
+        pool = ConnectionPool(server.host, server.port, size=8)
+        with pool.connection() as client:
+            label = client.execute(
+                "SELECT class FROM labeled_papers WHERE id = ?", (7,)
+            ).scalar()
+        pool.close()
+"""
+
+from repro.net.admission import AdmissionController, lane_for
+from repro.net.client import NetworkConnection, connect
+from repro.net.pool import ConnectionPool
+from repro.net.server import SQLServer
+
+__all__ = [
+    "AdmissionController",
+    "ConnectionPool",
+    "NetworkConnection",
+    "SQLServer",
+    "connect",
+    "lane_for",
+]

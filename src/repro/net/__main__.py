@@ -1,0 +1,16 @@
+"""``python -m repro.net``: the ``repro-serve`` entry point without install.
+
+The console script in ``pyproject.toml`` points at
+:func:`repro.net.server.main`; this module gives uninstalled checkouts the
+same front door (``python -m repro.net.server`` works too, but trips the
+runpy re-execution warning because the package imports its own submodule).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.net.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

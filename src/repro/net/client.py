@@ -1,0 +1,227 @@
+"""Network client: the DB-API surface of :func:`repro.connect`, over a socket.
+
+:func:`connect` dials a :class:`~repro.net.server.SQLServer` and returns a
+:class:`NetworkConnection` exposing the same ``Connection``/``Cursor``
+contract as the in-process facade — ``execute``/``executemany`` returning a
+cursor with ``fetchone``/``fetchmany``/``fetchall``/``scalar``, iteration,
+``description``/``rowcount``, and context-manager lifecycles.  The cursor
+class is literally :class:`repro.connection.Cursor`: it drives any connection
+object implementing ``_execute``/``_executemany``, and this one implements
+them by exchanging protocol frames.
+
+Server-side errors arrive as structured frames and re-raise **as their
+original exception classes** — ``except SQLPlanningError`` catches a planning
+error from across the wire, ``position``/``token`` included.
+
+Timeout discipline: a request that exceeds ``timeout`` raises
+:class:`~repro.exceptions.NetworkTimeoutError` and *poisons* the connection
+(the response may still arrive and desynchronize framing), so every later
+call raises until :meth:`NetworkConnection.close`.  The pool replaces
+poisoned members on checkout.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections.abc import Sequence
+
+from repro.connection import Cursor
+from repro.db.sql.executor import ResultSet
+from repro.exceptions import (
+    ConfigurationError,
+    ConnectionClosedError,
+    NetworkError,
+    NetworkTimeoutError,
+    ProtocolError,
+)
+from repro.net.protocol import PROTOCOL_VERSION, decode_error, read_frame, write_frame
+
+__all__ = ["connect", "NetworkConnection"]
+
+#: Default dial + per-request deadline, generous enough for CI scan statements.
+DEFAULT_TIMEOUT_S = 30.0
+
+
+def connect(
+    host: str, port: int, *, timeout: float | None = DEFAULT_TIMEOUT_S
+) -> "NetworkConnection":
+    """Dial a running SQL server; returns the wire-backed connection.
+
+    ``timeout`` bounds the dial, the protocol handshake and every subsequent
+    request/response exchange (None waits forever — not recommended outside
+    debugging).
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except socket.timeout as error:
+        raise NetworkTimeoutError(f"dialing {host}:{port} timed out") from error
+    except OSError as error:
+        raise ConnectionClosedError(f"cannot reach {host}:{port}: {error}") from error
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    try:
+        hello = read_frame(sock)
+    except NetworkError:
+        sock.close()
+        raise
+    if hello is None or "error" in hello:
+        sock.close()
+        if hello and "error" in hello:
+            raise decode_error(hello["error"])
+        raise ProtocolError(f"{host}:{port} closed the connection during the handshake")
+    if hello.get("protocol") != PROTOCOL_VERSION:
+        sock.close()
+        raise ProtocolError(
+            f"server speaks protocol {hello.get('protocol')!r}, "
+            f"this client speaks {PROTOCOL_VERSION}"
+        )
+    return NetworkConnection(sock, host, port, hello, timeout)
+
+
+class NetworkConnection:
+    """One wire connection's client half.
+
+    Thread-safe in the coarse sense: a lock serializes request/response
+    exchanges, so sharing one connection between threads is *correct* but
+    serialized — use a :class:`~repro.net.pool.ConnectionPool` for
+    parallelism.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        host: str,
+        port: int,
+        hello: dict,
+        timeout: float | None,
+    ) -> None:
+        self._sock = sock
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        #: The server-side connection name this socket maps onto (the value
+        #: ``system.connections`` reports in its ``connection`` column).
+        self.server_connection = str(hello.get("connection", ""))
+        self._lock = threading.Lock()
+        self._closed = False
+        self._poisoned = False
+
+    # -- DB-API surface ------------------------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        """A fresh cursor over this connection."""
+        self._require_usable()
+        return Cursor(self)
+
+    def execute(self, sql: str, parameters: Sequence[object] | None = None) -> Cursor:
+        """Run one SQL statement on the server; returns a cursor of the result."""
+        return self.cursor().execute(sql, parameters)
+
+    def executemany(self, sql: str, parameter_rows: Sequence[Sequence[object]]) -> Cursor:
+        """Run a prepared statement once per parameter row, server-side."""
+        return self.cursor().executemany(sql, parameter_rows)
+
+    # -- the Cursor driver contract ------------------------------------------------------
+
+    def _execute(self, sql: str, parameters: Sequence[object] | None) -> ResultSet:
+        response = self._exchange(
+            {"op": "query", "sql": sql, "params": list(parameters or [])}
+        )
+        return ResultSet(
+            rows=response.get("rows", []),
+            rowcount=int(response.get("rowcount", 0)),
+            statement_type=str(response.get("statement_type", "")),
+        )
+
+    def _executemany(self, sql: str, parameter_rows: Sequence[Sequence[object]]) -> int:
+        response = self._exchange(
+            {
+                "op": "executemany",
+                "sql": sql,
+                "param_rows": [list(row) for row in parameter_rows],
+            }
+        )
+        return int(response.get("rowcount", 0))
+
+    # -- health --------------------------------------------------------------------------
+
+    def ping(self, timeout: float | None = None) -> bool:
+        """True when the server answers a ping within ``timeout`` seconds."""
+        if self._closed or self._poisoned:
+            return False
+        try:
+            response = self._exchange({"op": "ping"}, timeout=timeout)
+        except NetworkError:
+            return False
+        return bool(response.get("pong"))
+
+    @property
+    def usable(self) -> bool:
+        """Open and not poisoned by a timeout/protocol fault."""
+        return not (self._closed or self._poisoned)
+
+    # -- plumbing ------------------------------------------------------------------------
+
+    def _require_usable(self) -> None:
+        if self._closed:
+            raise ConfigurationError("connection is closed")
+        if self._poisoned:
+            raise ConnectionClosedError(
+                "connection is poisoned by an earlier timeout/protocol fault; "
+                "close it and dial again"
+            )
+
+    def _exchange(self, request: dict, timeout: float | None = None) -> dict:
+        """One request/response round trip under the connection lock."""
+        self._require_usable()
+        effective = timeout if timeout is not None else self.timeout
+        with self._lock:
+            try:
+                self._sock.settimeout(effective)
+                write_frame(self._sock, request)
+                response = read_frame(self._sock)
+            except NetworkError:
+                self._poisoned = True
+                raise
+            except OSError as error:
+                # A socket already torn down (e.g. closed under the pool's
+                # feet) faults before the frame layer can classify it.
+                self._poisoned = True
+                raise ConnectionClosedError(f"socket is unusable: {error}") from error
+        if response is None:
+            self._poisoned = True
+            raise ConnectionClosedError("server closed the connection mid-exchange")
+        if not response.get("ok"):
+            raise decode_error(response.get("error") or {})
+        return response
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def close(self) -> None:
+        """Say goodbye (best effort) and release the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._poisoned:
+            try:
+                with self._lock:
+                    self._sock.settimeout(1.0)
+                    write_frame(self._sock, {"op": "goodbye"})
+                    read_frame(self._sock, eof_ok=True)
+            except Exception:
+                pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "NetworkConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

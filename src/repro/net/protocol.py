@@ -1,0 +1,223 @@
+"""The wire protocol: length-prefixed JSON frames plus the error codec.
+
+Framing
+-------
+
+Every message — in either direction — is one **frame**::
+
+    +----------------+----------------------------+
+    | 4 bytes        | N bytes                    |
+    | big-endian N   | UTF-8 JSON object          |
+    +----------------+----------------------------+
+
+The length prefix counts payload bytes only.  Frames larger than
+:data:`MAX_FRAME_BYTES` are rejected before any allocation happens, so a
+garbage prefix (or a client speaking a different protocol) fails fast instead
+of stalling the server on a multi-gigabyte read.
+
+JSON is the payload format because every value the SQL surface produces
+(ints, floats, text, booleans, NULL) round-trips exactly through Python's
+encoder — ``repr``-based float serialization means a served view's ``eps``
+and ``margin`` values come back bit-identical, which the network benchmark
+gates on.  ``NaN``/``Infinity`` use Python's JSON extension; both ends of
+this protocol are this module.
+
+Requests are objects with an ``op`` field:
+
+``{"op": "query", "sql": ..., "params": [...], "options": {...}}``
+    Execute one statement; ``options`` may carry ``admission_timeout_s``.
+``{"op": "executemany", "sql": ..., "param_rows": [[...], ...]}``
+    The prepared-statement loop; one parse/plan, N bindings.
+``{"op": "ping"}``
+    Health probe (used by the pool's checkout check).
+``{"op": "goodbye"}``
+    Clean disconnect; the server acknowledges then closes.
+
+Responses are either ``{"ok": true, ...result fields...}`` or
+``{"ok": false, "error": {...}}`` where the error object is produced by
+:func:`encode_error` and reconstructed client-side by :func:`decode_error` —
+the structured ``position``/``token`` diagnostics of
+:class:`~repro.exceptions.SQLSyntaxError` / ``SQLPlanningError`` survive the
+round trip intact.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro import exceptions
+from repro.exceptions import (
+    ConnectionClosedError,
+    HazyError,
+    NetworkError,
+    ProtocolError,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "read_frame",
+    "write_frame",
+    "encode_error",
+    "decode_error",
+]
+
+#: Version stamped into the server's hello frame; clients refuse a mismatch.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload.  Large enough for any result set the
+#: benchmark suite produces, small enough that a corrupt length prefix fails
+#: immediately instead of "allocating" gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+#: Row count above which a response's ``rows`` list is serialized row by row.
+_INCREMENTAL_ROWS = 256
+
+
+def _encode_payload(message: dict) -> bytes:
+    """JSON-encode one frame's payload.
+
+    A large result set is encoded **incrementally** — one ``json.dumps`` call
+    per row instead of one for the whole message.  Each C-level dumps call
+    holds the GIL for its full duration, so a monolithic encode of a several-
+    thousand-row scan response stalls every other handler thread for
+    milliseconds; per-row encoding yields between rows and keeps concurrent
+    point reads' tail latency flat.  When ``rows`` is the message's final key
+    — the server builds query responses that way — the bytes are identical to
+    a monolithic dumps; otherwise only the key order differs, which JSON
+    object semantics ignore.
+    """
+    rows = message.get("rows")
+    if not (isinstance(rows, list) and len(rows) > _INCREMENTAL_ROWS):
+        return json.dumps(message, separators=(",", ":")).encode("utf-8")
+    head = {key: value for key, value in message.items() if key != "rows"}
+    opener = json.dumps(head, separators=(",", ":"))[:-1] + ("," if head else "")
+    parts = [opener, '"rows":[']
+    parts.append(",".join(json.dumps(row, separators=(",", ":")) for row in rows))
+    parts.append("]}")
+    return "".join(parts).encode("utf-8")
+
+
+def write_frame(sock: socket.socket, message: dict) -> None:
+    """Serialize ``message`` and send it as one frame."""
+    payload = _encode_payload(message)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    except (BrokenPipeError, ConnectionResetError, OSError) as error:
+        raise ConnectionClosedError(f"peer closed the connection: {error}") from error
+
+
+def _read_exactly(sock: socket.socket, count: int, *, eof_ok: bool) -> bytes | None:
+    """Read exactly ``count`` bytes.
+
+    Clean EOF before the first byte returns None when ``eof_ok`` (a peer
+    hanging up between frames is a normal disconnect); EOF mid-read is always
+    a :class:`ProtocolError` (a truncated frame).
+    """
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout as error:
+            raise exceptions.NetworkTimeoutError(
+                f"timed out reading a frame ({remaining} of {count} bytes outstanding)"
+            ) from error
+        except (ConnectionResetError, OSError) as error:
+            if not chunks and eof_ok:
+                return None
+            raise ConnectionClosedError(f"peer reset the connection: {error}") from error
+        if not chunk:
+            if not chunks and eof_ok:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({remaining} of {count} bytes missing)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket, *, eof_ok: bool = False) -> dict | None:
+    """Read one frame; None on clean EOF when ``eof_ok`` is set."""
+    header = _read_exactly(sock, _LENGTH.size, eof_ok=eof_ok)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit "
+            "(peer is not speaking this protocol?)"
+        )
+    payload = _read_exactly(sock, length, eof_ok=False) if length else b""
+    try:
+        message = json.loads(payload.decode("utf-8")) if length else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame payload must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+# ---------------------------------------------------------------------------
+# Structured error codec
+# ---------------------------------------------------------------------------
+#
+# Server-side exceptions cross the wire as their class name + message +
+# whatever machine-readable diagnostics they carry; the client rebuilds the
+# *same* exception class by looking the name up in repro.exceptions.  Only
+# HazyError subclasses participate — anything else is an internal server
+# fault and surfaces client-side as a generic NetworkError so the server's
+# stack never leaks semantics it did not promise.
+
+#: Attributes beyond the message that survive the round trip.
+_DIAGNOSTIC_FIELDS = ("position", "token")
+
+
+def encode_error(error: BaseException) -> dict:
+    """The wire form of a server-side exception."""
+    payload: dict[str, object] = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    for field in _DIAGNOSTIC_FIELDS:
+        value = getattr(error, field, None)
+        if value is not None:
+            payload[field] = value
+    return payload
+
+
+def decode_error(payload: dict) -> HazyError:
+    """Rebuild the exception a server-side error frame describes.
+
+    Known :class:`~repro.exceptions.HazyError` subclasses come back as
+    themselves — ``except SQLPlanningError`` works identically against a
+    network connection and an in-process one, with ``position``/``token``
+    intact.  Unknown types degrade to :class:`NetworkError` carrying the
+    original type name in the message.
+    """
+    type_name = str(payload.get("type", "NetworkError"))
+    message = str(payload.get("message", ""))
+    cls = getattr(exceptions, type_name, None)
+    if not (isinstance(cls, type) and issubclass(cls, HazyError)):
+        return NetworkError(f"server error [{type_name}]: {message}")
+    kwargs = {
+        field: payload[field] for field in _DIAGNOSTIC_FIELDS if field in payload
+    }
+    try:
+        return cls(message, **kwargs) if kwargs else cls(message)
+    except TypeError:
+        # The class does not accept the diagnostics keywords; attach them.
+        error = cls(message)
+        for field, value in kwargs.items():
+            setattr(error, field, value)
+        return error

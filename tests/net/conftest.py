@@ -1,0 +1,89 @@
+"""Shared fixtures for the wire-front-door tests.
+
+Everything here talks over real loopback sockets; every socket operation
+carries a timeout so a regression hangs a test, not the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.net import SQLServer
+from repro.workloads.synth_text import SparseCorpusGenerator
+
+#: Socket/request deadline for everything in this package.
+TEST_TIMEOUT_S = 15.0
+
+VIEW_DDL = """
+    CREATE CLASSIFICATION VIEW labeled_papers KEY id
+    ENTITIES FROM papers KEY id
+    LABELS FROM paper_area LABEL label
+    EXAMPLES FROM example_papers KEY id LABEL label
+    FEATURE FUNCTION tf_bag_of_words USING SVM
+"""
+
+
+def corpus(count: int = 120, seed: int = 42):
+    return SparseCorpusGenerator(
+        vocabulary_size=300, nonzeros_per_document=10, positive_fraction=0.35, seed=seed
+    ).generate_list(count)
+
+
+def create_base_tables(conn, documents) -> None:
+    conn.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
+    conn.execute("CREATE TABLE paper_area (label text PRIMARY KEY)")
+    conn.execute("CREATE TABLE example_papers (id integer PRIMARY KEY, label text)")
+    conn.execute("INSERT INTO paper_area (label) VALUES ('database'), ('other')")
+    conn.executemany(
+        "INSERT INTO papers (id, title) VALUES (?, ?)",
+        [(doc.entity_id, doc.text) for doc in documents],
+    )
+
+
+def label_examples(conn, documents) -> None:
+    conn.executemany(
+        "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+        [(doc.entity_id, "database" if doc.label == 1 else "other") for doc in documents],
+    )
+
+
+@pytest.fixture
+def backend():
+    """An in-process connection over plain base tables (no served view)."""
+    conn = repro.connect()
+    conn.execute("CREATE TABLE items (id integer PRIMARY KEY, name text, qty integer)")
+    conn.executemany(
+        "INSERT INTO items (id, name, qty) VALUES (?, ?, ?)",
+        [(i, f"item-{i}", i * 10) for i in range(1, 21)],
+    )
+    yield conn
+    conn.close()
+
+
+@pytest.fixture
+def server(backend):
+    """A running SQLServer over the plain-tables backend."""
+    with SQLServer(backend.engine, admission_timeout_s=TEST_TIMEOUT_S) as running:
+        yield running
+
+
+@pytest.fixture
+def served_backend():
+    """An in-process connection with a live served classification view."""
+    documents = corpus()
+    conn = repro.connect()
+    create_base_tables(conn, documents)
+    conn.execute(VIEW_DDL)
+    conn.execute("SERVE VIEW labeled_papers WITH (shards = 2)")
+    label_examples(conn, documents[:40])
+    yield conn, documents
+    conn.close()
+
+
+@pytest.fixture
+def served_server(served_backend):
+    """A running SQLServer fronting the served classification view."""
+    conn, documents = served_backend
+    with SQLServer(conn.engine, admission_timeout_s=TEST_TIMEOUT_S) as running:
+        yield running, conn, documents
