@@ -1,0 +1,104 @@
+"""The committed debt ledger: known findings that do not fail CI.
+
+A baseline entry matches on ``(path, rule, message)`` — deliberately *not*
+on line number, so unrelated edits above a known finding don't churn the
+file.  Each entry carries a count: two identical findings in one file need a
+count of 2, and a *third* one is new debt that fails the build.  Entries may
+carry a free-form ``note`` explaining why the debt is kept; the CLI preserves
+notes across ``--write-baseline`` regenerations.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "split_by_baseline"]
+
+_HEADER = [
+    "Known findings tolerated by repro-lint.  Matching ignores line numbers;",
+    "each entry's count bounds how many identical findings may exist.",
+    "Regenerate with: repro-lint --write-baseline  (notes are preserved).",
+]
+
+
+def _key(path: str, rule: str, message: str) -> tuple[str, str, str]:
+    return (path, rule, message)
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline file: (path, rule, message) -> allowed count."""
+
+    counts: Counter[tuple[str, str, str]]
+    notes: dict[tuple[str, str, str], str]
+
+    @classmethod
+    def empty(cls) -> Baseline:
+        return cls(counts=Counter(), notes={})
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        if not path.exists():
+            return cls.empty()
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        counts: Counter[tuple[str, str, str]] = Counter()
+        notes: dict[tuple[str, str, str], str] = {}
+        for entry in raw.get("entries", []):
+            key = _key(entry["path"], entry["rule"], entry["message"])
+            counts[key] += int(entry.get("count", 1))
+            if entry.get("note"):
+                notes[key] = str(entry["note"])
+        return cls(counts=counts, notes=notes)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], notes: dict[tuple[str, str, str], str] | None = None
+    ) -> Baseline:
+        counts: Counter[tuple[str, str, str]] = Counter(
+            _key(f.path, f.rule, f.message) for f in findings
+        )
+        kept_notes = {
+            key: note for key, note in (notes or {}).items() if key in counts
+        }
+        return cls(counts=counts, notes=kept_notes)
+
+    def write(self, path: Path) -> None:
+        entries = []
+        for (entry_path, rule, message), count in sorted(self.counts.items()):
+            entry: dict[str, object] = {"path": entry_path, "rule": rule, "message": message}
+            if count != 1:
+                entry["count"] = count
+            note = self.notes.get((entry_path, rule, message))
+            if note:
+                entry["note"] = note
+            entries.append(entry)
+        payload = {"_comment": _HEADER, "entries": entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_by_baseline(
+    findings: Iterable[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (new, baselined).
+
+    When a file holds more identical findings than the baseline allows, the
+    *later* occurrences (by line) are the new ones — the stable sort keeps
+    the report deterministic.
+    """
+    budget = Counter(baseline.counts)
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in sorted(findings):
+        key = _key(finding.path, finding.rule, finding.message)
+        if budget[key] > 0:
+            budget[key] -= 1
+            known.append(finding)
+        else:
+            new.append(finding)
+    return new, known

@@ -1,0 +1,32 @@
+"""The project-specific analysis passes.
+
+Each pass is a small AST walker parameterized by the data in
+:mod:`repro.analysis.project`:
+
+========  =====================================================
+LAY001    import crosses the layer DAG upward or laterally
+LAY002    module imports the root ``repro`` facade
+LOCK001   ``_GUARDED_BY`` attribute mutated without its lock
+LOCK002   blocking call while syntactically under a held lock
+COST001   heap/btree imported outside the CostModel owner set
+COST002   storage read/write surface called outside the owners
+STAT001   stats key / instrument name violates the grammar
+STAT002   stats key uses a deprecated unit suffix
+WIRE001   HazyError subclass cannot round-trip the error codec
+WIRE002   protocol diagnostic fields drifted from the contract
+========  =====================================================
+"""
+
+from repro.analysis.passes.costs import CostChargingPass
+from repro.analysis.passes.layering import LayeringPass
+from repro.analysis.passes.locks import LockDisciplinePass
+from repro.analysis.passes.statnames import StatsNamingPass
+from repro.analysis.passes.wire import WireErrorPass
+
+__all__ = [
+    "LayeringPass",
+    "LockDisciplinePass",
+    "CostChargingPass",
+    "StatsNamingPass",
+    "WireErrorPass",
+]

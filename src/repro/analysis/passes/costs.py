@@ -1,0 +1,108 @@
+"""COST001/COST002: every storage touch must flow through CostModel owners.
+
+The I/O cost model is only honest if page reads and writes cannot happen
+behind its back.  The modules in
+:data:`repro.analysis.project.COST_OWNER_MODULES` (the storage structures
+plus the access paths that charge ``IOStatistics``) are the only places
+allowed to (a) import the raw ``heap``/``btree`` structures and (b) call the
+page-level read/write surfaces.  Constructing a ``BufferPool`` or reading
+``IOStatistics`` is charge-neutral and allowed anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import COST_OWNER_MODULES, STORAGE_MODULES
+from repro.analysis.runner import ModuleContext
+
+__all__ = ["CostChargingPass"]
+
+#: receiver-name hint -> methods that read or write pages through it.
+_SURFACES: tuple[tuple[tuple[str, ...], frozenset[str]], ...] = (
+    (
+        ("pool", "buffer"),
+        frozenset({"fetch", "allocate_page", "mark_dirty", "drop_page", "flush_all"}),
+    ),
+    (
+        ("heap",),
+        frozenset(
+            {"insert", "update", "delete", "read", "scan", "bulk_rebuild", "truncate"}
+        ),
+    ),
+    (
+        ("btree", "tree"),
+        frozenset(
+            {"insert", "delete", "search", "bulk_load", "range_scan", "range_scan_reversed"}
+        ),
+    ),
+)
+
+
+def _terminal_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+class CostChargingPass:
+    name = "costs"
+    rules = {
+        "COST001": "heap/btree imported outside the CostModel owner modules",
+        "COST002": "storage read/write surface called outside the owner modules",
+    }
+
+    def run(self, modules: list[ModuleContext]) -> Iterable[Finding]:
+        for ctx in modules:
+            if ctx.module in COST_OWNER_MODULES:
+                continue
+            if not ctx.module.startswith("repro"):
+                continue
+            yield from self._check_imports(ctx)
+            yield from self._check_calls(ctx)
+
+    def _check_imports(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            targets: list[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                targets = [node.module]
+                if node.module == "repro.db":
+                    targets += [f"repro.db.{alias.name}" for alias in node.names]
+            for target in targets:
+                if target in STORAGE_MODULES:
+                    yield Finding(
+                        path=ctx.path,
+                        line=node.lineno,
+                        rule="COST001",
+                        message=(
+                            f"{ctx.module} imports {target}; raw storage structures are "
+                            "reserved for the CostModel owner modules"
+                        ),
+                    )
+
+    def _check_calls(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            receiver = _terminal_name(node.func.value)
+            if receiver is None:
+                continue
+            lowered = receiver.lower()
+            for hints, methods in _SURFACES:
+                if node.func.attr in methods and any(hint in lowered for hint in hints):
+                    yield Finding(
+                        path=ctx.path,
+                        line=node.lineno,
+                        rule="COST002",
+                        message=(
+                            f"{receiver}.{node.func.attr}() touches storage outside the "
+                            "CostModel owner modules; route it through db.table / the stores"
+                        ),
+                    )
+                    break

@@ -1,0 +1,102 @@
+"""LAY001/LAY002: enforce the downward-only import DAG.
+
+The allowed edges live in :data:`repro.analysis.project.LAYER_DEPENDENCIES`.
+Every ``import``/``from ... import`` anywhere in a module counts — including
+lazy, function-local imports, which is exactly where upward edges hide
+(``core.engine`` importing ``serve`` inside a method body would pass any
+top-level-only checker).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import FACADE, LAYER_DEPENDENCIES, layer_of
+from repro.analysis.runner import ModuleContext
+
+__all__ = ["LayeringPass"]
+
+
+def _package_of(ctx: ModuleContext) -> str:
+    """The package a relative import resolves against."""
+    if ctx.path.endswith("__init__.py"):
+        return ctx.module
+    head, _, _ = ctx.module.rpartition(".")
+    return head
+
+
+def _import_targets(ctx: ModuleContext, node: ast.Import | ast.ImportFrom) -> Iterator[str]:
+    """Dotted module names this import statement binds, project-scope only.
+
+    ``from repro import X`` resolves to ``repro.X`` when ``X`` is a known
+    layer (the submodule is what's being imported); any other name pulls an
+    attribute off the executed facade and resolves to ``repro`` itself.
+    """
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name == "repro" or alias.name.startswith("repro."):
+                yield alias.name
+        return
+    if node.level:
+        base_parts = _package_of(ctx).split(".") if _package_of(ctx) else []
+        if node.level - 1:
+            base_parts = base_parts[: -(node.level - 1)] if node.level - 1 <= len(base_parts) else []
+        base = ".".join(base_parts)
+        if node.module:
+            yield f"{base}.{node.module}" if base else node.module
+        else:
+            for alias in node.names:
+                yield f"{base}.{alias.name}" if base else alias.name
+        return
+    if node.module == "repro":
+        for alias in node.names:
+            if alias.name in LAYER_DEPENDENCIES and alias.name != FACADE:
+                yield f"repro.{alias.name}"
+            else:
+                yield "repro"
+    elif node.module and node.module.startswith("repro."):
+        yield node.module
+
+
+class LayeringPass:
+    name = "layering"
+    rules = {
+        "LAY001": "import crosses the layer DAG upward or laterally",
+        "LAY002": "module imports the root repro facade",
+    }
+
+    def run(self, modules: list[ModuleContext]) -> Iterable[Finding]:
+        for ctx in modules:
+            source_layer = layer_of(ctx.module)
+            if source_layer is None:
+                continue
+            allowed = LAYER_DEPENDENCIES[source_layer] | {source_layer}
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                    continue
+                for target in _import_targets(ctx, node):
+                    target_layer = layer_of(target)
+                    if target_layer is None or target_layer in allowed:
+                        continue
+                    if target_layer == FACADE:
+                        yield Finding(
+                            path=ctx.path,
+                            line=node.lineno,
+                            rule="LAY002",
+                            message=(
+                                f"{ctx.module} imports the root repro facade; "
+                                "import the concrete submodule instead"
+                            ),
+                        )
+                    else:
+                        yield Finding(
+                            path=ctx.path,
+                            line=node.lineno,
+                            rule="LAY001",
+                            message=(
+                                f"{ctx.module} (layer '{source_layer}') imports {target} "
+                                f"(layer '{target_layer}'), which is not below it in the DAG"
+                            ),
+                        )

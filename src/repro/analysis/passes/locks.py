@@ -1,0 +1,319 @@
+"""LOCK001/LOCK002: lock discipline over shared mutable state.
+
+The convention this pass enforces is declared in the code under test::
+
+    class SQLServer:
+        _GUARDED_BY = {"statements_total": "_lock", "_handlers": "_lock"}
+
+LOCK001 fires when a guarded attribute is rebound, augmented, subscript-
+assigned, deleted, or mutated through a known mutator method (``append``,
+``update``, ``clear``...) outside a ``with self.<lock>`` block.  ``__init__``
+and ``__new__`` are exempt (no concurrency before construction completes),
+and a method the caller locks for can carry ``# repro: locked(<lock>)`` on
+its ``def`` line.
+
+LOCK002 fires when a known-blocking call — socket I/O, a blocking
+``Queue.get``/``put``, ``Future.result``, thread joins, ``time.sleep``,
+featurization — happens while *any* lock is syntactically held.  Holding a
+lock across a block is how PRs 6-8's tail-latency bugs happened; the rule
+makes the pattern opt-in via noqa instead of silent.
+
+The analysis is syntactic and intra-procedural on purpose: it tracks ``with``
+nesting inside one method body and does not chase calls.  That misses locks
+held across helper calls (the ``locked`` marker covers the common case) but
+never misfires on code it cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import BLOCKING_SOCKET_METHODS
+from repro.analysis.runner import ModuleContext
+
+__all__ = ["LockDisciplinePass"]
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "sort",
+        "reverse",
+    }
+)
+
+#: Calls on a lock object itself are not "blocking work under the lock":
+#: Condition.wait releases the lock while sleeping, notify is O(1).
+_LOCK_METHODS = frozenset(
+    {"wait", "wait_for", "notify", "notify_all", "acquire", "release", "locked"}
+)
+
+#: Substrings that make an attribute name read as a lock.
+_LOCKLIKE = ("lock", "condition", "mutex")
+
+
+def _is_locklike(name: str) -> bool:
+    lowered = name.lower()
+    return any(token in lowered for token in _LOCKLIKE)
+
+
+def _terminal_name(expr: ast.expr) -> str | None:
+    """The last identifier in a receiver chain (``self.a.b`` -> ``b``)."""
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Call):
+        return _terminal_name(expr.func)
+    return None
+
+
+def _locks_in_expr(expr: ast.expr, known_locks: frozenset[str]) -> set[str]:
+    """Lock attribute names appearing anywhere in a with-item expression."""
+    held: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and (
+            node.attr in known_locks or _is_locklike(node.attr)
+        ):
+            held.add(node.attr)
+        elif isinstance(node, ast.Name) and (
+            node.id in known_locks or _is_locklike(node.id)
+        ):
+            held.add(node.id)
+    return held
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    """``self.X`` -> ``X``; also unwraps one subscript (``self.X[k]``)."""
+    if isinstance(expr, ast.Subscript):
+        expr = expr.value
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _walk_skipping_scopes(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk an expression/simple statement without entering deferred scopes."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _guarded_map(class_node: ast.ClassDef) -> dict[str, str]:
+    """Parse a class-level ``_GUARDED_BY = {"attr": "lock"}`` literal."""
+    for stmt in class_node.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not any(isinstance(t, ast.Name) and t.id == "_GUARDED_BY" for t in targets):
+            continue
+        if not isinstance(value, ast.Dict):
+            return {}
+        guarded: dict[str, str] = {}
+        for key, lock in zip(value.keys, value.values):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and isinstance(lock, ast.Constant)
+                and isinstance(lock.value, str)
+            ):
+                guarded[key.value] = lock.value
+        return guarded
+    return {}
+
+
+def _blocking_reason(call: ast.Call, held: frozenset[str]) -> str | None:
+    """Why this call is considered blocking, or None if it is not."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if "featurize" in func.id or func.id == "compute_feature":
+            return f"featurization call {func.id}()"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    method = func.attr
+    receiver = _terminal_name(func.value)
+    if receiver is not None and (receiver in held or _is_locklike(receiver)):
+        # Operations on a lock object (wait/notify/...) are lock protocol,
+        # not work performed under the lock.
+        if method in _LOCK_METHODS:
+            return None
+    if method == "result":
+        return "Future.result()"
+    if method in BLOCKING_SOCKET_METHODS and receiver is not None:
+        return f"socket {receiver}.{method}()"
+    if method in {"get", "put"} and receiver is not None and "queue" in receiver.lower():
+        return f"blocking {receiver}.{method}()"
+    if method == "join" and receiver is not None and (
+        "thread" in receiver.lower() or "worker" in receiver.lower()
+    ):
+        return f"{receiver}.join()"
+    if method == "sleep" and isinstance(func.value, ast.Name) and func.value.id == "time":
+        return "time.sleep()"
+    if "featurize" in method or method == "compute_feature":
+        return f"featurization call .{method}()"
+    return None
+
+
+class LockDisciplinePass:
+    name = "locks"
+    rules = {
+        "LOCK001": "_GUARDED_BY attribute mutated without holding its lock",
+        "LOCK002": "blocking call while syntactically under a held lock",
+    }
+
+    def run(self, modules: list[ModuleContext]) -> Iterable[Finding]:
+        for ctx in modules:
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: ModuleContext, class_node: ast.ClassDef) -> Iterator[Finding]:
+        guarded = _guarded_map(class_node)
+        known_locks = frozenset(guarded.values())
+        for item in class_node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in {"__init__", "__new__"}:
+                continue
+            held: set[str] = set()
+            marker = ctx.locked_markers.get(item.lineno)
+            if marker:
+                held.add(marker)
+            yield from self._check_block(ctx, item.body, frozenset(held), guarded, known_locks)
+
+    def _check_block(
+        self,
+        ctx: ModuleContext,
+        statements: list[ast.stmt],
+        held: frozenset[str],
+        guarded: dict[str, str],
+        known_locks: frozenset[str],
+    ) -> Iterator[Finding]:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # deferred scope: lock state does not carry in
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired: set[str] = set()
+                for with_item in stmt.items:
+                    yield from self._check_expr(ctx, with_item.context_expr, held, guarded)
+                    acquired |= _locks_in_expr(with_item.context_expr, known_locks)
+                yield from self._check_block(
+                    ctx, stmt.body, held | frozenset(acquired), guarded, known_locks
+                )
+                continue
+            for header in self._header_exprs(stmt):
+                yield from self._check_expr(ctx, header, held, guarded)
+            for block in self._child_blocks(stmt):
+                yield from self._check_block(ctx, block, held, guarded, known_locks)
+
+    @staticmethod
+    def _header_exprs(stmt: ast.stmt) -> list[ast.AST]:
+        """Expressions evaluated by a statement itself (not its sub-blocks)."""
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter, stmt.target]
+        if isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            return []
+        return [stmt]  # simple statement: check the whole thing
+
+    @staticmethod
+    def _child_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        blocks: list[list[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                blocks.append(block)
+        for handler in getattr(stmt, "handlers", []):
+            blocks.append(handler.body)
+        return blocks
+
+    def _check_expr(
+        self,
+        ctx: ModuleContext,
+        root: ast.AST,
+        held: frozenset[str],
+        guarded: dict[str, str],
+    ) -> Iterator[Finding]:
+        for node in _walk_skipping_scopes(root):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    for element in self._flatten_target(target):
+                        attr = _self_attr(element)
+                        if attr in guarded and guarded[attr] not in held:
+                            yield Finding(
+                                path=ctx.path,
+                                line=node.lineno,
+                                rule="LOCK001",
+                                message=(
+                                    f"self.{attr} mutated without holding "
+                                    f"self.{guarded[attr]} (declared in _GUARDED_BY)"
+                                ),
+                            )
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Attribute) and node.func.attr in _MUTATORS:
+                    attr = _self_attr(node.func.value)
+                    if attr in guarded and guarded[attr] not in held:
+                        yield Finding(
+                            path=ctx.path,
+                            line=node.lineno,
+                            rule="LOCK001",
+                            message=(
+                                f"self.{attr}.{node.func.attr}() mutates without holding "
+                                f"self.{guarded[attr]} (declared in _GUARDED_BY)"
+                            ),
+                        )
+                if held:
+                    reason = _blocking_reason(node, held)
+                    if reason is not None:
+                        yield Finding(
+                            path=ctx.path,
+                            line=node.lineno,
+                            rule="LOCK002",
+                            message=(
+                                f"{reason} while holding "
+                                f"{', '.join(sorted(held))}"
+                            ),
+                        )
+
+    @staticmethod
+    def _flatten_target(target: ast.expr) -> Iterator[ast.expr]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from LockDisciplinePass._flatten_target(element)
+        elif isinstance(target, ast.Starred):
+            yield from LockDisciplinePass._flatten_target(target.value)
+        else:
+            yield target

@@ -1,0 +1,135 @@
+"""WIRE001/WIRE002: every HazyError must round-trip the network codec.
+
+``net.protocol.decode_error`` rebuilds a server-side exception client-side
+as ``cls(message, **diagnostics)`` with a ``cls(message)`` fallback.  A
+``HazyError`` subclass whose ``__init__`` *requires* anything beyond the
+message therefore cannot cross the wire as itself — ``except ThatError``
+would behave differently over a socket than in-process.  WIRE001 flags such
+classes at their ``__init__``.
+
+WIRE002 guards the contract from the other side: if ``net.protocol``'s
+``_DIAGNOSTIC_FIELDS`` drifts from the declared
+:data:`repro.analysis.project.WIRE_DIAGNOSTIC_FIELDS`, the analyzer's model
+of the codec is stale and must be updated in the same PR.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    EXCEPTIONS_MODULE,
+    WIRE_DIAGNOSTIC_FIELDS,
+    WIRE_ROOT_CLASS,
+)
+from repro.analysis.runner import ModuleContext
+
+__all__ = ["WireErrorPass"]
+
+
+def _wire_subclasses(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    """Module-level classes descending (transitively) from the root class."""
+    classes = {
+        node.name: node for node in tree.body if isinstance(node, ast.ClassDef)
+    }
+    bases = {
+        name: {b.id for b in node.bases if isinstance(b, ast.Name)}
+        for name, node in classes.items()
+    }
+    wire: set[str] = {WIRE_ROOT_CLASS}
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in wire and parents & wire:
+                wire.add(name)
+                changed = True
+    for name in wire - {WIRE_ROOT_CLASS}:
+        if name in classes:
+            yield classes[name]
+
+
+def _init_of(node: ast.ClassDef) -> ast.FunctionDef | None:
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+            return item
+    return None
+
+
+def _rebuild_problem(init: ast.FunctionDef) -> str | None:
+    """Why ``cls(message)`` would fail for this ``__init__``, or None."""
+    args = init.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if positional and positional[0].arg in {"self", "cls"}:
+        positional = positional[1:]
+    required = len(positional) - len(args.defaults)
+    if required > 1:
+        names = ", ".join(arg.arg for arg in positional[1:required])
+        return f"requires extra positional argument(s) {names} beyond the message"
+    if required < 1 and not positional and args.vararg is None:
+        return "accepts no message argument"
+    for kwarg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is None:
+            return f"requires keyword-only argument '{kwarg.arg}'"
+    return None
+
+
+class WireErrorPass:
+    name = "wire"
+    rules = {
+        "WIRE001": "HazyError subclass cannot be rebuilt by net.protocol.decode_error",
+        "WIRE002": "net.protocol diagnostic fields drifted from the declared contract",
+    }
+
+    def run(self, modules: list[ModuleContext]) -> Iterable[Finding]:
+        for ctx in modules:
+            if ctx.module == EXCEPTIONS_MODULE:
+                yield from self._check_exceptions(ctx)
+            elif ctx.module == "repro.net.protocol":
+                yield from self._check_protocol(ctx)
+
+    def _check_exceptions(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for class_node in _wire_subclasses(ctx.tree):
+            init = _init_of(class_node)
+            if init is None:
+                continue  # inherits a message-only __init__
+            problem = _rebuild_problem(init)
+            if problem is not None:
+                yield Finding(
+                    path=ctx.path,
+                    line=init.lineno,
+                    rule="WIRE001",
+                    message=(
+                        f"{class_node.name}.__init__ {problem}; decode_error cannot "
+                        "reconstruct it client-side"
+                    ),
+                )
+
+    def _check_protocol(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (isinstance(target, ast.Name) and target.id == "_DIAGNOSTIC_FIELDS"):
+                continue
+            if not isinstance(node.value, (ast.Tuple, ast.List)):
+                return
+            declared = {
+                element.value
+                for element in node.value.elts
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            }
+            if declared != set(WIRE_DIAGNOSTIC_FIELDS):
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    rule="WIRE002",
+                    message=(
+                        f"_DIAGNOSTIC_FIELDS {sorted(declared)} != declared contract "
+                        f"{sorted(WIRE_DIAGNOSTIC_FIELDS)}; update analysis/project.py "
+                        "and the exceptions audit together"
+                    ),
+                )
+            return

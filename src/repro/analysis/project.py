@@ -1,0 +1,185 @@
+"""The repo's invariants, declared as data.
+
+Everything a pass needs to know about *this* codebase lives here — the
+layered import DAG from ROADMAP's architecture section, which modules own
+CostModel charging, the stats-key grammar — so the passes themselves stay
+generic AST walkers and a layering change is a one-line data edit reviewed
+like any other interface change.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FACADE",
+    "LAYER_DEPENDENCIES",
+    "layer_of",
+    "COST_OWNER_MODULES",
+    "STORAGE_MODULES",
+    "BLOCKING_SOCKET_METHODS",
+    "CANONICAL_SUFFIXES",
+    "DEPRECATED_SUFFIXES",
+    "EXCEPTIONS_MODULE",
+    "WIRE_ROOT_CLASS",
+    "WIRE_DIAGNOSTIC_FIELDS",
+]
+
+#: Pseudo-layer for the root ``repro`` facade (``repro/__init__.py``).  It
+#: re-exports the public API and therefore sits *above* everything: no module
+#: inside ``src/repro`` may import it (directly or as ``import repro``).
+FACADE = "__facade__"
+
+#: The allowed import DAG, bottom-up, mirroring ROADMAP's architecture
+#: section.  ``layer -> set of layers it may import``.  A layer may always
+#: import itself; absence from a value set means the edge is a violation,
+#: whether the import is top-level or lazy/function-local.
+LAYER_DEPENDENCIES: dict[str, frozenset[str]] = {
+    # Foundations: no intra-project dependencies.
+    "exceptions": frozenset(),
+    "linalg": frozenset({"exceptions"}),
+    "obs": frozenset({"exceptions"}),
+    # Model/feature layers over the foundations.
+    "learn": frozenset({"exceptions", "linalg"}),
+    "features": frozenset({"exceptions", "linalg"}),
+    "workloads": frozenset({"exceptions", "linalg", "learn"}),
+    "persist": frozenset({"exceptions", "linalg", "learn"}),
+    # The storage engine.
+    "db": frozenset({"exceptions", "linalg", "obs"}),
+    # The incremental-maintenance core composes storage, models and features.
+    "core": frozenset({"exceptions", "linalg", "obs", "learn", "features", "db", "persist"}),
+    # The serving layer drives the core.
+    "serve": frozenset(
+        {"exceptions", "linalg", "obs", "learn", "features", "db", "persist", "core"}
+    ),
+    # The embedded client API (repro/connection.py).
+    "connection": frozenset(
+        {"exceptions", "linalg", "obs", "learn", "features", "db", "persist", "core", "serve"}
+    ),
+    # The network front door wraps the embedded API.
+    "net": frozenset(
+        {
+            "exceptions",
+            "linalg",
+            "obs",
+            "learn",
+            "features",
+            "db",
+            "persist",
+            "core",
+            "serve",
+            "connection",
+        }
+    ),
+    # Benchmarks drive everything below the wire.
+    "bench": frozenset(
+        {
+            "exceptions",
+            "linalg",
+            "obs",
+            "learn",
+            "features",
+            "workloads",
+            "db",
+            "persist",
+            "core",
+            "serve",
+            "connection",
+        }
+    ),
+    # The analyzer is a dev tool over the stdlib only.
+    "analysis": frozenset(),
+    # The facade re-exports the world.
+    FACADE: frozenset(
+        {
+            "exceptions",
+            "linalg",
+            "obs",
+            "learn",
+            "features",
+            "workloads",
+            "db",
+            "persist",
+            "core",
+            "serve",
+            "connection",
+            "net",
+            "bench",
+        }
+    ),
+}
+
+
+def layer_of(module: str) -> str | None:
+    """Map a dotted module name to its layer, or None if out of scope."""
+    if module == "repro":
+        return FACADE
+    if not module.startswith("repro."):
+        return None
+    head = module.split(".")[1]
+    return head if head in LAYER_DEPENDENCIES else None
+
+
+#: Modules allowed to call heap/btree/buffer-pool read-write surfaces
+#: directly: the storage structures themselves plus the access paths that
+#: charge the CostModel (table/index/database) and the stores that own their
+#: pools.  Everything else must go through these so I/O is never free.
+COST_OWNER_MODULES: frozenset[str] = frozenset(
+    {
+        "repro.db.heap",
+        "repro.db.btree",
+        "repro.db.buffer_pool",
+        "repro.db.page",
+        "repro.db.table",
+        "repro.db.secondary_index",
+        "repro.db.hash_index",
+        "repro.db.database",
+        "repro.db.costmodel",
+        # The physical-operator layer is an access path in its own right:
+        # SeqScan/IndexRange read through table.heap, and charging happens
+        # inside HeapFile/BufferPool on every touch.
+        "repro.db.sql.plan",
+        "repro.core.stores.ondisk",
+        "repro.core.stores.hybrid",
+    }
+)
+
+#: The storage-structure modules whose import outside the owner set is a
+#: violation in itself (you cannot hold a HeapFile/BPlusTree without being
+#: able to bypass charging).  ``buffer_pool`` is importable anywhere because
+#: constructing a pool / reading ``IOStatistics`` is charge-neutral; only its
+#: page surfaces (COST002) are restricted.
+STORAGE_MODULES: frozenset[str] = frozenset({"repro.db.heap", "repro.db.btree"})
+
+#: socket methods that block the calling thread.
+BLOCKING_SOCKET_METHODS: frozenset[str] = frozenset(
+    {"recv", "recv_into", "send", "sendall", "sendto", "accept", "connect", "makefile"}
+)
+
+#: Canonical unit suffixes for stats keys and instrument names.
+CANONICAL_SUFFIXES: tuple[str, ...] = ("_total", "_seconds", "_bytes")
+
+#: Unit suffixes that have a canonical spelling and are therefore banned.
+DEPRECATED_SUFFIXES: dict[str, str] = {
+    "_count": "_total",
+    "_cnt": "_total",
+    "_num": "_total",
+    "_secs": "_seconds",
+    "_sec": "_seconds",
+    "_ms": "_seconds",
+    "_millis": "_seconds",
+    "_micros": "_seconds",
+    "_time": "_seconds",
+    "_kb": "_bytes",
+    "_mb": "_bytes",
+    "_size": "_bytes",
+}
+
+#: Where the wire-visible exception hierarchy lives.
+EXCEPTIONS_MODULE = "repro.exceptions"
+
+#: Root of the hierarchy that must round-trip through net.protocol.
+WIRE_ROOT_CLASS = "HazyError"
+
+#: Keyword diagnostics the error codec can carry (net.protocol's
+#: _DIAGNOSTIC_FIELDS); an ``__init__`` may require nothing beyond the
+#: message and may only *optionally* accept these.
+WIRE_DIAGNOSTIC_FIELDS: frozenset[str] = frozenset({"position", "token"})

@@ -571,7 +571,9 @@ class HazyEngine:
         read plus the delta, not a full load.  ``num_shards`` is ignored on
         restore (the snapshot's shard assignment is preserved).
         """
-        from repro.serve.server import ViewServer
+        # Composition-root seam: Engine.serve() constructs the layer above
+        # it; the import stays lazy so `import repro.core` never pulls serve.
+        from repro.serve.server import ViewServer  # repro: noqa(LAY001)
 
         if restore_from is not None:
             return self._serve_restored(name, restore_from, **server_options)
@@ -777,7 +779,9 @@ class HazyEngine:
     def _serve_restored(self, name: str, path: str, **server_options):
         """The ``serve(restore_from=...)`` path: rebuild view + server from a checkpoint."""
         from repro.persist.checkpoint import load_checkpoint
-        from repro.serve.server import ViewServer
+        # Composition-root seam: Engine.serve() constructs the layer above
+        # it; the import stays lazy so `import repro.core` never pulls serve.
+        from repro.serve.server import ViewServer  # repro: noqa(LAY001)
 
         checkpoint = load_checkpoint(path)
         manifest = checkpoint.manifest
@@ -883,7 +887,9 @@ class HazyEngine:
         """
         from collections import Counter
 
-        from repro.serve.requests import WriteKind, WriteOp
+        # Composition-root seam: Engine.serve() constructs the layer above
+        # it; the import stays lazy so `import repro.core` never pulls serve.
+        from repro.serve.requests import WriteKind, WriteOp  # repro: noqa(LAY001)
 
         definition = view.definition
         entities_table = self.database.table(definition.entities_table)

@@ -154,7 +154,7 @@ class ViewMaintainer(ABC):
         short-circuit of Figure 8; the naive strategies have no bound to lean
         on and always return None.
         """
-        return None
+        return None  # noqa: RET501
 
     def read_many(
         self,

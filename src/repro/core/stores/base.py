@@ -125,7 +125,7 @@ class EntityStore(ABC):
         Only the hybrid architecture (with its ε-map) returns a value here;
         other stores return None and callers fall back to :meth:`get`.
         """
-        return None
+        return None  # noqa: RET501
 
     @abstractmethod
     def scan_all(self) -> Iterator[EntityRecord]:

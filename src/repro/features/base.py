@@ -64,7 +64,7 @@ class FeatureFunction(ABC):
 
     def dimension(self) -> int | None:
         """Dimensionality of the feature space, if known (None if unbounded)."""
-        return None
+        return None  # noqa: RET501
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

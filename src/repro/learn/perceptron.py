@@ -68,12 +68,11 @@ class PerceptronTrainer:
         """Current prediction model (averaged if averaging is enabled)."""
         if not self.averaged or self._steps == 0:
             return self.model.copy()
-        averaged = LinearModel(
+        return LinearModel(
             weights=self._sum_weights.scale(1.0 / self._steps),
             bias=self._sum_bias / self._steps,
             version=self._steps,
         )
-        return averaged
 
     def predict(self, features: SparseVector) -> int:
         """Label a single feature vector with the (possibly averaged) model."""

@@ -132,6 +132,11 @@ class AdmissionController:
         The weighted round-robin grant ratio when both lanes have waiters.
     """
 
+    # Shared-state contract, enforced by repro-lint's lock pass.  Lane
+    # objects' fields ride under the same condition by convention; only the
+    # controller's own attributes can be declared here.
+    _GUARDED_BY = {"_cursor": "_condition"}
+
     def __init__(
         self,
         slots: int = 4,
@@ -230,7 +235,7 @@ class AdmissionController:
             return False
         return True
 
-    def _dispatch(self) -> None:
+    def _dispatch(self) -> None:  # repro: locked(_condition)
         """Grant free slots to waiting tickets (call under the lock)."""
         granted_any = False
         while True:

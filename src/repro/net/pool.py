@@ -53,6 +53,17 @@ class ConnectionPool:
         in latency microbenchmarks where the extra round trip matters.
     """
 
+    # Shared-state contract, enforced by repro-lint's lock pass: acquire()
+    # runs concurrently from many application threads.
+    _GUARDED_BY = {
+        "_idle": "_condition",
+        "_live": "_condition",
+        "_closed": "_condition",
+        "dials_total": "_condition",
+        "checkouts_total": "_condition",
+        "health_replacements_total": "_condition",
+    }
+
     def __init__(
         self,
         host: str,
@@ -113,7 +124,8 @@ class ConnectionPool:
             elif self.health_check and not self._healthy(candidate):
                 # Replace the dead member; the slot is already ours.
                 candidate.close()
-                self.health_replacements_total += 1
+                with self._condition:
+                    self.health_replacements_total += 1
                 try:
                     candidate = self._dial()
                 except BaseException:
@@ -121,7 +133,8 @@ class ConnectionPool:
                         self._live -= 1
                         self._condition.notify()
                     raise
-            self.checkouts_total += 1
+            with self._condition:
+                self.checkouts_total += 1
             return candidate
 
     def release(self, connection: NetworkConnection) -> None:
@@ -146,7 +159,8 @@ class ConnectionPool:
     # -- internals -----------------------------------------------------------------------
 
     def _dial(self) -> NetworkConnection:
-        self.dials_total += 1
+        with self._condition:
+            self.dials_total += 1
         return connect(self.host, self.port, timeout=self.timeout)
 
     def _healthy(self, connection: NetworkConnection) -> bool:

@@ -46,6 +46,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
+from typing import Callable, cast
 
 from repro import exceptions
 from repro.exceptions import (
@@ -79,7 +80,7 @@ _LENGTH = struct.Struct(">I")
 _INCREMENTAL_ROWS = 256
 
 
-def _encode_payload(message: dict) -> bytes:
+def _encode_payload(message: dict[str, object]) -> bytes:
     """JSON-encode one frame's payload.
 
     A large result set is encoded **incrementally** — one ``json.dumps`` call
@@ -103,7 +104,7 @@ def _encode_payload(message: dict) -> bytes:
     return "".join(parts).encode("utf-8")
 
 
-def write_frame(sock: socket.socket, message: dict) -> None:
+def write_frame(sock: socket.socket, message: dict[str, object]) -> None:
     """Serialize ``message`` and send it as one frame."""
     payload = _encode_payload(message)
     if len(payload) > MAX_FRAME_BYTES:
@@ -147,7 +148,7 @@ def _read_exactly(sock: socket.socket, count: int, *, eof_ok: bool) -> bytes | N
     return b"".join(chunks)
 
 
-def read_frame(sock: socket.socket, *, eof_ok: bool = False) -> dict | None:
+def read_frame(sock: socket.socket, *, eof_ok: bool = False) -> dict[str, object] | None:
     """Read one frame; None on clean EOF when ``eof_ok`` is set."""
     header = _read_exactly(sock, _LENGTH.size, eof_ok=eof_ok)
     if header is None:
@@ -158,14 +159,15 @@ def read_frame(sock: socket.socket, *, eof_ok: bool = False) -> dict | None:
             f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit "
             "(peer is not speaking this protocol?)"
         )
-    payload = _read_exactly(sock, length, eof_ok=False) if length else b""
+    body = _read_exactly(sock, length, eof_ok=False) if length else b""
+    payload = body if body is not None else b""  # eof_ok=False never yields None
     try:
         message = json.loads(payload.decode("utf-8")) if length else {}
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
         raise ProtocolError(f"frame payload is not valid JSON: {error}") from error
     if not isinstance(message, dict):
         raise ProtocolError(f"frame payload must be a JSON object, got {type(message).__name__}")
-    return message
+    return cast("dict[str, object]", message)
 
 
 # ---------------------------------------------------------------------------
@@ -183,7 +185,7 @@ def read_frame(sock: socket.socket, *, eof_ok: bool = False) -> dict | None:
 _DIAGNOSTIC_FIELDS = ("position", "token")
 
 
-def encode_error(error: BaseException) -> dict:
+def encode_error(error: BaseException) -> dict[str, object]:
     """The wire form of a server-side exception."""
     payload: dict[str, object] = {
         "type": type(error).__name__,
@@ -196,7 +198,7 @@ def encode_error(error: BaseException) -> dict:
     return payload
 
 
-def decode_error(payload: dict) -> HazyError:
+def decode_error(payload: dict[str, object]) -> HazyError:
     """Rebuild the exception a server-side error frame describes.
 
     Known :class:`~repro.exceptions.HazyError` subclasses come back as
@@ -213,11 +215,14 @@ def decode_error(payload: dict) -> HazyError:
     kwargs = {
         field: payload[field] for field in _DIAGNOSTIC_FIELDS if field in payload
     }
+    # The subclass lookup erases the constructor signature; WIRE001 (the
+    # repro-lint wire pass) is what statically guarantees cls(message) works.
+    factory = cast("Callable[..., HazyError]", cls)
     try:
-        return cls(message, **kwargs) if kwargs else cls(message)
+        return factory(message, **kwargs) if kwargs else factory(message)
     except TypeError:
         # The class does not accept the diagnostics keywords; attach them.
-        error = cls(message)
+        error = factory(message)
         for field, value in kwargs.items():
             setattr(error, field, value)
         return error

@@ -64,12 +64,12 @@ class _Handler:
     """One wire connection: socket + server-side connection + counters."""
 
     def __init__(self, server: "SQLServer", sock: socket.socket, remote) -> None:
-        import repro
+        from repro.connection import connect
 
         self.server = server
         self.sock = sock
         self.remote = f"{remote[0]}:{remote[1]}" if isinstance(remote, tuple) else str(remote)
-        self.connection = repro.connect(engine=server.engine)
+        self.connection = connect(engine=server.engine)
         self.name = self.connection.name
         self.connected_at = time.perf_counter()
         self.state = "idle"
@@ -117,24 +117,24 @@ class _Handler:
         """Handle one request frame; False ends the session (goodbye)."""
         op = request.get("op")
         try:
+            if op == "goodbye":
+                write_frame(self.sock, {"ok": True, "goodbye": True})
+                return False
             if op == "query":
                 response = self._execute_query(request)
             elif op == "executemany":
                 response = self._execute_many(request)
             elif op == "ping":
                 response = {"ok": True, "pong": True}
-            elif op == "goodbye":
-                write_frame(self.sock, {"ok": True, "goodbye": True})
-                return False
             else:
                 raise ProtocolError(f"unknown operation {op!r}")
         except HazyError as error:
             self.errors_total += 1
-            self.server.errors_total += 1
+            self.server._count_error()
             response = {"ok": False, "error": encode_error(error)}
         except Exception as error:  # noqa: BLE001 — internal fault must not leak
             self.errors_total += 1
-            self.server.errors_total += 1
+            self.server._count_error()
             response = {
                 "ok": False,
                 "error": {"type": "InternalError", "message": f"{type(error).__name__}: {error}"},
@@ -165,7 +165,7 @@ class _Handler:
             self.state = "executing"
             result = self.connection._execute(sql, parameters)
         self.statements_total += 1
-        self.server.statements_total += 1
+        self.server._count_statement()
         if lane == POINT_LANE:
             self.point_statements_total += 1
         else:
@@ -191,7 +191,7 @@ class _Handler:
             self.state = "executing"
             total = self.connection._executemany(sql, parameter_rows)
         self.statements_total += 1
-        self.server.statements_total += 1
+        self.server._count_statement()
         self.bulk_statements_total += 1
         return {"ok": True, "rowcount": total, "statement_type": "EXECUTEMANY"}
 
@@ -251,6 +251,17 @@ class SQLServer:
         Default lane-wait deadline per statement (None = wait forever);
         clients can override per statement via the request's options.
     """
+
+    # Shared-state contract, enforced by repro-lint's lock pass: handler
+    # threads, the accept loop, and observability readers all touch these.
+    _GUARDED_BY = {
+        "_handlers": "_lock",
+        "statements_total": "_lock",
+        "errors_total": "_lock",
+        "connections_total": "_lock",
+        "reaped_total": "_lock",
+        "refused_total": "_lock",
+    }
 
     def __init__(
         self,
@@ -382,8 +393,9 @@ class SQLServer:
             sock.settimeout(None)  # handler reads block until the client speaks
             with self._lock:
                 over_capacity = len(self._handlers) >= self.max_connections
+                if over_capacity:
+                    self.refused_total += 1
             if over_capacity:
-                self.refused_total += 1
                 try:
                     write_frame(
                         sock,
@@ -407,7 +419,7 @@ class SQLServer:
             handler = _Handler(self, sock, remote)
             with self._lock:
                 self._handlers[handler.name] = handler
-            self.connections_total += 1
+                self.connections_total += 1
             handler.thread.start()
 
     def _reap(self, handler: _Handler) -> None:
@@ -421,7 +433,8 @@ class SQLServer:
             removed = self._handlers.pop(handler.name, None)
         handler.teardown()
         if removed is not None and handler.parted == "error":
-            self.reaped_total += 1
+            with self._lock:
+                self.reaped_total += 1
 
     # -- observability -------------------------------------------------------------------
 
@@ -436,16 +449,27 @@ class SQLServer:
             handlers = list(self._handlers.values())
         return [handler.row() for handler in sorted(handlers, key=lambda h: h.name)]
 
+    def _count_statement(self) -> None:
+        """Handler threads report statement completions through here."""
+        with self._lock:
+            self.statements_total += 1
+
+    def _count_error(self) -> None:
+        """Handler threads report statement errors through here."""
+        with self._lock:
+            self.errors_total += 1
+
     def stats(self) -> dict[str, float]:
         """Server-level counters (the ``net.server`` pull provider)."""
-        return {
-            "connections_active": self.connection_count(),
-            "connections_total": self.connections_total,
-            "statements_total": self.statements_total,
-            "errors_total": self.errors_total,
-            "reaped_total": self.reaped_total,
-            "refused_total": self.refused_total,
-        }
+        with self._lock:
+            return {
+                "connections_active": len(self._handlers),
+                "connections_total": self.connections_total,
+                "statements_total": self.statements_total,
+                "errors_total": self.errors_total,
+                "reaped_total": self.reaped_total,
+                "refused_total": self.refused_total,
+            }
 
 
 # ---------------------------------------------------------------------------
@@ -465,6 +489,10 @@ def _split_sql(script: str) -> list[str]:
     index = 0
     while index < len(script):
         char = script[index]
+        if not in_string and char == "-" and script.startswith("--", index):
+            newline = script.find("\n", index)
+            index = len(script) if newline == -1 else newline
+            continue
         if in_string:
             current.append(char)
             if char == "'":
@@ -476,10 +504,6 @@ def _split_sql(script: str) -> list[str]:
         elif char == "'":
             in_string = True
             current.append(char)
-        elif char == "-" and script.startswith("--", index):
-            newline = script.find("\n", index)
-            index = len(script) if newline == -1 else newline
-            continue
         elif char == ";":
             text = "".join(current).strip()
             if text:
@@ -525,9 +549,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    import repro
+    from repro.connection import connect
 
-    conn = repro.connect()
+    conn = connect()
     if args.init:
         with open(args.init, "r", encoding="utf-8") as handle:
             script = handle.read()

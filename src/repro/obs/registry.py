@@ -76,7 +76,7 @@ class MetricSample:
 
     __slots__ = ("name", "kind", "value")
 
-    def __init__(self, name: str, kind: str, value: float):
+    def __init__(self, name: str, kind: str, value: float) -> None:
         self.name = name
         self.kind = kind
         self.value = value
@@ -94,6 +94,9 @@ class Counter:
     """
 
     __slots__ = ("_lock", "_value")
+
+    # Shared-state contract, enforced by repro-lint's lock pass.
+    _GUARDED_BY = {"_value": "_lock"}
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -116,6 +119,9 @@ class Gauge:
     """A point-in-time value that can move in either direction."""
 
     __slots__ = ("_lock", "_value")
+
+    # Shared-state contract, enforced by repro-lint's lock pass.
+    _GUARDED_BY = {"_value": "_lock"}
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -148,7 +154,12 @@ class Histogram:
 
     __slots__ = ("_lock", "buckets", "_counts", "_count", "_sum")
 
-    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS):
+    # Shared-state contract, enforced by repro-lint's lock pass.  The bisect
+    # in observe() reads only the immutable bucket bounds, so it runs outside
+    # the lock on purpose.
+    _GUARDED_BY = {"_counts": "_lock", "_count": "_lock", "_sum": "_lock"}
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         bounds = tuple(sorted(float(b) for b in buckets))
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
@@ -180,7 +191,8 @@ class Histogram:
         """Cumulative ``(upper_bound, count)`` pairs, +Inf last."""
         with self._lock:
             counts = list(self._counts)
-        cumulative, out = 0, []
+        cumulative = 0
+        out: list[tuple[float, int]] = []
         for bound, count in zip(self.buckets, counts):
             cumulative += count
             out.append((bound, cumulative))
@@ -214,10 +226,18 @@ class Histogram:
         return self.buckets[-1]
 
 
-class _NullCounter:
-    """Shared no-op counter for disabled registries."""
+class _NullCounter(Counter):
+    """Shared no-op counter for disabled registries.
+
+    Subclassing keeps the instrument getters honestly typed (``counter()``
+    really returns a :class:`Counter`); the parent's slots are never assigned
+    because ``__init__`` is a no-op, and every touching method is overridden.
+    """
 
     __slots__ = ()
+
+    def __init__(self) -> None:
+        pass
 
     def inc(self, amount: float = 1.0) -> None:
         pass
@@ -227,8 +247,11 @@ class _NullCounter:
         return 0.0
 
 
-class _NullGauge:
+class _NullGauge(Gauge):
     __slots__ = ()
+
+    def __init__(self) -> None:
+        pass
 
     def set(self, value: float) -> None:
         pass
@@ -244,9 +267,12 @@ class _NullGauge:
         return 0.0
 
 
-class _NullHistogram:
+class _NullHistogram(Histogram):
     __slots__ = ()
     buckets = DEFAULT_BUCKETS
+
+    def __init__(self) -> None:
+        pass
 
     def observe(self, value: float) -> None:
         pass
@@ -280,7 +306,16 @@ class MetricsRegistry:
     type confusion is how metrics rot.
     """
 
-    def __init__(self, enabled: bool = True):
+    # Shared-state contract, enforced by repro-lint's lock pass.
+    _GUARDED_BY = {
+        "_counters": "_lock",
+        "_gauges": "_lock",
+        "_gauge_fns": "_lock",
+        "_histograms": "_lock",
+        "_providers": "_lock",
+    }
+
+    def __init__(self, enabled: bool = True) -> None:
         self.enabled = bool(enabled)
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
@@ -292,12 +327,13 @@ class MetricsRegistry:
     # -- instrument acquisition ----------------------------------------------------------
 
     def _check_free(self, name: str, kind: str) -> None:
-        for registered_kind, names in (
+        registrations: tuple[tuple[str, Mapping[str, object]], ...] = (
             ("counter", self._counters),
             ("gauge", self._gauges),
             ("gauge", self._gauge_fns),
             ("histogram", self._histograms),
-        ):
+        )
+        for registered_kind, names in registrations:
             if registered_kind != kind and name in names:
                 raise ValueError(f"metric {name!r} already registered as a {registered_kind}")
 

@@ -53,6 +53,10 @@ class AdaptiveBatchWindow:
     the unit tests pin), and observation is O(1) per request under one lock.
     """
 
+    # Shared-state contract, enforced by repro-lint's lock pass: every
+    # request thread calls observe() concurrently.
+    _GUARDED_BY = {"_last_arrival": "_lock", "_interarrival_s": "_lock"}
+
     def __init__(
         self, max_batch: int, max_wait_cap_s: float = 0.002, alpha: float = 0.2
     ) -> None:

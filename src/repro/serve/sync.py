@@ -34,6 +34,13 @@ class ReadWriteLock:
     maintenance worker cannot starve under a heavy read load.
     """
 
+    # Shared-state contract, enforced by repro-lint's lock pass.
+    _GUARDED_BY = {
+        "_active_readers": "_condition",
+        "_writer_active": "_condition",
+        "_writers_waiting": "_condition",
+    }
+
     def __init__(self) -> None:
         self._condition = threading.Condition()
         self._active_readers = 0
@@ -100,6 +107,10 @@ class EpochClock:
     Epoch 0 is the state the server was built from (the bulk-loaded view);
     each maintenance batch that becomes visible advances the clock by one.
     """
+
+    # The epoch is published under the condition; the lock-free property read
+    # is safe (int loads are atomic) and reads are not what the pass checks.
+    _GUARDED_BY = {"_epoch": "_condition"}
 
     def __init__(self, start: int = 0) -> None:
         if start < 0:

@@ -1,0 +1,27 @@
+"""Shared helpers for the static-analysis tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runner import AnalysisPass, analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES
+
+
+@pytest.fixture
+def run_pass():
+    """Run one pass over named fixture files; paths in findings are bare names."""
+
+    def _run(analysis_pass: AnalysisPass, *names: str):
+        paths = [FIXTURES / name for name in names]
+        return analyze_paths(paths, passes=[analysis_pass], repo_root=FIXTURES)
+
+    return _run

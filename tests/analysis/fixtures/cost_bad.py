@@ -1,0 +1,20 @@
+# repro: module(repro.serve.cost_fixture_bad)
+"""Cost fixture: raw storage structures touched outside the owner modules."""
+
+from repro.db.heap import HeapFile  # line 4: raw heap import = COST001
+
+
+class FreeRider:
+    def __init__(self, heap, pool):
+        self.heap = heap
+        self.pool = pool
+
+    def sneak_read(self, rid):
+        return self.heap.read(rid)  # line 13: uncharged heap read = COST002
+
+    def sneak_page(self, page_id):
+        return self.pool.fetch(page_id)  # line 16: raw page fetch = COST002
+
+
+def build(path):
+    return HeapFile(path)

@@ -1,0 +1,10 @@
+# repro: module(repro.serve.cost_fixture_clean)
+"""Cost fixture: constructing pools / reading IOStatistics is charge-neutral."""
+
+from repro.db.buffer_pool import BufferPool, IOStatistics
+
+
+def build(capacity):
+    pool = BufferPool(capacity=capacity)
+    stats = IOStatistics()
+    return pool.stats, stats

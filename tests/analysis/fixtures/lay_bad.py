@@ -1,0 +1,11 @@
+# repro: module(repro.db.table)
+"""Layering fixture: a db-layer module importing upward and the facade."""
+
+from repro.serve.server import ViewServer  # line 4: upward (db -> serve) = LAY001
+from repro import connect  # line 5: facade attribute import = LAY002
+
+
+def lazy_upward():
+    import repro.net.protocol  # line 9: lazy upward (db -> net) = LAY001
+
+    return repro.net.protocol, ViewServer, connect

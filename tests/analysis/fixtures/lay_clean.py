@@ -1,0 +1,12 @@
+# repro: module(repro.serve.widget)
+"""Layering fixture: a serve-layer module importing strictly downward."""
+
+from repro.core.engine import HazyEngine
+from repro.db.schema import Schema
+from repro.exceptions import HazyError
+
+
+def lazy_downward():
+    from repro.obs.registry import MetricsRegistry
+
+    return MetricsRegistry, HazyEngine, Schema, HazyError

@@ -1,0 +1,32 @@
+# repro: module(repro.serve.lock_fixture_bad)
+"""Lock fixture: torn counters and blocking work under a held lock."""
+
+import threading
+
+
+class Torn:
+    _GUARDED_BY = {"count": "_lock", "items": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.items = []
+        self.future = None
+        self.sock = None
+
+    def bump(self):
+        self.count += 1  # line 18: no lock held = LOCK001
+
+    def collect(self):
+        self.items.append(1)  # line 21: mutator without lock = LOCK001
+
+    def wait_under_lock(self):
+        with self._lock:
+            return self.future.result()  # line 25: blocking under lock = LOCK002
+
+    def send_under_lock(self, payload):
+        with self._lock:
+            self.sock.sendall(payload)  # line 29: socket write under lock = LOCK002
+
+    def suppressed_bump(self):
+        self.count += 1  # single-writer by design  # repro: noqa(LOCK001)

@@ -1,0 +1,22 @@
+# repro: module(repro.serve.lock_fixture_clean)
+"""Lock fixture: every guarded mutation happens under its declared lock."""
+
+import threading
+
+
+class Guarded:
+    _GUARDED_BY = {"count": "_lock", "items": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # __init__ is exempt: no concurrency before construction
+        self.items = []
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+            self.items.append(self.count)
+
+    def drain(self):  # repro: locked(_lock)
+        self.items.clear()
+        self.count = 0

@@ -1,0 +1,16 @@
+# repro: module(repro.serve.stat_fixture_bad)
+"""Stats fixture: keys violating the grammar or using deprecated suffixes."""
+
+
+class Component:
+    def __init__(self, registry):
+        registry.counter("serve.fixture.Reads-Total")  # line 7: bad grammar = STAT001
+
+    def stats(self):
+        out = {
+            "readCount": 1,  # line 11: camelCase segment = STAT001
+            "reads_count": 2,  # line 12: deprecated _count = STAT002
+            "wait_ms": 3.0,  # line 13: deprecated _ms = STAT002
+        }
+        out["flush_secs"] = 4.0  # line 15: deprecated _secs = STAT002
+        return out

@@ -1,0 +1,20 @@
+# repro: module(repro.serve.stat_fixture_clean)
+"""Stats fixture: canonical snake_case keys with canonical unit suffixes."""
+
+
+class Component:
+    def __init__(self, registry):
+        self.reads_total = 0
+        self.wait_seconds = 0.0
+        self.spill_bytes = 0
+        self.backlog = 0
+        registry.counter("serve.fixture.reads_total")
+        registry.histogram("serve.fixture.wait_seconds")
+
+    def stats(self):
+        return {
+            "reads_total": self.reads_total,
+            "wait_seconds": self.wait_seconds,
+            "spill_bytes": self.spill_bytes,
+            "backlog": self.backlog,
+        }

@@ -1,0 +1,29 @@
+# repro: module(repro.exceptions)
+"""Wire fixture: subclasses the error codec cannot reconstruct."""
+
+
+class HazyError(Exception):
+    pass
+
+
+class NeedsCode(HazyError):
+    def __init__(self, message, code):  # line 10: required extra arg = WIRE001
+        super().__init__(message)
+        self.code = code
+
+
+class NoMessage(HazyError):
+    def __init__(self):  # line 16: cannot accept message = WIRE001
+        super().__init__("fixed")
+
+
+class NeedsKeyword(HazyError):
+    def __init__(self, message, *, lane):  # line 21: required kwonly = WIRE001
+        super().__init__(message)
+        self.lane = lane
+
+
+class FineAnyway(HazyError):
+    def __init__(self, message, detail=None):
+        super().__init__(message)
+        self.detail = detail

@@ -1,0 +1,21 @@
+# repro: module(repro.exceptions)
+"""Wire fixture: every subclass is rebuildable as cls(message)."""
+
+
+class HazyError(Exception):
+    pass
+
+
+class PlainError(HazyError):
+    pass
+
+
+class DiagnosticError(HazyError):
+    def __init__(self, message, position=None, token=None):
+        super().__init__(message)
+        self.position = position
+        self.token = token
+
+
+class DeepError(DiagnosticError):
+    pass

@@ -1,0 +1,4 @@
+# repro: module(repro.net.protocol)
+"""Wire fixture: a protocol module whose diagnostic fields drifted."""
+
+_DIAGNOSTIC_FIELDS = ("position",)  # line 4: missing 'token' = WIRE002

@@ -1,0 +1,27 @@
+"""COST001/COST002 against the cost-charging fixtures."""
+
+from __future__ import annotations
+
+from repro.analysis.passes.costs import CostChargingPass
+
+
+def test_clean_fixture_has_no_findings(run_pass):
+    active, suppressed = run_pass(CostChargingPass(), "cost_clean.py")
+    assert active == []
+    assert suppressed == []
+
+
+def test_bad_fixture_lines_and_rules(run_pass):
+    active, suppressed = run_pass(CostChargingPass(), "cost_bad.py")
+    assert suppressed == []
+    assert [(f.rule, f.line) for f in active] == [
+        ("COST001", 4),  # from repro.db.heap import HeapFile
+        ("COST002", 13),  # heap.read() outside the owner modules
+        ("COST002", 16),  # pool.fetch() outside the owner modules
+    ]
+
+
+def test_constructing_the_imported_class_is_not_double_counted(run_pass):
+    # HeapFile(path) on line 20 is a plain Name call; only the import fires.
+    active, _ = run_pass(CostChargingPass(), "cost_bad.py")
+    assert all(f.line != 20 for f in active)

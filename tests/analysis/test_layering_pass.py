@@ -1,0 +1,29 @@
+"""LAY001/LAY002 against the layering fixtures: exact rules and lines."""
+
+from __future__ import annotations
+
+from repro.analysis.passes.layering import LayeringPass
+
+
+def test_clean_fixture_has_no_findings(run_pass):
+    active, suppressed = run_pass(LayeringPass(), "lay_clean.py")
+    assert active == []
+    assert suppressed == []
+
+
+def test_bad_fixture_lines_and_rules(run_pass):
+    active, suppressed = run_pass(LayeringPass(), "lay_bad.py")
+    assert suppressed == []
+    assert [(f.rule, f.line) for f in active] == [
+        ("LAY001", 4),  # db -> serve, top-level
+        ("LAY002", 5),  # from repro import connect (facade attribute)
+        ("LAY001", 9),  # db -> net, lazy/function-local
+    ]
+    assert all(f.path == "lay_bad.py" for f in active)
+
+
+def test_lazy_imports_are_still_violations(run_pass):
+    active, _ = run_pass(LayeringPass(), "lay_bad.py")
+    lazy = [f for f in active if f.line == 9]
+    assert len(lazy) == 1
+    assert "net" in lazy[0].message

@@ -1,0 +1,29 @@
+"""LOCK001/LOCK002 against the lock-discipline fixtures."""
+
+from __future__ import annotations
+
+from repro.analysis.passes.locks import LockDisciplinePass
+
+
+def test_clean_fixture_has_no_findings(run_pass):
+    active, suppressed = run_pass(LockDisciplinePass(), "lock_clean.py")
+    assert active == []
+    assert suppressed == []
+
+
+def test_bad_fixture_lines_and_rules(run_pass):
+    active, suppressed = run_pass(LockDisciplinePass(), "lock_bad.py")
+    assert [(f.rule, f.line) for f in active] == [
+        ("LOCK001", 18),  # self.count += 1 without the lock
+        ("LOCK001", 21),  # self.items.append(1) without the lock
+        ("LOCK002", 25),  # Future.result() under the lock
+        ("LOCK002", 29),  # sock.sendall() under the lock
+    ]
+    assert [(f.rule, f.line) for f in suppressed] == [("LOCK001", 32)]
+
+
+def test_locked_marker_counts_as_held(run_pass):
+    # lock_clean.py's drain() mutates guarded state with no `with` block but
+    # carries `# repro: locked(_lock)`; a finding there would surface above.
+    active, _ = run_pass(LockDisciplinePass(), "lock_clean.py")
+    assert active == []

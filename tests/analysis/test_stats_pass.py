@@ -1,0 +1,31 @@
+"""STAT001/STAT002 against the stats-naming fixtures."""
+
+from __future__ import annotations
+
+from repro.analysis.passes.statnames import StatsNamingPass
+
+
+def test_clean_fixture_has_no_findings(run_pass):
+    active, suppressed = run_pass(StatsNamingPass(), "stat_clean.py")
+    assert active == []
+    assert suppressed == []
+
+
+def test_bad_fixture_lines_and_rules(run_pass):
+    active, suppressed = run_pass(StatsNamingPass(), "stat_bad.py")
+    assert suppressed == []
+    assert [(f.rule, f.line) for f in active] == [
+        ("STAT001", 7),  # registry.counter("serve.fixture.Reads-Total")
+        ("STAT001", 11),  # "readCount" dict key
+        ("STAT002", 12),  # "reads_count" -> _total
+        ("STAT002", 13),  # "wait_ms" -> _seconds
+        ("STAT002", 15),  # out["flush_secs"] subscript assignment -> _seconds
+    ]
+
+
+def test_messages_name_the_canonical_replacement(run_pass):
+    active, _ = run_pass(StatsNamingPass(), "stat_bad.py")
+    by_line = {f.line: f.message for f in active}
+    assert "_total" in by_line[12]
+    assert "_seconds" in by_line[13]
+    assert "_seconds" in by_line[15]

@@ -1,0 +1,35 @@
+"""WIRE001/WIRE002 against the wire-error fixtures."""
+
+from __future__ import annotations
+
+from repro.analysis.passes.wire import WireErrorPass
+
+
+def test_clean_fixture_has_no_findings(run_pass):
+    active, suppressed = run_pass(WireErrorPass(), "wire_clean.py")
+    assert active == []
+    assert suppressed == []
+
+
+def test_bad_fixture_lines_and_rules(run_pass):
+    active, suppressed = run_pass(WireErrorPass(), "wire_bad.py")
+    assert suppressed == []
+    assert [(f.rule, f.line) for f in active] == [
+        ("WIRE001", 10),  # NeedsCode: required positional beyond the message
+        ("WIRE001", 16),  # NoMessage: __init__ accepts no message
+        ("WIRE001", 21),  # NeedsKeyword: required keyword-only argument
+    ]
+    names = [f.message.split(".")[0] for f in active]
+    assert names == ["NeedsCode", "NoMessage", "NeedsKeyword"]
+
+
+def test_optional_extras_are_allowed(run_pass):
+    # FineAnyway(message, detail=None) at line 27 must not fire.
+    active, _ = run_pass(WireErrorPass(), "wire_bad.py")
+    assert all(f.line < 26 for f in active)
+
+
+def test_protocol_field_drift_fires_wire002(run_pass):
+    active, _ = run_pass(WireErrorPass(), "wire_protocol_bad.py")
+    assert [(f.rule, f.line) for f in active] == [("WIRE002", 4)]
+    assert "token" in active[0].message
