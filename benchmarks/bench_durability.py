@@ -1,0 +1,174 @@
+"""Crash-lossless durability: incremental checkpoints + WAL recovery gate.
+
+Two properties the durability subsystem (``src/repro/persist``) must hold,
+measured end-to-end through the SQL surface:
+
+* an **incremental checkpoint of an idle served view costs ~0**: nothing
+  moved since the parent, so zero shards are rewritten and zero shard
+  payload bytes hit disk — the checkpoint is a manifest that references the
+  parent's payload files by content digest;
+* **recovery replays to the exact pre-crash answer set**: post-checkpoint
+  churn lives in the diverted-op write-ahead log, so a restart that restores
+  the snapshot and replays the WAL lands bit-identical to the server that
+  never crashed — same ``contents()`` map, same ``top_k`` margins to the
+  last bit, with every post-checkpoint op accounted for.
+
+The crash is simulated the way the crash-injection suite does: the on-disk
+state (checkpoint directory + WAL directory) at the kill point is the whole
+truth; the in-memory pipeline is thrown away.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import Database, HazyEngine
+from repro.bench.reporting import format_table
+from repro.persist import load_checkpoint
+from repro.persist.wal import SEGMENT_SUFFIX, WriteAheadLog
+from repro.workloads import SparseCorpusGenerator
+
+ENTITIES = 600
+EXAMPLES = 50
+#: Post-checkpoint training-example inserts that only the WAL preserves.
+POST_CHURN = 25
+
+DDL = """
+CREATE CLASSIFICATION VIEW Labeled_Papers KEY id
+ENTITIES FROM Papers KEY id
+LABELS FROM Paper_Area LABEL label
+EXAMPLES FROM Example_Papers KEY id LABEL label
+FEATURE FUNCTION tf_bag_of_words
+USING SVM
+"""
+
+
+def _corpus():
+    generator = SparseCorpusGenerator(
+        vocabulary_size=500, nonzeros_per_document=12, positive_fraction=0.35, seed=29
+    )
+    return generator.generate_list(ENTITIES)
+
+
+def _build_database(corpus) -> Database:
+    db = Database()
+    db.execute("CREATE TABLE papers (id integer PRIMARY KEY, title text)")
+    db.execute("CREATE TABLE paper_area (label text PRIMARY KEY)")
+    db.execute("CREATE TABLE example_papers (id integer PRIMARY KEY, label text)")
+    db.execute("INSERT INTO paper_area (label) VALUES ('database'), ('other')")
+    db.executemany(
+        "INSERT INTO papers (id, title) VALUES (?, ?)",
+        [(doc.entity_id, doc.text) for doc in corpus],
+    )
+    db.executemany(
+        "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+        [
+            (doc.entity_id, "database" if doc.label == 1 else "other")
+            for doc in corpus[:EXAMPLES]
+        ],
+    )
+    return db
+
+
+def _answers(server):
+    return server.contents(), server.top_k(25), server.top_k(25, label=-1)
+
+
+def _wal_kib(wal_dir: Path) -> float:
+    return sum(path.stat().st_size for path in wal_dir.glob(f"wal-*{SEGMENT_SUFFIX}")) / 1024.0
+
+
+def run_durability_experiment(workdir: str | Path, corpus=None) -> dict:
+    """Serve with a WAL, checkpoint, churn, crash, recover; returns the row."""
+    corpus = corpus if corpus is not None else _corpus()
+    workdir = Path(workdir)
+    wal_dir = workdir / "wal"
+    full_dir = workdir / "full"
+    inc_dir = workdir / "inc"
+
+    db = _build_database(corpus)
+    engine = HazyEngine(db, architecture="mainmemory", strategy="hazy", approach="eager")
+    db.execute(DDL)
+    db.execute(f"SERVE VIEW Labeled_Papers WITH (wal = '{wal_dir}')")
+    server = engine.view("Labeled_Papers").server
+    server.flush()
+
+    full = db.execute(f"CHECKPOINT VIEW Labeled_Papers TO '{full_dir}'").rows[0]
+    # Nothing moved since the full checkpoint: the incremental one must
+    # rewrite no shard payloads at all.
+    idle = db.execute(
+        f"CHECKPOINT VIEW Labeled_Papers TO '{inc_dir}' WITH (incremental = true)"
+    ).rows[0]
+
+    # Post-checkpoint churn: example inserts the WAL alone preserves the
+    # arrival order of.  Deliberately NOT followed by another checkpoint —
+    # the crash happens first, so recovery must get these from the log.
+    churn = [
+        ("INSERT INTO example_papers (id, label) VALUES (?, ?)",
+         (doc.entity_id, "database" if doc.label == 1 else "other"))
+        for doc in corpus[EXAMPLES : EXAMPLES + POST_CHURN]
+    ]
+    for sql, params in churn:
+        db.execute(sql, params)
+    server.flush()
+    reference = _answers(server)
+    server.close()  # cleanup only; the disk state above is the crash state
+
+    # How much log recovery will have to replay.
+    applied_seq = load_checkpoint(inc_dir).manifest.wal_applied_seq
+    survivor = WriteAheadLog(wal_dir, fresh=False)
+    wal_records = len(survivor.records_after(applied_seq))
+    wal_kib = _wal_kib(wal_dir)
+    survivor.close()
+
+    # ---- recovery: fresh "process", durable base tables, snapshot + WAL
+    restart_db = _build_database(corpus)
+    for sql, params in churn:
+        restart_db.execute(sql, params)
+    restart = HazyEngine(
+        restart_db, architecture="mainmemory", strategy="hazy", approach="eager"
+    )
+    restart_db.execute(
+        f"RESTORE VIEW Labeled_Papers FROM '{inc_dir}' WITH (wal = '{wal_dir}')"
+    )
+    restored = restart.view("Labeled_Papers").server
+    identical = _answers(restored) == reference
+    restored.close()
+
+    return {
+        "entities": ENTITIES,
+        "post_churn_ops": POST_CHURN,
+        "full_kib": round(full["bytes"] / 1024.0, 1),
+        "idle_inc_shards_written": idle["shards_written"],
+        "idle_inc_shard_kib": round(idle["shard_bytes"] / 1024.0, 1),
+        "idle_inc_kib": round(idle["bytes"] / 1024.0, 1),
+        "wal_records_replayed": wal_records,
+        "wal_kib": round(wal_kib, 1),
+        "identical": int(identical),
+    }
+
+
+def build_table(corpus=None) -> list[dict]:
+    corpus = corpus if corpus is not None else _corpus()
+    with tempfile.TemporaryDirectory() as tmp:
+        return [run_durability_experiment(tmp, corpus=corpus)]
+
+
+def test_durability_gate(benchmark):
+    """The PR gate: idle incremental writes no shard payloads; recovery
+    replays every post-checkpoint op and lands bit-identical."""
+    corpus = _corpus()
+    rows = benchmark.pedantic(lambda: build_table(corpus), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Durability: incremental checkpoints + WAL recovery"))
+    row = rows[0]
+    assert row["idle_inc_shards_written"] == 0, "idle incremental rewrote shard payloads"
+    assert row["idle_inc_shard_kib"] == 0, "idle incremental shard bytes must be zero"
+    assert row["idle_inc_kib"] < row["full_kib"], (
+        "an idle incremental checkpoint should cost a manifest, not a snapshot"
+    )
+    assert row["wal_records_replayed"] == POST_CHURN, (
+        f"recovery replayed {row['wal_records_replayed']} of {POST_CHURN} logged ops"
+    )
+    assert row["identical"] == 1, "post-recovery answers differ from the pre-crash server"

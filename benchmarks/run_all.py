@@ -27,6 +27,7 @@ from repro.workloads import citeseer_like, dblife_like, forest_like  # noqa: E40
 
 from benchmarks import (  # noqa: E402
     bench_ablation_skiing,
+    bench_durability,
     bench_fig3_dataset_stats,
     bench_fig4a_eager_update,
     bench_fig4b_lazy_all_members,
@@ -80,6 +81,7 @@ def build_figures(datasets):
         "secondary_index": ("Secondary index vs sequential scan", bench_secondary_index.build_table),
         "vectorized": ("Vectorized batch execution", bench_vectorized.build_table),
         "warm_restart": ("Warm restart vs cold bulk load", bench_warm_restart.build_table),
+        "durability": ("Durability: incremental checkpoints + WAL recovery", bench_durability.build_table),
         "ablation_alpha": ("Ablation: alpha sensitivity", lambda: bench_ablation_skiing.build_alpha_table(dblife)),
         "ablation_skiing": ("Ablation: Skiing vs optimal schedule", lambda: bench_ablation_skiing.build_ratio_table(dblife)),
     }

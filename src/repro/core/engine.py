@@ -549,7 +549,7 @@ class HazyEngine:
     def serve(
         self,
         name: str,
-        num_shards: int = 4,
+        num_shards: int | None = None,
         restore_from: str | None = None,
         **server_options,
     ):
@@ -568,15 +568,21 @@ class HazyEngine:
         created in this engine yet), shard stores are imported instead of
         bulk-loaded, and only the base-table churn that happened *after* the
         checkpoint is featurized and replayed — restart cost is the snapshot
-        read plus the delta, not a full load.  ``num_shards`` is ignored on
-        restore (the snapshot's shard assignment is preserved).
+        read plus the delta, not a full load.  On restore the snapshot's
+        shard assignment is preserved; passing a ``num_shards`` that
+        disagrees with it raises
+        :class:`~repro.exceptions.ConfigurationError`.
         """
         # Composition-root seam: Engine.serve() constructs the layer above
         # it; the import stays lazy so `import repro.core` never pulls serve.
         from repro.serve.server import ViewServer  # repro: noqa(LAY001)
 
         if restore_from is not None:
+            if num_shards is not None:
+                server_options["num_shards"] = num_shards
             return self._serve_restored(name, restore_from, **server_options)
+        if num_shards is None:
+            num_shards = 4
         view = self.view(name)
         if view._server is not None:
             raise ViewDefinitionError(f"view {name!r} is already being served")
@@ -627,6 +633,10 @@ class HazyEngine:
         "max_wait_s": "read_batch_wait_s",
         "read_batch_wait_s": "read_batch_wait_s",
     }
+    _STR_SERVER_OPTIONS = {
+        "wal": "wal_dir",
+        "wal_dir": "wal_dir",
+    }
 
     def _server_options(self, options: Mapping[str, object]) -> dict[str, object]:
         """Map declarative ``WITH`` options onto ``ViewServer`` keyword arguments."""
@@ -642,6 +652,10 @@ class HazyEngine:
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     raise ConfigurationError(f"option {name!r} expects a number, got {value!r}")
                 mapped[self._FLOAT_SERVER_OPTIONS[key]] = float(value)
+            elif key in self._STR_SERVER_OPTIONS:
+                if not isinstance(value, str):
+                    raise ConfigurationError(f"option {name!r} expects a string, got {value!r}")
+                mapped[self._STR_SERVER_OPTIONS[key]] = value
             elif key == "adaptive_batching":
                 if not isinstance(value, bool):
                     raise ConfigurationError(
@@ -651,7 +665,12 @@ class HazyEngine:
                     adaptive = True
             else:
                 known = sorted(
-                    {*self._INT_SERVER_OPTIONS, *self._FLOAT_SERVER_OPTIONS, "adaptive_batching"}
+                    {
+                        *self._INT_SERVER_OPTIONS,
+                        *self._FLOAT_SERVER_OPTIONS,
+                        *self._STR_SERVER_OPTIONS,
+                        "adaptive_batching",
+                    }
                 )
                 raise ConfigurationError(f"unknown serving option {name!r}; known: {known}")
         if adaptive:
@@ -677,20 +696,55 @@ class HazyEngine:
         self.database.obs.registry.remove_provider(f"serve.{view.name}")
         return view
 
-    def checkpoint_view(self, name: str, path: str) -> dict[str, object]:
-        """``CHECKPOINT VIEW name TO path``: consistent snapshot of a served view."""
+    def checkpoint_view(
+        self, name: str, path: str, options: Mapping[str, object] | None = None
+    ) -> dict[str, object]:
+        """``CHECKPOINT VIEW name TO path [WITH (...)]``: consistent snapshot of a served view.
+
+        Options: ``incremental`` (bool — rewrite only shards whose epoch
+        moved since the parent) and ``parent`` (string path; defaults to the
+        server's last checkpoint when incremental).
+        """
         view = self.view(name)
         server = view.server
         if server is None:
             raise ViewDefinitionError(
                 f"view {name!r} is not being served; SERVE VIEW it before CHECKPOINT"
             )
-        return server.checkpoint(path)
+        incremental = False
+        parent = None
+        for option, value in (options or {}).items():
+            key = option.lower()
+            if key == "incremental":
+                if not isinstance(value, bool):
+                    raise ConfigurationError(
+                        f"option {option!r} expects true or false, got {value!r}"
+                    )
+                incremental = value
+            elif key == "parent":
+                if not isinstance(value, str):
+                    raise ConfigurationError(
+                        f"option {option!r} expects a string path, got {value!r}"
+                    )
+                parent = value
+            else:
+                raise ConfigurationError(
+                    f"unknown checkpoint option {option!r}; known: ['incremental', 'parent']"
+                )
+        if parent is not None and not incremental:
+            raise ConfigurationError(
+                "checkpoint option 'parent' requires incremental = true"
+            )
+        return server.checkpoint(path, incremental=incremental, parent=parent)
 
     def restore_view(self, name: str, path: str, options: Mapping[str, object] | None = None):
-        """``RESTORE VIEW name FROM path``: warm-start serving from a checkpoint."""
+        """``RESTORE VIEW name FROM path``: warm-start serving from a checkpoint.
+
+        A ``shards =`` option that disagrees with the snapshot's shard count
+        is a :class:`~repro.exceptions.ConfigurationError` — shard assignment
+        always comes from the snapshot.
+        """
         mapped = self._server_options(options or {})
-        mapped.pop("num_shards", None)  # shard assignment comes from the snapshot
         return self.serve(name, restore_from=path, **mapped)
 
     def served_views(self) -> list[ClassificationView]:
@@ -752,7 +806,7 @@ class HazyEngine:
                 statement_type="STOP SERVING",
             )
         if isinstance(statement, CheckpointView):
-            info = self.checkpoint_view(statement.view, statement.path)
+            info = self.checkpoint_view(statement.view, statement.path, statement.options)
             row = {"view": self.view(statement.view).name, **info}
             return ResultSet(rows=[row], rowcount=1, statement_type="CHECKPOINT VIEW")
         if isinstance(statement, RestoreView):
@@ -875,18 +929,27 @@ class HazyEngine:
         return server
 
     def _replay_post_checkpoint(self, view: ClassificationView, server, checkpoint) -> None:
-        """Enqueue only the base-table delta accumulated after the checkpoint.
+        """Replay everything that happened after the checkpoint cut, in two passes.
 
-        Rows the snapshot already covers are skipped entirely (no
-        featurization, no classification); new entity rows, vanished entities,
-        and example-table churn go through the server's ordinary maintenance
-        pipeline, so the restored view converges to the current base tables
-        before ``serve`` returns.  Content-only updates to existing entity
-        rows are not detected — that is the documented contract (the same one
-        a trigger-based system has while it is down).
+        **Pass 1 — the WAL** (when the restored server has one): every logged
+        op above the manifest's ``wal_applied_seq`` re-enters the maintenance
+        queue in its original arrival order.  Order is the point: SGD takes
+        one gradient step per training example, so the recovered model — not
+        just the answer set — matches the pre-crash server exactly.
+
+        **Pass 2 — the base-table diff**: churn the WAL did not capture
+        (writes issued while no server was attached, or with no WAL
+        configured).  New entity rows, vanished entities, and example-table
+        churn go through the ordinary pipeline; existing rows whose stored
+        content hash no longer matches the base table are re-featurized as
+        updates — the fix for the warm-restart staleness bug where a
+        content-only UPDATE between checkpoint and restore silently kept the
+        stale features.  Snapshots without stored hashes (standalone-written
+        or pre-hash) keep the old insert/delete-only contract.
         """
         from collections import Counter
 
+        from repro.persist.snapshot import row_content_hash
         # Composition-root seam: Engine.serve() constructs the layer above
         # it; the import stays lazy so `import repro.core` never pulls serve.
         from repro.serve.requests import WriteKind, WriteOp  # repro: noqa(LAY001)
@@ -894,13 +957,76 @@ class HazyEngine:
         definition = view.definition
         entities_table = self.database.table(definition.entities_table)
         examples_table = self.database.table(definition.examples_table)
-        snapshot_ids = checkpoint.entity_ids
+        snapshot_ids = set(checkpoint.entity_ids)
+        hashes: dict[object, str] = {}
+        for state in checkpoint.shard_states:
+            for entity_id, digest in state.row_hashes or ():
+                hashes[entity_id] = digest
+        retained = Counter(
+            (example.entity_id, example.label) for example in checkpoint.manifest.examples
+        )
+
+        # ---- Pass 1: WAL replay (bookkeeping keeps pass 2 from double-applying)
+        if server.wal is not None:
+            for record in server.wal.records_after(checkpoint.manifest.wal_applied_seq):
+                kind = WriteKind(record.kind)
+                server.worker.enqueue(
+                    WriteOp(
+                        kind=kind,
+                        row=record.row,
+                        old_row=record.old_row,
+                        wal_seq=record.seq,
+                    )
+                )
+                if kind in (WriteKind.ENTITY_INSERT, WriteKind.ENTITY_UPDATE):
+                    entity_id = record.row[definition.entities_key]
+                    snapshot_ids.add(entity_id)
+                    hashes[entity_id] = row_content_hash(record.row)
+                elif kind is WriteKind.ENTITY_DELETE:
+                    entity_id = record.old_row[definition.entities_key]
+                    snapshot_ids.discard(entity_id)
+                    hashes.pop(entity_id, None)
+                elif kind in (WriteKind.EXAMPLE_INSERT, WriteKind.EXAMPLE_UPDATE):
+                    if kind is WriteKind.EXAMPLE_UPDATE:
+                        retained[
+                            (
+                                record.old_row[definition.examples_key],
+                                view.to_binary_label(
+                                    record.old_row[definition.examples_label]
+                                ),
+                            )
+                        ] -= 1
+                    retained[
+                        (
+                            record.row[definition.examples_key],
+                            view.to_binary_label(record.row[definition.examples_label]),
+                        )
+                    ] += 1
+                elif kind is WriteKind.EXAMPLE_DELETE:
+                    retained[
+                        (
+                            record.old_row[definition.examples_key],
+                            view.to_binary_label(record.old_row[definition.examples_label]),
+                        )
+                    ] -= 1
+
+        # ---- Pass 2: diff the (post-WAL) expected state against the base tables
         live_ids: set[object] = set()
         for row in entities_table.scan():
             entity_id = row[definition.entities_key]
             live_ids.add(entity_id)
             if entity_id not in snapshot_ids:
                 server.worker.enqueue(WriteOp(kind=WriteKind.ENTITY_INSERT, row=dict(row)))
+                continue
+            stored = hashes.get(entity_id)
+            if stored is not None and stored != row_content_hash(row):
+                server.worker.enqueue(
+                    WriteOp(
+                        kind=WriteKind.ENTITY_UPDATE,
+                        row=dict(row),
+                        old_row={definition.entities_key: entity_id},
+                    )
+                )
         for entity_id in snapshot_ids - live_ids:
             server.worker.enqueue(
                 WriteOp(
@@ -908,9 +1034,6 @@ class HazyEngine:
                     old_row={definition.entities_key: entity_id},
                 )
             )
-        retained = Counter(
-            (example.entity_id, example.label) for example in checkpoint.manifest.examples
-        )
         for row in examples_table.scan():
             key = (
                 row[definition.examples_key],

@@ -21,7 +21,8 @@ The dialect covers what the paper's examples and experiments need:
 * ``UPDATE ... SET ... WHERE`` and ``DELETE FROM ... WHERE``
 * ``CREATE CLASSIFICATION VIEW`` — the model-based view DDL of Example 2.1
 * the serving lifecycle verbs (``SERVE VIEW`` / ``STOP SERVING`` /
-  ``CHECKPOINT VIEW ... TO`` / ``RESTORE VIEW ... FROM``)
+  ``CHECKPOINT VIEW ... TO [WITH (incremental = true, parent = '...')]`` /
+  ``RESTORE VIEW ... FROM``), all taking ``WITH (...)`` options
 * ``EXPLAIN`` and ``EXPLAIN ANALYZE`` (the latter also reports buffer-pool
   pages read/written by the statement)
 * the virtual ``system.*`` observability tables, readable with plain

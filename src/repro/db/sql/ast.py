@@ -223,10 +223,16 @@ class StopServing(Statement):
 
 @dataclass(frozen=True)
 class CheckpointView(Statement):
-    """``CHECKPOINT VIEW name TO 'path'`` — consistent snapshot of a served view."""
+    """``CHECKPOINT VIEW name TO 'path' [WITH (...)]`` — consistent snapshot of a served view.
+
+    Options: ``incremental = true`` rewrites only shards whose epoch moved
+    since the parent checkpoint; ``parent = 'path'`` overrides the default
+    parent (the server's last checkpoint).
+    """
 
     view: str
     path: str
+    options: dict[str, object] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

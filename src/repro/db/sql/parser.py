@@ -524,7 +524,8 @@ class _Parser:
         view = self._expect_identifier()
         self._expect_keyword("to")
         path = self._expect_string("checkpoint path")
-        return CheckpointView(view=view, path=path)
+        options = self._parse_with_options()
+        return CheckpointView(view=view, path=path, options=options)
 
     def _parse_restore(self) -> RestoreView:
         self._expect_keyword("restore")

@@ -11,7 +11,10 @@ the pieces:
 * :mod:`repro.persist.snapshot` — the exported state types and their JSON
   codecs (floats round-trip exactly, so restored reads are bit-identical);
 * :mod:`repro.persist.checkpoint` — the checkpoint directory layout, with the
-  manifest as the atomic commit point, and :func:`load_checkpoint`.
+  manifest as the atomic commit point, and :func:`load_checkpoint`;
+* :mod:`repro.persist.wal` — the append-only write-ahead log of diverted
+  trigger ops, replayed on warm restart so queued-but-unpublished writes
+  survive a crash.
 
 The write side is driven by
 :meth:`repro.serve.server.ViewServer.checkpoint` (per-shard concurrent
@@ -27,6 +30,7 @@ from repro.persist.checkpoint import (
     describe_checkpoint,
     load_checkpoint,
     shard_file_name,
+    shard_file_sha,
     write_feature_function,
     write_manifest,
     write_shard_state,
@@ -39,7 +43,13 @@ from repro.persist.format import (
     write_frame,
     write_json_frame,
 )
-from repro.persist.snapshot import CheckpointManifest, LoadedCheckpoint, ShardState
+from repro.persist.snapshot import (
+    CheckpointManifest,
+    LoadedCheckpoint,
+    ShardState,
+    row_content_hash,
+)
+from repro.persist.wal import WalRecord, WriteAheadLog
 
 __all__ = [
     "FORMAT_VERSION",
@@ -54,9 +64,13 @@ __all__ = [
     "MANIFEST_NAME",
     "FEATURES_NAME",
     "shard_file_name",
+    "shard_file_sha",
     "load_checkpoint",
     "describe_checkpoint",
     "write_shard_state",
     "write_manifest",
     "write_feature_function",
+    "row_content_hash",
+    "WalRecord",
+    "WriteAheadLog",
 ]

@@ -20,6 +20,7 @@ only restore checkpoints you wrote yourself (the usual pickle trust model).
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from pathlib import Path
 
@@ -31,6 +32,7 @@ __all__ = [
     "MANIFEST_NAME",
     "FEATURES_NAME",
     "shard_file_name",
+    "shard_file_sha",
     "write_shard_state",
     "write_manifest",
     "write_feature_function",
@@ -45,6 +47,14 @@ FEATURES_NAME = "features.hzs"
 def shard_file_name(index: int) -> str:
     """The file name of shard ``index``'s snapshot."""
     return f"shard-{index:04d}.hzs"
+
+
+def shard_file_sha(path: Path | str) -> str:
+    """Content digest of a shard file's raw bytes (frame header included).
+
+    Incremental checkpoints record this next to a parent-shard reference so
+    a later restore can prove the referenced file was not rewritten."""
+    return hashlib.blake2b(Path(path).read_bytes(), digest_size=16).hexdigest()
 
 
 def write_shard_state(directory: Path | str, state: ShardState) -> int:
@@ -82,6 +92,8 @@ def describe_checkpoint(path: Path | str) -> dict[str, object]:
         "architecture": manifest.architecture,
         "strategy": manifest.strategy,
         "approach": manifest.approach,
+        "wal_applied_seq": manifest.wal_applied_seq,
+        "parent": manifest.parent,
     }
 
 
@@ -97,9 +109,21 @@ def load_checkpoint(path: Path | str) -> LoadedCheckpoint:
             f"manifest lists {len(manifest.shard_files)} shard files"
         )
     shard_states: list[ShardState] = []
-    for name in manifest.shard_files:
-        file_path = directory / name
-        payload_bytes = file_path.stat().st_size if file_path.exists() else 0
+    for index, name in enumerate(manifest.shard_files):
+        source = manifest.shard_sources[index] if manifest.shard_sources else None
+        file_path = Path(source) if source else directory / name
+        if not file_path.is_file():
+            where = "references parent shard file" if source else "lists shard file"
+            raise SnapshotCorruptionError(
+                f"checkpoint {directory} manifest {where} {file_path} "
+                "but it is missing"
+            )
+        if manifest.shard_shas is not None and shard_file_sha(file_path) != manifest.shard_shas[index]:
+            raise SnapshotCorruptionError(
+                f"checkpoint {directory} shard file {file_path} does not match the "
+                "content digest its manifest recorded: the file was rewritten or corrupted"
+            )
+        payload_bytes = file_path.stat().st_size
         shard_states.append(
             ShardState.from_document(read_json_frame(file_path), payload_bytes=payload_bytes)
         )

@@ -29,10 +29,15 @@ from repro.exceptions import SnapshotCorruptionError, SnapshotVersionError
 __all__ = [
     "FORMAT_VERSION",
     "MAGIC",
+    "WAL_MAGIC",
+    "WAL_VERSION",
     "write_frame",
     "read_frame",
     "write_json_frame",
     "read_json_frame",
+    "wal_header",
+    "pack_wal_record",
+    "scan_wal_records",
 ]
 
 MAGIC = b"HZSNAP"
@@ -40,6 +45,13 @@ MAGIC = b"HZSNAP"
 FORMAT_VERSION = 1
 
 _HEADER = struct.Struct(">6sHQI")
+
+WAL_MAGIC = b"HZWLOG"
+#: Bump on any incompatible change to the WAL record payload schema in wal.py.
+WAL_VERSION = 1
+
+_WAL_HEADER = struct.Struct(">6sH")
+_WAL_RECORD = struct.Struct(">II")
 
 
 def write_frame(path: Path | str, payload: bytes, version: int = FORMAT_VERSION) -> int:
@@ -110,3 +122,73 @@ def read_json_frame(path: Path | str, expected_version: int = FORMAT_VERSION) ->
         raise SnapshotCorruptionError(
             f"snapshot file {path} passed its CRC but holds unparseable JSON: {error}"
         ) from error
+
+
+# --- WAL segment framing -------------------------------------------------
+#
+# A WAL segment is an *append-only* stream, so the whole-file frame above
+# (one length+CRC covering everything) cannot apply: the writer never knows
+# the final length.  Instead each segment opens with a fixed 8-byte header
+# and every record carries its own length and CRC::
+#
+#     segment: WAL_MAGIC (6) | wal version (u16) | record*
+#     record:  payload length (u32) | CRC-32 of payload (u32) | payload
+#
+# A crash mid-append leaves a *torn tail* — a final record whose length or
+# CRC check fails.  :func:`scan_wal_records` reports the tail instead of
+# raising so recovery can replay every complete record and stop, which is
+# exactly the contract ARIES-style logging demands of the log device.
+
+
+def wal_header(version: int = WAL_VERSION) -> bytes:
+    """The fixed header that opens every WAL segment file."""
+    return _WAL_HEADER.pack(WAL_MAGIC, version)
+
+
+def pack_wal_record(payload: bytes) -> bytes:
+    """Frame one WAL record: u32 length, u32 CRC-32, payload."""
+    return _WAL_RECORD.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def scan_wal_records(
+    raw: bytes, path: Path | str, expected_version: int = WAL_VERSION
+) -> tuple[list[bytes], int]:
+    """Walk one segment's bytes; return ``(payloads, torn_bytes)``.
+
+    ``payloads`` holds every record that passed its length and CRC checks, in
+    file order.  ``torn_bytes`` counts trailing bytes that do not form a
+    complete valid record (0 for a cleanly closed segment).  A bad segment
+    header — wrong magic or too short to hold one — raises
+    :class:`SnapshotCorruptionError`, and version skew raises
+    :class:`SnapshotVersionError`: neither is a crash shape append-only
+    writing can produce, so neither is silently tolerated.
+    """
+    if len(raw) < _WAL_HEADER.size:
+        raise SnapshotCorruptionError(
+            f"WAL segment {path} is truncated: {len(raw)} bytes, "
+            f"need at least {_WAL_HEADER.size} for the header"
+        )
+    magic, version = _WAL_HEADER.unpack_from(raw)
+    if magic != WAL_MAGIC:
+        raise SnapshotCorruptionError(f"WAL segment {path} has bad magic {magic!r}")
+    if version != expected_version:
+        raise SnapshotVersionError(
+            f"WAL segment {path} is format version {version}, "
+            f"this reader understands version {expected_version}"
+        )
+    payloads: list[bytes] = []
+    offset = _WAL_HEADER.size
+    while offset < len(raw):
+        if offset + _WAL_RECORD.size > len(raw):
+            break
+        length, crc = _WAL_RECORD.unpack_from(raw, offset)
+        start = offset + _WAL_RECORD.size
+        end = start + length
+        if end > len(raw):
+            break
+        payload = raw[start:end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            break
+        payloads.append(payload)
+        offset = end
+    return payloads, len(raw) - offset

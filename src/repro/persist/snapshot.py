@@ -13,6 +13,9 @@ values the SQL substrate stores as keys.
 
 from __future__ import annotations
 
+import hashlib
+import json
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.exceptions import SnapshotError
@@ -32,7 +35,22 @@ __all__ = [
     "decode_records",
     "encode_examples",
     "decode_examples",
+    "row_content_hash",
 ]
+
+
+def row_content_hash(row: Mapping[str, object]) -> str:
+    """A short, stable digest of one base-table row's content.
+
+    Checkpoints store this per entity so warm-restart replay can detect
+    content-only UPDATEs — rows whose id survived but whose feature columns
+    changed — which an insert/delete diff is blind to.  The digest is over
+    the canonical JSON form (sorted keys, compact separators); JSON emits
+    shortest-round-trip floats, so equal SQL values hash equal across
+    processes.
+    """
+    canonical = json.dumps(dict(row), sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
 
 _SCALAR_TYPES = (str, int, float, bool)
 
@@ -131,6 +149,12 @@ class ShardState:
     #: Bytes of the frame this state was read from (restore charges its
     #: sequential read against the shard's ledger); 0 when freshly exported.
     payload_bytes: int = 0
+    #: ``[entity_id, content_hash]`` pairs (see :func:`row_content_hash`) for
+    #: this shard's entities, captured from the base table at checkpoint
+    #: time.  None for standalone servers (no base table) and for snapshots
+    #: written before hashes existed; replay then falls back to the
+    #: insert/delete-only diff.
+    row_hashes: list[list[object]] | None = None
 
     def to_document(self) -> dict[str, object]:
         document: dict[str, object] = {
@@ -146,6 +170,8 @@ class ShardState:
         }
         if self.stored_model is not None:
             document["stored_model"] = encode_model(self.stored_model)
+        if self.row_hashes is not None:
+            document["row_hashes"] = [[_check_id(i), h] for i, h in self.row_hashes]
         return document
 
     @classmethod
@@ -163,6 +189,7 @@ class ShardState:
             band_high=float(document["band_high"]),
             skiing=document.get("skiing"),
             payload_bytes=payload_bytes,
+            row_hashes=document.get("row_hashes"),
         )
 
 
@@ -190,6 +217,28 @@ class CheckpointManifest:
     definition: dict[str, object] | None = None
     positive_label: object = None
     has_feature_function: bool = False
+    #: The highest WAL sequence number whose op is reflected in this
+    #: snapshot; recovery replays only records above it.  0 when the server
+    #: ran without a WAL.
+    wal_applied_seq: int = 0
+    #: Per-shard epoch of last change, captured at checkpoint time; the
+    #: basis for incremental checkpoints (a shard whose epoch did not move
+    #: past the parent's is not rewritten).  None on older snapshots.
+    shard_epochs: list[int] | None = None
+    #: Per-shard content digest of the shard *file* bytes, so an
+    #: incremental child can reference a parent shard by path and later
+    #: verify it was not rewritten underneath.  None on older snapshots.
+    shard_shas: list[str] | None = None
+    #: Per-shard source path for shards this (incremental) checkpoint did
+    #: not rewrite: an absolute path into the parent checkpoint (chains are
+    #: flattened at write time, so a source never points at another
+    #: incremental reference).  None entries mean "this directory".
+    shard_sources: list[str | None] | None = None
+    #: Per-shard record counts, so describing an incremental checkpoint
+    #: does not need to open parent shard files.
+    shard_entities: list[int] | None = None
+    #: The parent checkpoint path when this one was written incrementally.
+    parent: str | None = None
 
     def to_document(self) -> dict[str, object]:
         return {
@@ -206,6 +255,12 @@ class CheckpointManifest:
             "definition": self.definition,
             "positive_label": self.positive_label,
             "has_feature_function": self.has_feature_function,
+            "wal_applied_seq": self.wal_applied_seq,
+            "shard_epochs": self.shard_epochs,
+            "shard_shas": self.shard_shas,
+            "shard_sources": self.shard_sources,
+            "shard_entities": self.shard_entities,
+            "parent": self.parent,
         }
 
     @classmethod
@@ -224,6 +279,12 @@ class CheckpointManifest:
             definition=document.get("definition"),
             positive_label=document.get("positive_label"),
             has_feature_function=bool(document.get("has_feature_function", False)),
+            wal_applied_seq=int(document.get("wal_applied_seq", 0)),
+            shard_epochs=document.get("shard_epochs"),
+            shard_shas=document.get("shard_shas"),
+            shard_sources=document.get("shard_sources"),
+            shard_entities=document.get("shard_entities"),
+            parent=document.get("parent"),
         )
 
 

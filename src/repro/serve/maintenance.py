@@ -37,6 +37,7 @@ from collections.abc import Sequence
 from repro.learn.model import LinearModel
 from repro.learn.sgd import TrainingExample
 from repro.serve.requests import WriteKind, WriteOp, WriteTicket
+from repro.serve.sharding import shard_index
 
 __all__ = ["MaintenanceWorker"]
 
@@ -51,8 +52,10 @@ class MaintenanceWorker:
     ``entity_key(row)``, ``build_example(row, pending_features)``,
     ``retain_example(example)``, ``forget_example(old_row)``,
     ``retained_examples()``, ``charge_model_update()``,
-    ``record_mutations(entity_ops)`` and ``publish_epoch(final_model)`` plus
-    the ``trainer``, ``shards``, ``rw_lock`` and ``epoch_clock`` attributes.
+    ``record_mutations(entity_ops)``,
+    ``publish_epoch(final_model, dirty_shards, wal_seq)`` and
+    ``rotate_wal()`` plus the ``trainer``, ``shards``, ``rw_lock`` and
+    ``epoch_clock`` attributes.
     """
 
     def __init__(
@@ -202,6 +205,24 @@ class MaintenanceWorker:
         # ---- Phase 2: apply — exclusive, but short (no training in here) -------------
         mutated = bool(entity_ops or models)
         if mutated:
+            # Which shards this batch touches (the basis for incremental
+            # checkpoints): a model run reclassifies *every* shard, entity
+            # churn only the owning ones.  Also the highest WAL sequence
+            # number the batch carries — publish records it so checkpoints
+            # know where recovery's replay must start.
+            num_shards = len(host.shards)
+            if models:
+                dirty_shards = frozenset(range(num_shards))
+            else:
+                dirty_shards = frozenset(
+                    shard_index(
+                        payload if action == "remove" else payload[0], num_shards
+                    )
+                    for action, payload in entity_ops
+                )
+            applied_seq = max(
+                (op.wal_seq for op in ops if op.wal_seq is not None), default=None
+            )
             with host.rw_lock.write_locked():
                 for action, payload in entity_ops:
                     if action == "remove":
@@ -212,7 +233,12 @@ class MaintenanceWorker:
                 if models:
                     host.shards.apply_model_batch(models)
                 host.record_mutations(entity_ops)
-                epoch = host.publish_epoch(models[-1] if models else None)
+                epoch = host.publish_epoch(
+                    models[-1] if models else None,
+                    dirty_shards=dirty_shards,
+                    wal_seq=applied_seq,
+                )
+            host.rotate_wal()
         else:
             epoch = host.epoch_clock.epoch
 

@@ -72,3 +72,8 @@ class WriteOp:
     row: dict[str, object] | None = None
     old_row: dict[str, object] | None = None
     ticket: WriteTicket = field(default_factory=WriteTicket)
+    #: Sequence number assigned by the server's write-ahead log before the op
+    #: was enqueued (None when the server runs without a WAL).  Publishing an
+    #: epoch records the highest applied seq so checkpoints know where
+    #: recovery's replay must start.
+    wal_seq: int | None = None

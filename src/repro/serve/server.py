@@ -43,18 +43,27 @@ from repro.core.stores.mainmemory import InMemoryEntityStore
 from repro.core.stores.ondisk import OnDiskEntityStore
 from repro.db.buffer_pool import IOStatistics
 from repro.db.triggers import Trigger, TriggerEvent
-from repro.exceptions import KeyNotFoundError, MaintenanceError
+from repro.exceptions import ConfigurationError, KeyNotFoundError, MaintenanceError
 from repro.learn.model import LinearModel, sign
 from repro.learn.sgd import SGDTrainer, TrainingExample
 from repro.linalg import SparseVector
 from repro.obs import Counter, current_trace
 from repro.persist.checkpoint import (
+    MANIFEST_NAME,
     shard_file_name,
+    shard_file_sha,
     write_feature_function,
     write_manifest,
     write_shard_state,
 )
-from repro.persist.snapshot import CheckpointManifest, LoadedCheckpoint, ShardState
+from repro.persist.format import read_json_frame
+from repro.persist.snapshot import (
+    CheckpointManifest,
+    LoadedCheckpoint,
+    ShardState,
+    row_content_hash,
+)
+from repro.persist.wal import WriteAheadLog
 from repro.serve.batcher import ReadBatcher
 from repro.serve.maintenance import MaintenanceWorker
 from repro.serve.requests import WriteKind, WriteOp, WriteTicket
@@ -211,6 +220,9 @@ class ViewServer:
         epoch_history: int = 256,
         restored_shards: ShardSet | None = None,
         initial_epoch: int = 0,
+        wal_dir: str | Path | None = None,
+        initial_wal_seq: int = 0,
+        initial_shard_epochs: Sequence[int] | None = None,
     ):
         if restored_shards is not None:
             # Warm restart (see :meth:`restore`): the shards were rebuilt from
@@ -260,6 +272,28 @@ class ViewServer:
         #: registry by the engine's per-view provider and by ``stats()``).
         self.epochs_published = Counter()
         self.trigger_diverts = Counter()
+        #: Per-shard epoch of last change — the basis for incremental
+        #: checkpoints.  Written only under the write lock (publish_epoch),
+        #: read under the read lock (checkpoint).
+        num = len(self.shards)
+        if initial_shard_epochs is not None and len(initial_shard_epochs) == num:
+            self._shard_epochs = [int(value) for value in initial_shard_epochs]
+        else:
+            self._shard_epochs = [initial_epoch] * num
+        #: Write-ahead log of diverted ops (optional).  A fresh serve wipes
+        #: any stale segments — the base tables are authoritative for
+        #: pre-serve state — while a warm restart continues the survivor.
+        self._wal = (
+            WriteAheadLog(wal_dir, fresh=restored_shards is None)
+            if wal_dir is not None
+            else None
+        )
+        #: Highest WAL sequence number whose op has been published (recorded
+        #: in checkpoint manifests so recovery knows where replay starts).
+        self._wal_applied_seq = int(initial_wal_seq)
+        #: Where the last successful checkpoint landed — the default parent
+        #: for ``checkpoint(..., incremental=True)``.
+        self._last_checkpoint_path: Path | None = None
         if read_batch_wait_s == "adaptive":
             self.batcher = ReadBatcher(
                 self._execute_read_batch,
@@ -473,14 +507,32 @@ class ViewServer:
         row = {self._examples_key: entity_id, self._examples_label: label_value}
         if self._view is not None:
             return self._insert_via_table(self._view.definition.examples_table, row)
-        return self.worker.enqueue(WriteOp(kind=WriteKind.EXAMPLE_INSERT, row=row))
+        return self._enqueue_logged(WriteKind.EXAMPLE_INSERT, row, None)
 
     def insert_entity(self, row) -> WriteTicket:
         """Queue one new entity: a table row (attached/featurized) or ``(id, features)``."""
         self._require_accepting()
         if self._view is not None and not isinstance(row, tuple):
             return self._insert_via_table(self._view.definition.entities_table, dict(row))
-        return self.worker.enqueue(WriteOp(kind=WriteKind.ENTITY_INSERT, row=row))
+        return self._enqueue_logged(WriteKind.ENTITY_INSERT, row, None)
+
+    def _enqueue_logged(
+        self,
+        kind: WriteKind,
+        row: dict[str, object] | None,
+        old_row: dict[str, object] | None,
+    ) -> WriteTicket:
+        """The single choke point every diverted op passes through:
+        **log-before-enqueue**.  The WAL append flushes before the op enters
+        the queue, so an op a client saw acknowledged is either published
+        (epoch advanced) or replayable from the log — never silently lost to
+        a crash of the in-memory pipeline."""
+        wal_seq = None
+        if self._wal is not None:
+            wal_seq = self._wal.append(kind.value, row, old_row)
+        return self.worker.enqueue(
+            WriteOp(kind=kind, row=row, old_row=old_row, wal_seq=wal_seq)
+        )
 
     def _insert_via_table(self, table_name: str, row: dict[str, object]) -> WriteTicket:
         self._ticket_local.ticket = None
@@ -582,17 +634,44 @@ class ViewServer:
         """Worker hook: account one incremental training step."""
         self._train_stats.charge(self._cost_model.model_update, "model_update")
 
-    def publish_epoch(self, final_model: LinearModel | None) -> int:
-        """Worker hook (under the write lock): advance the clock, snapshot the model."""
+    def publish_epoch(
+        self,
+        final_model: LinearModel | None,
+        dirty_shards: Iterable[int] = (),
+        wal_seq: int | None = None,
+    ) -> int:
+        """Worker hook (under the write lock): advance the clock, snapshot the model.
+
+        ``dirty_shards`` are the shards the batch touched (their last-change
+        epoch moves to the new epoch — the bookkeeping incremental
+        checkpoints diff against) and ``wal_seq`` is the highest WAL
+        sequence number the batch carried, now durable in published state.
+        """
         if final_model is not None:
             self._model_snapshot = final_model.copy()
         self._published_examples = tuple(self._examples)
         epoch = self.epoch_clock.advance()
         self.epochs_published.inc()
+        for index in dirty_shards:
+            self._shard_epochs[index] = epoch
+        if wal_seq is not None and wal_seq > self._wal_applied_seq:
+            self._wal_applied_seq = wal_seq
         self._epoch_models[epoch] = self._model_snapshot.copy()
         while len(self._epoch_models) > self._epoch_history:
             self._epoch_models.popitem(last=False)
         return epoch
+
+    def rotate_wal(self) -> None:
+        """Worker hook (after publish, outside the lock): close the WAL
+        segment so it aligns with the epoch boundary and pruning at the next
+        checkpoint is whole-file unlink."""
+        if self._wal is not None:
+            self._wal.rotate()
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The server's write-ahead log, when one was configured."""
+        return self._wal
 
     def record_mutations(self, entity_ops: Sequence[tuple[str, object]]) -> None:
         """Worker hook: log ordered entity churn so ``close`` can resync the view."""
@@ -600,7 +679,53 @@ class ViewServer:
 
     # ------------------------------------------------------------ checkpoint / recovery
 
-    def checkpoint(self, path: str | Path) -> dict[str, object]:
+    def _resolve_parent(
+        self, directory: Path, parent: str | Path | None
+    ) -> tuple[Path, CheckpointManifest]:
+        """Locate and sanity-check the parent of an incremental checkpoint."""
+        parent_dir = Path(parent) if parent is not None else self._last_checkpoint_path
+        if parent_dir is None:
+            raise ConfigurationError(
+                "incremental checkpoint needs a parent: no full checkpoint was "
+                "written by this server and no parent path was given"
+            )
+        parent_dir = parent_dir.resolve()
+        if parent_dir == directory.resolve():
+            raise ConfigurationError(
+                f"incremental checkpoint cannot use itself ({directory}) as parent"
+            )
+        manifest = CheckpointManifest.from_document(
+            read_json_frame(parent_dir / MANIFEST_NAME)
+        )
+        if manifest.num_shards != len(self.shards):
+            raise ConfigurationError(
+                f"parent checkpoint {parent_dir} holds {manifest.num_shards} shards, "
+                f"this server runs {len(self.shards)}"
+            )
+        if manifest.shard_epochs is None:
+            raise ConfigurationError(
+                f"parent checkpoint {parent_dir} predates per-shard epoch tracking "
+                "and cannot anchor an incremental checkpoint; write a full one first"
+            )
+        return parent_dir, manifest
+
+    def _base_row_hashes(self) -> dict[object, str] | None:
+        """Content hashes of the current base-table entity rows (attached only).
+
+        Stored per shard in the snapshot so warm-restart replay can detect
+        content-only UPDATEs — churn an insert/delete diff cannot see."""
+        if self._view is None:
+            return None
+        table = self._view.database.table(self._view.definition.entities_table)
+        key = self._view.definition.entities_key
+        return {row[key]: row_content_hash(row) for row in table.scan()}
+
+    def checkpoint(
+        self,
+        path: str | Path,
+        incremental: bool = False,
+        parent: str | Path | None = None,
+    ) -> dict[str, object]:
         """Write a consistent snapshot of the whole serving state to ``path``.
 
         The cut is **quiesce-free**: state is gathered while holding only the
@@ -612,26 +737,61 @@ class ViewServer:
         on the shard worker threads, concurrently, after the lock is released;
         the manifest is written last, atomically, as the commit point.
 
+        With ``incremental=True`` only shards whose epoch moved since
+        ``parent`` (default: this server's last checkpoint) are rewritten;
+        unchanged shards are referenced by absolute path plus a content
+        digest of the parent file, so a later restore can prove the
+        reference was not rewritten underneath.  The manifest, retained
+        examples, and feature function are always written fresh.
+
         Returns a small info dict (``path``, ``epoch``, ``entities``,
-        ``bytes``).
+        ``bytes``, ``shards_written``, ``shard_bytes``).
         """
         if self._closed:
             raise MaintenanceError("cannot checkpoint a closed server")
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
+        parent_dir: Path | None = None
+        parent_manifest: CheckpointManifest | None = None
+        if incremental:
+            parent_dir, parent_manifest = self._resolve_parent(directory, parent)
+
+        num_shards = len(self.shards)
         with self.rw_lock.read_locked():
             epoch = self.epoch_clock.epoch
             model = self._model_snapshot.copy()
             examples = list(self._published_examples)
-            exports = [
-                shard.submit(shard.export_state_local) for shard in self.shards.shards
-            ]
+            shard_epochs = list(self._shard_epochs)
+            wal_applied_seq = self._wal_applied_seq
+            if parent_manifest is None:
+                rewrite = list(range(num_shards))
+            else:
+                rewrite = [
+                    index
+                    for index in range(num_shards)
+                    if shard_epochs[index] != parent_manifest.shard_epochs[index]
+                ]
+            exports = {
+                index: self.shards.shards[index].submit(
+                    self.shards.shards[index].export_state_local
+                )
+                for index in rewrite
+            }
             # Deliberate: the read lock pins a consistent cut across shards
             # while their state exports drain.
-            states = [future.result() for future in exports]  # repro: noqa(LOCK002)
+            states = {index: future.result() for index, future in exports.items()}  # repro: noqa(LOCK002)
 
-        shard_states = [
-            ShardState(
+        row_hashes = self._base_row_hashes()
+        shard_states: dict[int, ShardState] = {}
+        for index, state in states.items():
+            hashes = None
+            if row_hashes is not None:
+                hashes = [
+                    [entity_id, row_hashes[entity_id]]
+                    for entity_id, _, _, _ in state["records"]
+                    if entity_id in row_hashes
+                ]
+            shard_states[index] = ShardState(
                 index=index,
                 strategy=state["strategy"],
                 approach=state["approach"],
@@ -642,14 +802,47 @@ class ViewServer:
                 band_low=state.get("band_low", 0.0),
                 band_high=state.get("band_high", 0.0),
                 skiing=state.get("skiing"),
+                row_hashes=hashes,
             )
-            for index, state in enumerate(states)
-        ]
-        writes = [
-            shard.submit(write_shard_state, directory, shard_state)
-            for shard, shard_state in zip(self.shards.shards, shard_states)
-        ]
-        total_bytes = sum(future.result() for future in writes)
+        writes = {
+            index: self.shards.shards[index].submit(
+                write_shard_state, directory, shard_state
+            )
+            for index, shard_state in shard_states.items()
+        }
+        shard_bytes = sum(future.result() for future in writes.values())
+        total_bytes = shard_bytes
+
+        shard_shas: list[str] = []
+        shard_sources: list[str | None] = []
+        shard_entities: list[int] = []
+        for index in range(num_shards):
+            if index in shard_states:
+                shard_shas.append(shard_file_sha(directory / shard_file_name(index)))
+                shard_sources.append(None)
+                shard_entities.append(len(shard_states[index].records))
+            else:
+                # Unchanged since the parent cut: reference the parent's file
+                # (flattening chains — a source never points at another
+                # reference) and carry its digest and record count forward.
+                source = None
+                if parent_manifest.shard_sources is not None:
+                    source = parent_manifest.shard_sources[index]
+                resolved = (
+                    Path(source)
+                    if source
+                    else parent_dir / parent_manifest.shard_files[index]
+                )
+                if parent_manifest.shard_shas is not None:
+                    sha = parent_manifest.shard_shas[index]
+                else:
+                    sha = shard_file_sha(resolved)
+                shard_shas.append(sha)
+                shard_sources.append(str(resolved))
+                if parent_manifest.shard_entities is not None:
+                    shard_entities.append(parent_manifest.shard_entities[index])
+                else:
+                    shard_entities.append(0)
 
         has_features = self.feature_function is not None
         if has_features:
@@ -668,8 +861,8 @@ class ViewServer:
             epoch=epoch,
             model=model,
             trainer_steps=model.version,
-            num_shards=len(self.shards),
-            shard_files=[shard_file_name(state.index) for state in shard_states],
+            num_shards=num_shards,
+            shard_files=[shard_file_name(index) for index in range(num_shards)],
             examples=examples,
             architecture=_architecture_name(reference.store),
             strategy=reference.strategy_name,
@@ -677,13 +870,26 @@ class ViewServer:
             definition=definition,
             positive_label=positive_label,
             has_feature_function=has_features,
+            wal_applied_seq=wal_applied_seq,
+            shard_epochs=shard_epochs,
+            shard_shas=shard_shas,
+            shard_sources=shard_sources if incremental else None,
+            shard_entities=shard_entities,
+            parent=str(parent_dir) if parent_dir is not None else None,
         )
         total_bytes += write_manifest(directory, manifest)
+        if self._wal is not None and wal_applied_seq:
+            # Everything at or below the manifest's applied seq is durable in
+            # the snapshot; replay will never need those segments again.
+            self._wal.prune(wal_applied_seq)
+        self._last_checkpoint_path = directory
         return {
             "path": str(directory),
             "epoch": epoch,
-            "entities": sum(len(state.records) for state in shard_states),
+            "entities": sum(shard_entities),
             "bytes": total_bytes,
+            "shards_written": len(shard_states),
+            "shard_bytes": shard_bytes,
         }
 
     @classmethod
@@ -707,9 +913,19 @@ class ViewServer:
         dot products, no re-sort — the epoch clock resumes at the snapshot
         epoch, and the trainer is rewound to the published model.  The shard
         count always comes from the snapshot (eps values are only meaningful
-        on the shard that stored them).
+        on the shard that stored them); asking for a different ``num_shards``
+        is a :class:`~repro.exceptions.ConfigurationError`, not a silent
+        override.
         """
         manifest = checkpoint.manifest
+        requested_shards = server_options.pop("num_shards", None)
+        if requested_shards is not None and int(requested_shards) != manifest.num_shards:
+            raise ConfigurationError(
+                f"checkpoint was written with {manifest.num_shards} shards; "
+                f"cannot restore with shards={requested_shards} — per-entity eps "
+                "values are only meaningful on the shard that stored them, so "
+                "restore always preserves the snapshot's shard assignment"
+            )
         shard_set = ShardSet.restore(
             [_maintainer_state(state) for state in checkpoint.shard_states],
             store_factory=store_factory,
@@ -733,8 +949,38 @@ class ViewServer:
             initial_examples=manifest.examples,
             restored_shards=shard_set,
             initial_epoch=manifest.epoch,
+            initial_wal_seq=manifest.wal_applied_seq,
+            initial_shard_epochs=manifest.shard_epochs,
             **server_options,
         )
+
+    def replay_wal(self, flush: bool = True) -> int:
+        """Re-enqueue every WAL record not yet reflected in this server's state.
+
+        The standalone recovery path (attached servers are replayed by
+        ``HazyEngine._serve_restored``, which also reconciles the base
+        tables): records above the restored ``wal_applied_seq`` re-enter the
+        queue in arrival order, carrying their original sequence numbers so
+        the next publish and checkpoint account for them.  Individual ops
+        that no longer apply (e.g. an example referencing an entity deleted
+        by later history) fail their ticket without poisoning the rest.
+        Returns the number of records re-enqueued.
+        """
+        if self._wal is None:
+            return 0
+        records = self._wal.records_after(self._wal_applied_seq)
+        tickets = []
+        for record in records:
+            op = WriteOp(
+                kind=WriteKind(record.kind),
+                row=record.row,
+                old_row=record.old_row,
+                wal_seq=record.seq,
+            )
+            tickets.append(self.worker.enqueue(op))
+        if flush and records:
+            self.worker.flush()
+        return len(records)
 
     # ------------------------------------------------------------ view attachment
 
@@ -777,7 +1023,7 @@ class ViewServer:
         kind = self._trigger_kinds.get(trigger.name)
         if kind is None or not self._accepting:
             return False  # not ours (or closing): run inline
-        ticket = self.worker.enqueue(WriteOp(kind=kind, row=new_row, old_row=old_row))
+        ticket = self._enqueue_logged(kind, new_row, old_row)
         self.trigger_diverts.inc()
         self._ticket_local.ticket = ticket
         return True
@@ -843,6 +1089,8 @@ class ViewServer:
             if self._view is not None:
                 self._view._server = None
                 self._view = None
+            if self._wal is not None:
+                self._wal.close()
             self.shards.shutdown()
             self._closed = True
 
@@ -872,7 +1120,7 @@ class ViewServer:
         convention (``snake_case`` with ``_total`` / ``_seconds`` suffixes).
         """
         with self.rw_lock.read_locked():
-            return {
+            snapshot = {
                 "epoch": self.epoch,
                 "entities": self.shards.count(),
                 "num_shards": len(self.shards),
@@ -884,6 +1132,9 @@ class ViewServer:
                 "simulated_seconds": self.simulated_seconds(),
                 "simulated_read_seconds": self.simulated_read_seconds(),
             }
+            if self._wal is not None:
+                snapshot["wal"] = self._wal.stats()
+            return snapshot
 
     def metrics(self) -> dict[str, float]:
         """Flat canonical-key metrics for the registry's per-view provider.
@@ -912,6 +1163,9 @@ class ViewServer:
                     "entries",
                 ):
                     flat[f"{component}.{key}"] = value
+        for key, value in stats.get("wal", {}).items():
+            if key.endswith(("_total", "_bytes")) or key == "segments":
+                flat[f"wal.{key}"] = value
         for index, shard_stats in enumerate(self.shards.per_shard_stats()):
             for key, value in shard_stats.items():
                 flat[f"shard{index}.{key}"] = value

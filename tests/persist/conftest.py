@@ -1,0 +1,15 @@
+"""Shared fixtures for the persistence tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.synth_text import SparseCorpusGenerator
+
+
+@pytest.fixture
+def corpus():
+    generator = SparseCorpusGenerator(
+        vocabulary_size=250, nonzeros_per_document=10, positive_fraction=0.4, seed=13
+    )
+    return generator.generate_list(200)

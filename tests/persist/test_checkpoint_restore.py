@@ -184,6 +184,25 @@ class TestCrashShapes:
         with pytest.raises(SnapshotVersionError):
             load_checkpoint(directory)
 
+    def test_missing_shard_file_names_the_file(self, corpus, tmp_path):
+        """A manifest-listed shard file that vanished is a corruption error
+        that says *which* file — not a bare FileNotFoundError."""
+        directory = self._checkpoint(corpus, tmp_path)
+        (directory / "shard-0002.hzs").unlink()
+        with pytest.raises(SnapshotCorruptionError, match="lists shard file") as excinfo:
+            load_checkpoint(directory)
+        assert "shard-0002.hzs" in str(excinfo.value)
+
+    def test_rewritten_shard_file_fails_the_digest_check(self, corpus, tmp_path):
+        """A shard file rewritten after the manifest committed (valid frame,
+        different content) fails the manifest's content digest."""
+        directory = self._checkpoint(corpus, tmp_path)
+        shard_file = directory / "shard-0001.hzs"
+        payload = read_frame(shard_file)
+        write_frame(shard_file, payload + b" ")
+        with pytest.raises(SnapshotCorruptionError, match="content digest"):
+            load_checkpoint(directory)
+
     def test_missing_manifest_means_no_checkpoint(self, corpus, tmp_path):
         directory = self._checkpoint(corpus, tmp_path)
         (directory / MANIFEST_NAME).unlink()

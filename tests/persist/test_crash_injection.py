@@ -1,0 +1,211 @@
+"""Crash-injection suite: checkpoint + WAL must recover the pre-crash answers.
+
+Each test builds the crash shape the durability design must survive, then
+proves recovery lands **bit-identical** to an uncrashed reference — not just
+"no exception".  A crash is simulated by capturing the on-disk state (the
+checkpoint directory plus the WAL directory) at the kill point; whatever the
+in-memory pipeline held is deliberately thrown away.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro import HazyEngine
+from repro.core.maintainers import HazyEagerMaintainer
+from repro.core.stores import InMemoryEntityStore
+from repro.exceptions import SnapshotCorruptionError
+from repro.learn.sgd import SGDTrainer
+from repro.persist import load_checkpoint
+from repro.persist.wal import SEGMENT_SUFFIX
+from repro.serve import ViewServer
+from repro.serve.requests import WriteKind
+
+from tests.persist.test_checkpoint_restore import DDL, build_engine_database
+from tests.serve.conftest import build_standalone_server
+
+
+def restore_with_wal(checkpoint_dir, wal_dir) -> ViewServer:
+    return ViewServer.restore(
+        load_checkpoint(checkpoint_dir),
+        trainer=SGDTrainer(loss="svm", seed=1),
+        store_factory=lambda: InMemoryEntityStore(feature_norm_q=1.0),
+        maintainer_factory=lambda store: HazyEagerMaintainer(store, alpha=1.0),
+        wal_dir=wal_dir,
+    )
+
+
+def answers(server):
+    return server.contents(), server.top_k(50), server.top_k(50, label=-1)
+
+
+class TestStandaloneCrashes:
+    def _serve_checkpoint_then_write(self, corpus, tmp_path):
+        """Common prologue: serve with a WAL, checkpoint, then keep writing."""
+        wal_dir = tmp_path / "wal"
+        server = build_standalone_server(corpus, wal_dir=wal_dir)
+        session = server.session()
+        for doc in corpus[:20]:
+            session.insert_example(doc.entity_id, doc.label == 1)
+        server.flush()
+        server.checkpoint(tmp_path / "ckpt")
+        for doc in corpus[20:30]:
+            session.insert_example(doc.entity_id, doc.label == 1)
+        server.flush()
+        return server, wal_dir, tmp_path / "ckpt"
+
+    def test_kill_between_wal_append_and_enqueue(self, corpus, tmp_path):
+        """An op the WAL holds but the queue never saw is applied on recovery.
+
+        The uncrashed twin restores from the same checkpoint with the same
+        WAL *minus* the dangling record and then applies the op through the
+        normal write path — recovery must land on the same answers, margin
+        for margin (same SGD step order, same model bits).
+        """
+        server, wal_dir, ckpt = self._serve_checkpoint_then_write(corpus, tmp_path)
+        twin_wal = tmp_path / "wal-twin"
+        shutil.copytree(wal_dir, twin_wal)
+
+        extra = corpus[30]
+        # The crash point: _enqueue_logged appended, then died before enqueue.
+        server.wal.append(
+            WriteKind.EXAMPLE_INSERT.value,
+            {"id": extra.entity_id, "label": extra.label == 1},
+            None,
+        )
+        server.close()  # cleanup only; the disk state above is what recovery sees
+
+        recovered = restore_with_wal(ckpt, wal_dir)
+        try:
+            assert recovered.replay_wal() == 11  # 10 queued post-ckpt + the dangler
+            recovered_answers = answers(recovered)
+        finally:
+            recovered.close()
+
+        twin = restore_with_wal(ckpt, twin_wal)
+        try:
+            assert twin.replay_wal() == 10
+            twin.insert_example(extra.entity_id, extra.label == 1)
+            twin.flush()
+            assert recovered_answers == answers(twin)
+        finally:
+            twin.close()
+
+    def test_kill_between_shard_writes_and_manifest(self, corpus, tmp_path, monkeypatch):
+        """A checkpoint that dies before its manifest rename never happened.
+
+        The orphaned shard files are inert (no manifest, no checkpoint), and
+        because the WAL prunes only *after* the manifest commit, recovery
+        from the previous checkpoint still has every record it needs.
+        """
+        server, wal_dir, ckpt = self._serve_checkpoint_then_write(corpus, tmp_path)
+        reference = answers(server)
+
+        import repro.serve.server as server_module
+
+        def crash_before_manifest(directory, manifest):
+            raise OSError("simulated crash before the manifest rename")
+
+        monkeypatch.setattr(server_module, "write_manifest", crash_before_manifest)
+        with pytest.raises(OSError, match="simulated crash"):
+            server.checkpoint(tmp_path / "ckpt-2")
+        server.close()
+
+        # The torn checkpoint does not exist as far as recovery is concerned...
+        with pytest.raises(SnapshotCorruptionError, match="missing"):
+            load_checkpoint(tmp_path / "ckpt-2")
+        # ...and the survivor plus the unpruned WAL reproduce the lost state.
+        recovered = restore_with_wal(ckpt, wal_dir)
+        try:
+            recovered.replay_wal()
+            assert answers(recovered) == reference
+        finally:
+            recovered.close()
+
+    def test_torn_wal_tail_replays_to_last_complete_record(self, corpus, tmp_path):
+        """A record torn mid-append is dropped; everything published survives.
+
+        The torn op was never acknowledged complete (the append did not
+        return), so losing it is correct — recovery must match the last
+        published pre-crash state exactly.
+        """
+        server, wal_dir, ckpt = self._serve_checkpoint_then_write(corpus, tmp_path)
+        reference = answers(server)
+
+        server.wal.append(
+            WriteKind.EXAMPLE_INSERT.value,
+            {"id": corpus[35].entity_id, "label": True},
+            None,
+        )
+        server.close()
+        newest = sorted(wal_dir.glob(f"wal-*{SEGMENT_SUFFIX}"))[-1]
+        raw = newest.read_bytes()
+        newest.write_bytes(raw[: len(raw) - 7])  # tear mid-record
+
+        recovered = restore_with_wal(ckpt, wal_dir)
+        try:
+            recovered.replay_wal()
+            assert answers(recovered) == reference
+        finally:
+            recovered.close()
+
+
+class TestEngineCrashes:
+    def test_engine_recovery_replays_wal_in_arrival_order(self, corpus, tmp_path):
+        """End-to-end: SQL serve WITH (wal=...), DML churn, crash, SQL restore.
+
+        The post-checkpoint churn mixes an entity INSERT, an in-place UPDATE,
+        and a training-example INSERT — the WAL preserves their arrival
+        order, which a base-table diff alone cannot, so the recovered model
+        (and with it every margin) matches the pre-crash server bitwise.
+        """
+        wal_dir = tmp_path / "wal"
+        engine = HazyEngine(
+            build_engine_database(corpus),
+            architecture="mainmemory",
+            strategy="hazy",
+            approach="eager",
+        )
+        db = engine.database
+        db.execute(DDL)
+        db.execute(f"SERVE VIEW Labeled_Papers WITH (wal = '{wal_dir}')")
+        server = engine.view("Labeled_Papers").server
+        assert server.wal is not None
+        server.flush()
+        server.checkpoint(tmp_path / "ckpt")
+
+        churn = [
+            ("INSERT INTO papers (id, title) VALUES (?, ?)", (900_001, corpus[7].text)),
+            (
+                "UPDATE papers SET title = ? WHERE id = ?",
+                (corpus[8].text, corpus[40].entity_id),
+            ),
+            (
+                "INSERT INTO example_papers (id, label) VALUES (?, ?)",
+                (corpus[30].entity_id, "database"),
+            ),
+        ]
+        for sql, params in churn:
+            db.execute(sql, params)
+        server.flush()
+        reference = answers(server)
+        server.close()  # cleanup only; ckpt + WAL on disk are the crash state
+
+        # The base tables are durable: rebuild them with the same churn applied.
+        restart_db = build_engine_database(corpus)
+        for sql, params in churn:
+            restart_db.execute(sql, params)
+        restart = HazyEngine(
+            restart_db, architecture="mainmemory", strategy="hazy", approach="eager"
+        )
+        restart_db.execute(
+            f"RESTORE VIEW Labeled_Papers FROM '{tmp_path / 'ckpt'}' WITH (wal = '{wal_dir}')"
+        )
+        restored = restart.view("Labeled_Papers").server
+        try:
+            assert restored.wal is not None
+            assert answers(restored) == reference
+        finally:
+            restored.close()
